@@ -1,0 +1,29 @@
+# Convenience targets for the poiagg reproduction.
+
+SCALE ?= ci
+
+.PHONY: install test bench reproduce report figures clean
+
+install:
+	pip install -e ".[dev]" --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+## Regenerate every figure at $(SCALE) and consolidate the outputs.
+reproduce:
+	poiagg run all --scale $(SCALE) --out results/
+	poiagg report results/
+
+figures:
+	python -c "from pathlib import Path; \
+from repro.experiments.report import collect_results; \
+from repro.experiments.svg import save_figure_svg; \
+[save_figure_svg(r, Path('results/figures')) for r in collect_results('results')]"
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_bench_figN`` regenerates one figure of the paper at a reduced
+but faithful scale, prints the same rows/series the paper reports, and
+asserts the figure's qualitative *shape* (who wins, monotonicity, rough
+factors).  Set ``POIAGG_BENCH_SCALE=quick`` (or ``paper``) to rerun the
+suite at larger scales.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.experiments.scale import SCALES, ExperimentScale
+
+#: Default bench scale: the ci preset with a bench-friendly target count.
+_BENCH_DEFAULT = dataclasses.replace(SCALES["ci"], n_targets=100)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    name = os.environ.get("POIAGG_BENCH_SCALE")
+    if name:
+        return SCALES[name]
+    return _BENCH_DEFAULT
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

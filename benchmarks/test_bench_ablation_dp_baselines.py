@@ -1,0 +1,79 @@
+"""Ablation bench: the paper's DP mechanism vs the Laplace-histogram baseline.
+
+Extension beyond the paper: compare its Gaussian-over-cloak release
+(Sec. V-B) against the textbook per-bin Laplace histogram at matched
+epsilon, on defense (correct re-identification rate) and Top-10 utility.
+
+Expected shape: at strict budgets the naive histogram destroys rare-type
+structure *and* the Top-10 ranking (noise scale ~1/eps lands on every
+bin), while the paper's mechanism spends its noise where the group
+sensitivity is high and keeps more Top-10 utility per unit of residual
+risk at the epsilon range the paper studies.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.attacks.region import RegionAttack
+from repro.core.rng import derive_rng
+from repro.datasets.targets import sample_targets
+from repro.defense.cloaking import UserPopulation
+from repro.defense.dp_release import DPReleaseMechanism
+from repro.defense.laplace_release import LaplaceHistogramDefense
+from repro.defense.utility import top_k_jaccard
+from repro.experiments.results import ExperimentResult
+
+_RADIUS = 2_000.0
+_EPSILONS = (0.2, 0.5, 1.0, 2.0)
+
+
+def _evaluate(bench_scale):
+    city, targets = sample_targets("bj_tdrive", bench_scale.n_targets, _RADIUS, bench_scale.seed)
+    db = city.database
+    attack = RegionAttack(db)
+    population = UserPopulation.uniform(
+        10_000, db.bounds, derive_rng(bench_scale.seed, "dpb-pop")
+    )
+    originals = [db.freq(t, _RADIUS) for t in targets]
+
+    result = ExperimentResult(
+        experiment_id="ablation_dp_baselines",
+        title="Paper's DP release vs Laplace histogram (BJ T-drive, r = 2 km)",
+        config={"n_targets": len(targets)},
+    )
+    for epsilon in _EPSILONS:
+        for name, defense in (
+            ("paper", DPReleaseMechanism(population, k=20, epsilon=epsilon, delta=0.2, beta=0.02)),
+            ("laplace", LaplaceHistogramDefense(epsilon=epsilon)),
+        ):
+            rng = derive_rng(bench_scale.seed, "dpb", name, epsilon)
+            n_correct = 0
+            jaccards = []
+            for target, original in zip(targets, originals):
+                released = defense.release(db, target, _RADIUS, rng)
+                outcome = attack.run(released, _RADIUS)
+                if outcome.success and outcome.locates(target):
+                    n_correct += 1
+                jaccards.append(top_k_jaccard(original, released))
+            result.add_row(
+                mechanism=name,
+                epsilon=epsilon,
+                correct_rate=n_correct / len(targets),
+                jaccard=float(np.mean(jaccards)),
+            )
+    return result
+
+
+def test_bench_ablation_dp_baselines(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: _evaluate(bench_scale))
+    print()
+    print(result.render())
+
+    paper = {r["epsilon"]: r for r in result.filter(mechanism="paper")}
+    laplace = {r["epsilon"]: r for r in result.filter(mechanism="laplace")}
+    # Both mechanisms trade utility for privacy along epsilon.
+    for rows in (paper, laplace):
+        assert rows[2.0]["jaccard"] >= rows[0.2]["jaccard"] - 0.05
+    # At the strictest budget both defend strongly.
+    assert paper[0.2]["correct_rate"] < 0.2
+    assert laplace[0.2]["correct_rate"] < 0.2

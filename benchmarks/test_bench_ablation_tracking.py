@@ -1,0 +1,90 @@
+"""Ablation bench: continuous tracking vs independent per-release attacks.
+
+Extension beyond the paper (the multi-release generalisation of its
+two-release attack): forward filtering with a sound speed bound, plus
+backward smoothing.  The bench measures, over synthetic taxi traces, the
+fraction of release steps re-identified by (a) independent single-release
+attacks, (b) forward tracking, (c) forward + backward tracking.
+
+Expected shape: (a) <= (b) <= (c), with every unique step correct (the
+speed bound is sound, so the chain keeps the no-false-negative property).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.attacks.region import RegionAttack
+from repro.attacks.tracker import ContinuousTracker, TimedRelease
+from repro.core.rng import derive_rng
+from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories
+from repro.experiments.results import ExperimentResult
+from repro.poi.cities import beijing
+
+_RADIUS = 1_000.0
+
+
+def _evaluate(bench_scale):
+    city = beijing(bench_scale.seed)
+    db = city.database
+    config = TaxiFleetConfig(n_taxis=min(bench_scale.n_taxis, 60), trips_per_taxi=4)
+    trajectories = synthesize_taxi_trajectories(
+        db, config, derive_rng(bench_scale.seed, "trk-fleet")
+    )
+    interior = city.interior(_RADIUS)
+    traces = []
+    for traj in trajectories:
+        points = [p for p in traj.points if interior.contains(p.location)]
+        if len(points) < 4:
+            continue
+        releases = [TimedRelease(db.freq(p.location, _RADIUS), p.timestamp) for p in points]
+        traces.append((points, releases))
+
+    attack = RegionAttack(db)
+    result = ExperimentResult(
+        experiment_id="ablation_tracking",
+        title="Continuous tracking vs independent attacks (BJ taxis, r = 1 km)",
+        config={"n_traces": len(traces), "max_speed_mps": 35.0},
+    )
+    n_steps = sum(len(r) for _, r in traces)
+
+    n_indep = 0
+    for _, releases in traces:
+        for release in releases:
+            n_indep += attack.run(np.asarray(release.frequency_vector), _RADIUS).success
+    result.add_row(method="independent", unique_steps=n_indep, step_rate=n_indep / n_steps)
+
+    stats = {}
+    for method, smooth in (("forward", False), ("forward+backward", True)):
+        tracker = ContinuousTracker(db, max_speed_mps=35.0, smooth=smooth)
+        n_unique = n_correct = 0
+        for points, releases in traces:
+            tracked = tracker.track(releases, _RADIUS)
+            for step in tracked.unique_steps:
+                n_unique += 1
+                anchor = tracked.candidate_at(step)
+                if db.location_of(anchor).distance_to(points[step].location) <= _RADIUS + 1e-6:
+                    n_correct += 1
+        stats[method] = (n_unique, n_correct)
+        result.add_row(
+            method=method,
+            unique_steps=n_unique,
+            step_rate=n_unique / n_steps,
+            correct_of_unique=(n_correct / n_unique) if n_unique else float("nan"),
+        )
+    return result, n_indep, stats
+
+
+def test_bench_ablation_tracking(benchmark, bench_scale):
+    result, n_indep, stats = run_once(benchmark, lambda: _evaluate(bench_scale))
+    print()
+    print(result.render())
+
+    fwd_unique, fwd_correct = stats["forward"]
+    both_unique, both_correct = stats["forward+backward"]
+    # Tracking never does worse than independent attacks, smoothing never
+    # worse than forward-only.
+    assert fwd_unique >= n_indep
+    assert both_unique >= fwd_unique
+    # The sound speed bound preserves correctness of unique steps.
+    assert fwd_correct == fwd_unique
+    assert both_correct == both_unique

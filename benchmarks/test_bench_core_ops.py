@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the hot operations underlying every experiment.
+
+Unlike the figure benches (single-shot experiment regeneration), these use
+pytest-benchmark's statistical timing to track the cost of the inner-loop
+primitives: GSP range/frequency queries, the baseline attack, the
+perturbation optimizer, and planar Laplace sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.region import RegionAttack
+from repro.core.rng import derive_rng
+from repro.defense.optimization import optimize_release
+from repro.dp.planar_laplace import PlanarLaplace
+from repro.poi.cities import beijing
+
+
+@pytest.fixture(scope="module")
+def setup():
+    city = beijing()
+    db = city.database
+    rng = derive_rng(0, "bench-core")
+    radius = 2_000.0
+    targets = [city.interior(radius).sample_point(rng) for _ in range(64)]
+    freqs = [db.freq(t, radius) for t in targets]
+    return city, db, radius, targets, freqs
+
+
+def test_bench_freq_query(benchmark, setup):
+    _, db, radius, targets, _ = setup
+    it = iter(range(10**9))
+
+    def one_query():
+        i = next(it) % len(targets)
+        return db.freq(targets[i], radius)
+
+    benchmark(one_query)
+
+
+def test_bench_range_query(benchmark, setup):
+    _, db, radius, targets, _ = setup
+    it = iter(range(10**9))
+
+    def one_query():
+        i = next(it) % len(targets)
+        return db.query(targets[i], radius)
+
+    benchmark(one_query)
+
+
+def test_bench_region_attack(benchmark, setup):
+    _, db, radius, _, freqs = setup
+    attack = RegionAttack(db)
+    it = iter(range(10**9))
+
+    def one_attack():
+        i = next(it) % len(freqs)
+        return attack.run(freqs[i], radius)
+
+    benchmark(one_attack)
+
+
+def test_bench_optimizer(benchmark, setup):
+    _, db, _, _, freqs = setup
+    ranks = db.infrequent_ranks
+    it = iter(range(10**9))
+
+    def one_solve():
+        i = next(it) % len(freqs)
+        return optimize_release(freqs[i], ranks, beta=0.03)
+
+    benchmark(one_solve)
+
+
+def test_bench_planar_laplace(benchmark):
+    mech = PlanarLaplace(0.1)
+    rng = np.random.default_rng(0)
+    from repro.geo.point import Point
+
+    origin = Point(0.0, 0.0)
+    benchmark(lambda: mech.perturb(origin, rng))

@@ -1,0 +1,19 @@
+"""Bench: the dataset statistics table (paper §II-E)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.datasets_table import run_datasets_table
+
+
+def test_bench_datasets(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_datasets_table(bench_scale))
+    print()
+    print(result.render())
+
+    bj = result.filter(dataset="beijing POIs")[0]
+    nyc = result.filter(dataset="nyc POIs")[0]
+    # Exact POI/type counts from the paper.
+    assert bj["n_items"] == 10_249 and bj["n_types"] == 177
+    assert nyc["n_items"] == 30_056 and nyc["n_types"] == 272
+    # Rare-type tails calibrated to the sanitization counts (90 / 138).
+    assert abs(bj["rare_types_le10"] - 90) <= 3
+    assert abs(nyc["rare_types_le10"] - 138) <= 3

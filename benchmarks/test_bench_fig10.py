@@ -1,0 +1,26 @@
+"""Bench: Fig. 10 — non-private optimization defense, Top-10 Jaccard vs beta.
+
+Paper shape: utility decreases only slightly as beta grows; at large radii
+(dense aggregates) it stays near 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_10_nonprivate import run_fig9_10
+
+
+def test_bench_fig10(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig9_10(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "nyc_foursquare"):
+        # Utility is monotone non-increasing in beta at each radius...
+        for r_km in (0.5, 1.0, 2.0, 4.0):
+            rows = result.filter(dataset=dataset, r_km=r_km)
+            by_beta = [row["jaccard"] for row in sorted(rows, key=lambda r: r["beta"])]
+            assert by_beta[-1] <= by_beta[0] + 0.05
+        # ...and stays high where the aggregate is dense (r = 4 km).
+        dense = np.mean([r["jaccard"] for r in result.filter(dataset=dataset, r_km=4.0)])
+        assert dense > 0.8

@@ -1,0 +1,28 @@
+"""Bench: Fig. 11 — DP defense, success rate vs epsilon (r = 2 km, k = 20).
+
+Paper shape: the attack success rate rises with epsilon (less noise) and
+falls with beta (more post-processing distortion).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_12_dp import run_fig11_12
+
+
+def test_bench_fig11(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig11_12(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "nyc_foursquare"):
+        # Averaged over beta, low-epsilon (heavy noise) defends better than
+        # high-epsilon.
+        low = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, epsilon=0.2)])
+        high = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, epsilon=2.0)])
+        assert low < high
+        # Averaged over epsilon, the largest beta defends at least as well
+        # as no post-processing.
+        b0 = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, beta=0.0)])
+        b5 = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, beta=0.05)])
+        assert b5 <= b0 + 0.02

@@ -1,0 +1,29 @@
+"""Bench: Fig. 12 — DP defense, Top-10 Jaccard vs epsilon (r = 2 km, k = 20).
+
+Paper shape: utility increases with epsilon and is barely affected by beta.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_12_dp import run_fig11_12
+
+
+def test_bench_fig12(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig11_12(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "nyc_foursquare"):
+        low = np.mean([r["jaccard"] for r in result.filter(dataset=dataset, epsilon=0.2)])
+        high = np.mean([r["jaccard"] for r in result.filter(dataset=dataset, epsilon=2.0)])
+        # Less noise, better Top-10 fidelity.
+        assert high > low
+        # Beta has only a minor effect on utility (rare types are outside
+        # the Top-10): compare the spread across beta at fixed epsilon.
+        at_eps = [
+            r["jaccard"]
+            for r in result.rows
+            if r["dataset"] == dataset and r["epsilon"] == 1.0
+        ]
+        assert max(at_eps) - min(at_eps) < 0.25

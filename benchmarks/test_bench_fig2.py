@@ -1,0 +1,18 @@
+"""Bench: Fig. 2 — accuracy of the sanitization-recovery models.
+
+Paper: mean validation accuracy above 0.95 (0.990-0.998) for both cities
+at every query range.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_recovery_accuracy import run_fig2
+
+
+def test_bench_fig2(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig2(bench_scale))
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        # Shape: the recovery models are accurate everywhere, as in Fig. 2.
+        assert row["mean_accuracy"] > 0.9, row

@@ -1,0 +1,28 @@
+"""Bench: Fig. 3 — sanitization and its learning-based break.
+
+Paper shape: sanitization lowers the success rate below the undefended
+curve, and the recovery attack restores (most of) it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_sanitization import run_fig3
+
+
+def test_bench_fig3(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig3(bench_scale))
+    print()
+    print(result.render())
+
+    for city in ("beijing", "nyc"):
+        plain = [r["success_rate"] for r in result.filter(city=city, variant="w/o protection")]
+        sanitized = [r["success_rate"] for r in result.filter(city=city, variant="sanitized")]
+        recovered = [r["success_rate"] for r in result.filter(city=city, variant="recovered")]
+
+        # Undefended success grows with the radius (location uniqueness).
+        assert plain[0] < plain[-1]
+        # Sanitization helps at every radius.
+        assert np.mean(sanitized) < np.mean(plain)
+        # Recovery wins back part of the sanitized gap on average.
+        assert np.mean(recovered) >= np.mean(sanitized) - 0.02

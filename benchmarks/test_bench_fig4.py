@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 — planar Laplace (geo-indistinguishability).
+
+Paper shape: with eps = 0.1 per 100 m, mitigation is strong at r = 0.5 km
+(~75-81%) and weak at r = 4 km (~9-12%); eps = 1.0 barely mitigates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_geoind import run_fig4
+
+
+def test_bench_fig4(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig4(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "bj_random", "nyc_foursquare", "nyc_random"):
+        rows_strong = result.filter(dataset=dataset, epsilon=0.1)
+        mit = {row["r_km"]: row["mitigation"] for row in rows_strong}
+        # Location noise is outrun by large radii: mitigation shrinks with r.
+        assert mit[0.5] > mit[4.0]
+        assert mit[0.5] > 0.5  # strong protection at the smallest radius
+
+        # eps = 1.0 mitigates (much) less than eps = 0.1 on average.
+        weak = np.mean([r["mitigation"] for r in result.filter(dataset=dataset, epsilon=1.0)])
+        strong = np.mean([r["mitigation"] for r in rows_strong])
+        assert weak < strong

@@ -1,0 +1,25 @@
+"""Bench: Fig. 5 — spatial k-cloaking.
+
+Paper shape: the (correct) success rate decreases as k grows, but the
+defense stays unsatisfactory at k = 50 for large radii.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_cloaking import run_fig5
+
+
+def test_bench_fig5(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig5(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "nyc_foursquare"):
+        for r_km in (0.5, 4.0):
+            rows = result.filter(dataset=dataset, r_km=r_km)
+            by_k = {row["k"]: row["correct_rate"] for row in rows}
+            # Larger cloaks misdirect the attack more.
+            assert by_k[50] <= by_k[1] + 1e-9
+        # The paper's residual-risk point: at the largest radius, even k=50
+        # leaves a material fraction of attacks correct.
+        big_r = result.filter(dataset=dataset, r_km=4.0, k=50)[0]
+        assert big_r["correct_rate"] > 0.1

@@ -1,0 +1,29 @@
+"""Bench: Fig. 6 — CDF of the fine-grained attack's search area.
+
+Paper shape: in ~80% of successful cases the fine-grained search area is
+at most a quarter of the baseline pi*r^2.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_finegrained_cdf import run_fig6
+
+
+def test_bench_fig6(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig6(bench_scale))
+    print()
+    print(result.render())
+
+    fracs = [
+        row["frac_under_quarter"]
+        for row in result.rows
+        if row.get("n_success", 0) >= 10
+    ]
+    assert fracs, "no setting produced enough successful attacks"
+    # The headline: a dominant share of cases lands under the quarter mark.
+    assert np.mean(fracs) > 0.6
+    # And the fine-grained area never exceeds the baseline.
+    for row in result.rows:
+        if row.get("n_success", 0) > 0:
+            assert row["mean_km2"] <= row["baseline_area_km2"] + 1e-9

@@ -1,0 +1,31 @@
+"""Bench: Fig. 7 — search area vs the number of auxiliary anchors.
+
+Paper shape: at r = 2 km the mean search area falls from ~1.7-2.6 km2 at
+5 anchors to ~0.3-1.4 km2 at 40, with diminishing returns, against a
+constant baseline of 4 pi ~= 12.57 km2.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_aux_anchors import run_fig7
+
+
+def test_bench_fig7(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig7(bench_scale))
+    print()
+    print(result.render())
+
+    baseline = math.pi * 4.0
+    for dataset in ("bj_tdrive", "bj_random", "nyc_foursquare", "nyc_random"):
+        rows = result.filter(dataset=dataset)
+        if not rows or rows[0]["n_success"] < 10:
+            continue
+        by_aux = {row["n_aux"]: row["mean_area_km2"] for row in rows}
+        # More anchors, smaller area — monotone along the sweep.
+        areas = [by_aux[k] for k in sorted(by_aux)]
+        assert all(a >= b - 1e-9 for a, b in zip(areas, areas[1:]))
+        # Already at 5 anchors the attack beats the baseline by a wide margin.
+        assert by_aux[5] < baseline / 2
+        # At 40 anchors it is far below the paper's quarter mark.
+        assert by_aux[40] < baseline / 4

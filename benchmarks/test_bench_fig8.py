@@ -1,0 +1,30 @@
+"""Bench: Fig. 8 — exploiting two successive queries.
+
+Paper shape: the two-release attack gains most at small radii (+0.203 at
+r = 0.5 km) and almost nothing at r = 4 km (+0.001), because single-release
+uniqueness already saturates there.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_trajectory import run_fig8
+
+
+def test_bench_fig8(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig8(bench_scale))
+    print()
+    print(result.render())
+
+    rows = [row for row in result.rows if "single_success" in row]
+    assert len(rows) >= 3, "not enough usable release pairs"
+    by_r = {row["r_km"]: row for row in rows}
+
+    for row in rows:
+        # The enhanced attack never loses to the single-release attack.
+        assert row["enhanced_success"] >= row["single_success"] - 1e-9
+    # Single-release success grows with r...
+    assert by_r[0.5]["single_success"] < by_r[4.0]["single_success"]
+    # ...so the pair gain shrinks as r grows (small-r gain > large-r gain).
+    small_gain = max(by_r[0.5]["gain"], by_r[1.0]["gain"])
+    assert small_gain >= by_r[4.0]["gain"] - 1e-9
+    # And the pair information produces a real gain somewhere.
+    assert small_gain > 0.0

@@ -1,0 +1,27 @@
+"""Bench: Fig. 9 — non-private optimization defense, success rate vs beta.
+
+Paper shape: a larger distortion budget beta lowers the attack success
+rate markedly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_10_nonprivate import run_fig9_10
+
+
+def test_bench_fig9(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_fig9_10(bench_scale))
+    print()
+    print(result.render())
+
+    for dataset in ("bj_tdrive", "nyc_foursquare"):
+        for r_km in (0.5, 2.0):
+            rows = result.filter(dataset=dataset, r_km=r_km)
+            by_beta = {row["beta"]: row["success_rate"] for row in rows}
+            # Success at the largest budget is well below the smallest.
+            assert by_beta[0.05] <= by_beta[0.01] + 1e-9
+        # Averaged over radii, the trend is strictly helpful.
+        small = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, beta=0.01)])
+        large = np.mean([r["success_rate"] for r in result.filter(dataset=dataset, beta=0.05)])
+        assert large < small

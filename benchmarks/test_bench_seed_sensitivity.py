@@ -1,0 +1,26 @@
+"""Bench: generator-seed sensitivity of the headline success rates.
+
+Asserts the property the whole reproduction rests on: the radius effect
+(the paper's subject) dwarfs the seed-to-seed variance of the synthetic
+cities.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.seed_sensitivity import run_seed_sensitivity
+
+
+def test_bench_seed_sensitivity(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_seed_sensitivity(bench_scale))
+    print()
+    print(result.render())
+
+    for city in ("beijing", "nyc"):
+        rows = sorted(result.filter(city=city), key=lambda r: r["r_km"])
+        # The radius effect: large-r mean clearly above small-r mean.
+        radius_effect = rows[-1]["mean_success"] - rows[0]["mean_success"]
+        assert radius_effect > 0.2
+        # Seed noise stays well below the radius effect at every radius.
+        for row in rows:
+            assert row["std_success"] < radius_effect / 2
+        # And the orderings hold for the extreme seeds too, not just means.
+        assert rows[-1]["min_success"] > rows[0]["max_success"]

@@ -1,0 +1,25 @@
+"""Bench: the uniqueness premise — unique fraction grows with the radius.
+
+Not a paper figure; the measured premise behind all of them (paper §II,
+citing Cao et al.).  Asserts monotone growth with the query range and
+that anchors come from the rare end of the vocabulary.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.uniqueness_sweep import run_uniqueness
+
+
+def test_bench_uniqueness(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_uniqueness(bench_scale))
+    print()
+    print(result.render())
+
+    for city in ("beijing", "nyc"):
+        rows = sorted(result.filter(city=city), key=lambda r: r["r_km"])
+        rates = [r["uniqueness_rate"] for r in rows]
+        # Uniqueness grows with the radius (allow small sampling noise).
+        assert rates[-1] > rates[0]
+        assert all(b >= a - 0.05 for a, b in zip(rates, rates[1:]))
+        # Anchors live in the rare tail of the vocabulary.
+        for row in rows:
+            assert row["median_anchor_city_count"] <= 20

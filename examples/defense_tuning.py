@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: tune the DP release mechanism for a Top-K recommender.
+
+An operator wants to deploy the paper's differentially private POI
+aggregate release (Sec. V-B) in front of a Top-10 recommendation service
+and must pick (epsilon, beta).  This script sweeps the two knobs on
+T-drive-style Beijing traffic and prints the privacy/utility frontier:
+residual attack success (lower = safer) against Top-10 Jaccard
+(higher = more useful), so the operator can pick the knee point.
+
+Run with::
+
+    python examples/defense_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import RegionAttack
+from repro.core.rng import derive_rng
+from repro.datasets import sample_targets
+from repro.defense import DPReleaseMechanism, UserPopulation, top_k_jaccard
+
+RADIUS_M = 2_000.0
+N_USERS = 120
+EPSILONS = (0.2, 0.5, 1.0, 2.0)
+BETAS = (0.0, 0.02, 0.05)
+
+
+def main() -> None:
+    city, users = sample_targets("bj_tdrive", N_USERS, RADIUS_M, seed=17)
+    db = city.database
+    attack = RegionAttack(db)
+    population = UserPopulation.uniform(10_000, db.bounds, derive_rng(17, "pop"))
+    originals = [db.freq(u, RADIUS_M) for u in users]
+
+    print(f"Sweeping the DP release on {N_USERS} Beijing taxi locations (r = 2 km, k = 20)\n")
+    print(f"{'epsilon':>8}  {'beta':>5}  {'attack success':>14}  {'correct hits':>12}  {'Top-10 Jaccard':>14}")
+    frontier: list[tuple[float, float, float]] = []
+    for beta in BETAS:
+        for epsilon in EPSILONS:
+            defense = DPReleaseMechanism(
+                population, k=20, epsilon=epsilon, delta=0.2, beta=beta
+            )
+            rng = derive_rng(17, "sweep", beta, epsilon)
+            n_success = n_correct = 0
+            jaccards = []
+            for user, original in zip(users, originals):
+                released = defense.release(db, user, RADIUS_M, rng)
+                outcome = attack.run(released, RADIUS_M)
+                if outcome.success:
+                    n_success += 1
+                    n_correct += outcome.locates(user)
+                jaccards.append(top_k_jaccard(original, released))
+            utility = float(np.mean(jaccards))
+            print(
+                f"{epsilon:>8.1f}  {beta:>5.2f}  {n_success / N_USERS:>14.1%}  "
+                f"{n_correct / N_USERS:>12.1%}  {utility:>14.2f}"
+            )
+            frontier.append((n_correct / N_USERS, utility, epsilon))
+        print()
+
+    # A simple knee heuristic: highest utility among settings with <10% risk.
+    safe = [(u, e, r) for r, u, e in frontier if r < 0.10]
+    if safe:
+        best_utility, best_eps, best_risk = max(safe)
+        print(
+            f"Suggested operating point: epsilon ~ {best_eps:.1f} keeps correct "
+            f"re-identification at {best_risk:.0%} with Top-10 Jaccard {best_utility:.2f}."
+        )
+
+
+if __name__ == "__main__":
+    main()

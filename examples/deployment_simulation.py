@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Scenario: simulate a full LBS deployment and compare defense rollouts.
+
+Plays the whole architecture of the paper's Fig. 1: a taxi fleet queries
+the geo-service and streams (defended) POI aggregates to a Top-10
+recommendation service that is honest-but-curious.  The adversary then
+replays the service's log — single-release attacks plus trajectory
+linkage — and we compare how many drivers each candidate rollout exposes.
+
+Run with::
+
+    python examples/deployment_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import DistanceRegressor, PairRelease
+from repro.core.rng import derive_rng
+from repro.datasets import TaxiFleetConfig, extract_release_pairs, synthesize_taxi_trajectories
+from repro.defense import (
+    DPReleaseMechanism,
+    NonPrivateOptimizationDefense,
+    Sanitizer,
+    UserPopulation,
+)
+from repro.lbs import simulate_sessions
+from repro.poi import beijing
+
+RADIUS_M = 1_000.0
+N_TAXIS = 40
+
+
+def main() -> None:
+    city = beijing()
+    db = city.database
+
+    print(f"Synthesising {N_TAXIS} driver-days of traces...")
+    trajectories = synthesize_taxi_trajectories(
+        db, TaxiFleetConfig(n_taxis=N_TAXIS, trips_per_taxi=4), derive_rng(11, "fleet")
+    )
+
+    print("Training the adversary's displacement regressor on public traces...")
+    background = synthesize_taxi_trajectories(
+        db, TaxiFleetConfig(n_taxis=60), derive_rng(11, "background")
+    )
+    pairs = extract_release_pairs(background, max_gap_s=600.0)[:600]
+    releases = [
+        PairRelease(
+            db.freq(p.first.location, RADIUS_M),
+            db.freq(p.second.location, RADIUS_M),
+            p.first.timestamp,
+            p.second.timestamp,
+        )
+        for p in pairs
+    ]
+    regressor = DistanceRegressor().fit(releases, np.array([p.distance for p in pairs]))
+
+    population = UserPopulation.uniform(10_000, db.bounds, derive_rng(11, "pop"))
+    rollouts = [
+        ("no defense", None),
+        ("sanitization (S=10)", Sanitizer(db, threshold=10)),
+        ("Eq.(7), beta=0.03", NonPrivateOptimizationDefense(0.03)),
+        (
+            "DP release (eps=0.5, beta=0.03)",
+            DPReleaseMechanism(population, k=20, epsilon=0.5, delta=0.2, beta=0.03),
+        ),
+    ]
+
+    print(f"\nReplaying the curious service's log per rollout (r = {RADIUS_M:.0f} m):\n")
+    print(f"{'rollout':>32}  {'releases':>8}  {'exposed (single)':>16}  {'exposed (linked)':>16}")
+    for name, defense in rollouts:
+        report = simulate_sessions(
+            db,
+            trajectories,
+            RADIUS_M,
+            defense=defense,
+            distance_regressor=regressor,
+            rng=derive_rng(11, "sim", name),
+        )
+        print(
+            f"{name:>32}  {report.n_releases:>8}  "
+            f"{report.single_exposure_rate:>16.1%}  {report.linked_exposure_rate:>16.1%}"
+        )
+    print(
+        "\nReading: exposure here is 'at least one trip moment pinned correctly'.\n"
+        "Trajectory-long observation is far more dangerous than any single\n"
+        "release, and only the aggregate-perturbing rollouts contain it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: re-identify a location from its POI type aggregate.
+
+Walks the paper's core pipeline end to end on the synthetic Beijing city:
+
+1. build the city (the geo-information provider's public map),
+2. pick a "user" location and compute the aggregate it would release,
+3. run Cao et al.'s region re-identification attack on the aggregate,
+4. run the paper's fine-grained attack to shrink the search area,
+5. protect the release with the DP mechanism and attack again.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attacks import FineGrainedAttack, RegionAttack
+from repro.core.rng import derive_rng
+from repro.defense import DPReleaseMechanism, UserPopulation, top_k_jaccard
+from repro.poi import beijing
+
+
+def main() -> None:
+    rng = derive_rng(2021, "quickstart")
+    radius = 2_000.0  # the user's 2 km query range
+
+    print("== 1. The public POI map ==")
+    city = beijing()
+    db = city.database
+    print(f"{city.name}: {len(db):,} POIs, {db.n_types} types")
+
+    print("\n== 2. A user releases a POI type aggregate ==")
+    attack = RegionAttack(db)
+    # Sample users until we hit one whose location is unique (roughly half
+    # of the city at r = 2 km) — the attacker only cares about those.
+    for _ in range(50):
+        user_location = city.interior(radius).sample_point(rng)
+        released = db.freq(user_location, radius)
+        outcome = attack.run(released, radius)
+        if outcome.success:
+            break
+    else:
+        raise SystemExit("no uniquely identifiable location sampled; try another seed")
+    print(f"user location (secret): ({user_location.x:.0f} m, {user_location.y:.0f} m)")
+    print(f"released vector: {int(released.sum())} POIs over {int((released > 0).sum())} types")
+
+    print("\n== 3. Region re-identification (Cao et al.) ==")
+    region = outcome.region
+    assert region is not None
+    dist = region.center.distance_to(user_location)
+    print(f"unique anchor POI #{region.anchor_poi}, search area {region.area / 1e6:.2f} km^2")
+    print(f"true location is {dist:.0f} m from the anchor (within r: {dist <= radius})")
+
+    print("\n== 4. Fine-grained attack (Algorithm 1) ==")
+    fine = FineGrainedAttack(db, max_aux=20, sound_only=True)
+    fine_outcome = fine.run(released, radius)
+    area = fine_outcome.search_area_m2(rng=rng)
+    print(f"auxiliary anchors found: {len(fine_outcome.anchors)}")
+    print(
+        f"search area: {area / 1e6:.3f} km^2 "
+        f"({area / (math.pi * radius**2):.1%} of the baseline disk)"
+    )
+    estimate = fine_outcome.point_estimate(rng=rng)
+    if estimate is not None:
+        print(f"point estimate misses the user by {estimate.distance_to(user_location):.0f} m")
+
+    print("\n== 5. The differentially private defense (paper Sec. V-B) ==")
+    population = UserPopulation.uniform(10_000, db.bounds, derive_rng(2021, "users"))
+    defense = DPReleaseMechanism(population, k=20, epsilon=0.5, delta=0.2, beta=0.03)
+    protected = defense.release(db, user_location, radius, derive_rng(2021, "dp"))
+    protected_outcome = attack.run(protected, radius)
+    print(f"attack on the protected release succeeds: {protected_outcome.success}")
+    if protected_outcome.success:
+        print(f"  ...but points at the right place: {protected_outcome.locates(user_location)}")
+    print(f"Top-10 utility of the protected release: {top_k_jaccard(released, protected):.2f}")
+
+
+if __name__ == "__main__":
+    main()

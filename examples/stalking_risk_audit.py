@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scenario: audit the re-identification risk of a POI-based recommender.
+
+A recommendation service receives only POI type aggregates (no
+coordinates) from its users — the privacy-friendly architecture of the
+paper's Fig. 1.  This script plays the data-protection auditor: for a
+population of simulated users (Foursquare-style check-ins in NYC), it
+quantifies how many of them an honest-but-curious service could pin down,
+how precisely, and how the risk depends on the query range users pick.
+
+Run with::
+
+    python examples/stalking_risk_audit.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attacks import FineGrainedAttack
+from repro.core.rng import derive_rng
+from repro.datasets import sample_targets
+
+N_USERS = 150
+RADII_M = (500.0, 1_000.0, 2_000.0, 4_000.0)
+
+
+def audit_radius(radius: float, seed: int) -> dict:
+    city, users = sample_targets("nyc_foursquare", N_USERS, radius, seed)
+    db = city.database
+    attack = FineGrainedAttack(db, max_aux=20, sound_only=True)
+    rng = derive_rng(seed, "audit", radius)
+
+    n_exposed = 0
+    pinned_areas_km2: list[float] = []
+    localisation_errors_m: list[float] = []
+    for user in users:
+        outcome = attack.run(db.freq(user, radius), radius)
+        if not outcome.success:
+            continue
+        n_exposed += 1
+        pinned_areas_km2.append(outcome.search_area_m2(n_samples=8_000, rng=rng) / 1e6)
+        estimate = outcome.point_estimate(n_samples=8_000, rng=rng)
+        if estimate is not None:
+            localisation_errors_m.append(estimate.distance_to(user))
+    return {
+        "radius_km": radius / 1_000.0,
+        "exposed": n_exposed,
+        "exposure_rate": n_exposed / N_USERS,
+        "median_area_km2": float(np.median(pinned_areas_km2)) if pinned_areas_km2 else math.nan,
+        "median_error_m": float(np.median(localisation_errors_m))
+        if localisation_errors_m
+        else math.nan,
+    }
+
+
+def main() -> None:
+    print(f"Auditing {N_USERS} simulated NYC users per query range\n")
+    print(f"{'r (km)':>7}  {'exposed':>8}  {'rate':>6}  {'median area km^2':>17}  {'median miss m':>14}")
+    for radius in RADII_M:
+        row = audit_radius(radius, seed=7)
+        print(
+            f"{row['radius_km']:>7.1f}  {row['exposed']:>8d}  {row['exposure_rate']:>6.1%}  "
+            f"{row['median_area_km2']:>17.3f}  {row['median_error_m']:>14.0f}"
+        )
+    print(
+        "\nReading: a larger query range makes the aggregate *more* identifying\n"
+        "(more types, rarer anchors), even though it sounds coarser. The paper's\n"
+        "remedy is the beta/epsilon release mechanism — see defense_tuning.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

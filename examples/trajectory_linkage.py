@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: link two successive aggregate releases to de-anonymise a ride.
+
+A navigation app sends a fresh POI aggregate every few minutes while a
+taxi moves.  This script reproduces the paper's trajectory-uniqueness
+attack (Sec. IV-B): it trains a distance regressor on historical traces,
+then shows on held-out rides how the second release disambiguates cases
+the single-release attack could not crack.
+
+Run with::
+
+    python examples/trajectory_linkage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import DistanceRegressor, PairRelease, TrajectoryAttack
+from repro.core.rng import derive_rng
+from repro.datasets import TaxiFleetConfig, extract_release_pairs, synthesize_taxi_trajectories
+from repro.poi import beijing
+
+RADIUS_M = 1_000.0
+MAX_GAP_S = 600.0
+
+
+def main() -> None:
+    city = beijing()
+    db = city.database
+    interior = city.interior(RADIUS_M)
+
+    print("Synthesising one week of taxi traces...")
+    trajectories = synthesize_taxi_trajectories(
+        db, TaxiFleetConfig(n_taxis=150), derive_rng(3, "fleet")
+    )
+    pairs = extract_release_pairs(trajectories, max_gap_s=MAX_GAP_S)
+
+    usable = []
+    for pair in pairs:
+        if not (interior.contains(pair.first.location) and interior.contains(pair.second.location)):
+            continue
+        f1 = db.freq(pair.first.location, RADIUS_M)
+        f2 = db.freq(pair.second.location, RADIUS_M)
+        if np.array_equal(f1, f2):
+            continue
+        usable.append((pair, PairRelease(f1, f2, pair.first.timestamp, pair.second.timestamp)))
+    split = len(usable) // 2
+    train, test = usable[:split], usable[split:]
+    print(f"{len(pairs)} release pairs, {len(usable)} usable, {len(train)} for training\n")
+
+    print("Training the displacement regressor (duration + L1 + time-of-day)...")
+    regressor = DistanceRegressor().fit(
+        [rel for _, rel in train],
+        np.array([pair.distance for pair, _ in train]),
+        band_quantile=0.75,
+    )
+    print(f"learned acceptance band: +/- {regressor.tolerance_m:.0f} m (plus the 2r slack)\n")
+
+    attack = TrajectoryAttack(db, regressor)
+    n_single = n_enhanced = 0
+    rescued = []
+    for pair, release in test[:400]:
+        outcome = attack.run(release, RADIUS_M)
+        n_single += outcome.single.success
+        n_enhanced += outcome.enhanced.success
+        if outcome.gain:
+            rescued.append((pair, outcome))
+    n = min(len(test), 400)
+    print(f"single-release success:   {n_single / n:.1%}")
+    print(f"two-release success:      {n_enhanced / n:.1%}")
+    print(f"rides cracked only via linkage: {len(rescued)}")
+
+    if rescued:
+        pair, outcome = rescued[0]
+        region = outcome.enhanced.region
+        assert region is not None
+        miss = region.center.distance_to(pair.first.location)
+        print(
+            f"\nExample rescued ride: {len(outcome.single.candidates)} candidates "
+            f"collapsed to 1; predicted displacement {outcome.predicted_distance_m:.0f} m "
+            f"(actual {pair.distance:.0f} m); anchor lands {miss:.0f} m from the rider."
+        )
+
+
+if __name__ == "__main__":
+    main()

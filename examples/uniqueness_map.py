@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Scenario: map where a city is re-identifiable from POI aggregates.
+
+Urban planners (or privacy regulators) may want to know *where* location
+uniqueness concentrates before approving a POI-aggregate data release.
+This script rasterises the synthetic Beijing into cells, marks each cell
+whose aggregate uniquely identifies it, and profiles which POI types act
+as the identifying anchors.
+
+Run with::
+
+    python examples/uniqueness_map.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import anchor_statistics, uniqueness_map, uniqueness_rate
+from repro.core.rng import derive_rng
+from repro.poi import beijing
+
+
+def main() -> None:
+    city = beijing()
+    db = city.database
+
+    print("Uniqueness rate by query range (uniform samples over the city):")
+    for radius in (500.0, 1_000.0, 2_000.0, 4_000.0):
+        rate = uniqueness_rate(db, radius, n_samples=300, rng=derive_rng(5, "rate", radius))
+        print(f"  r = {radius / 1000:.1f} km: {rate:.1%} of locations are unique")
+
+    radius = 2_000.0
+    print(f"\nUniqueness map at r = {radius / 1000:.0f} km (2 km cells, '#' = unique):")
+    m = uniqueness_map(db, radius, cell_m=2_000.0)
+    print(m.to_ascii())
+    print(f"map-level uniqueness: {m.rate:.1%}")
+
+    print("\nWhat identifies people? Anchor-type profile at r = 2 km:")
+    stats = anchor_statistics(db, radius, n_samples=400, rng=derive_rng(5, "anchors"))
+    print(f"  successful re-identifications: {stats.n_success}")
+    print(f"  median anchor type occurs {stats.median_anchor_city_count:.0f}x city-wide")
+    print(
+        f"  median anchor infrequency rank: {stats.median_anchor_rank:.0f}"
+        f" of {db.n_types} types (rank 1 = rarest)"
+    )
+    print("  most-used anchor types:")
+    for type_id, uses in stats.top_anchor_types(5):
+        print(
+            f"    {db.vocabulary.name_of(type_id)}: {uses} uses, "
+            f"{int(db.city_frequency[type_id])} POIs city-wide"
+        )
+    print(
+        "\nReading: the identifying signal is carried by a handful of rare POI\n"
+        "types — exactly the types the paper's release mechanism erases first."
+    )
+
+
+if __name__ == "__main__":
+    main()

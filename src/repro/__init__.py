@@ -1,0 +1,35 @@
+"""poiagg — reproduction of "Practical Location Privacy Attacks and Defense
+on Point-of-interest Aggregates" (Tong et al., ICDCS 2021).
+
+The package is organised by layer:
+
+* :mod:`repro.core` — errors, RNG discipline.
+* :mod:`repro.geo` — planar geometry, spatial indexes, disk regions.
+* :mod:`repro.poi` — POI databases (the geo-information provider), the
+  synthetic Beijing/NYC cities.
+* :mod:`repro.datasets` — target samplers: synthetic T-drive taxi traces,
+  Foursquare-style check-ins, uniform random locations.
+* :mod:`repro.ml` — from-scratch SVM family (SMO SVC, kernel regression).
+* :mod:`repro.dp` — Gaussian/Laplace mechanisms, planar Laplace, accounting.
+* :mod:`repro.attacks` — region re-identification, the fine-grained attack,
+  the trajectory-uniqueness attack, the anti-sanitization recovery attack.
+* :mod:`repro.defense` — sanitization, geo-indistinguishability, spatial
+  k-cloaking, the optimization-based release, and the DP release mechanism.
+* :mod:`repro.experiments` — one runner per figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro.poi import beijing
+    from repro.attacks import RegionAttack
+
+    city = beijing()
+    db = city.database
+    target = city.interior(1000.0).sample_point(np.random.default_rng(0))
+    outcome = RegionAttack(db).run(db.freq(target, 1000.0), 1000.0)
+    print(outcome.success, outcome.region)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Analysis utilities: uniqueness measurement, adversary-map sensitivity."""
+
+from repro.analysis.map_noise import (
+    MapNoiseResult,
+    attack_with_degraded_map,
+    degrade_map,
+)
+from repro.analysis.uniqueness import (
+    AnchorStatistics,
+    UniquenessMap,
+    anchor_statistics,
+    uniqueness_map,
+    uniqueness_rate,
+)
+
+__all__ = [
+    "degrade_map",
+    "MapNoiseResult",
+    "attack_with_degraded_map",
+    "uniqueness_rate",
+    "UniquenessMap",
+    "uniqueness_map",
+    "AnchorStatistics",
+    "anchor_statistics",
+]

@@ -1,0 +1,33 @@
+"""Attacks: the baseline region re-identification plus the paper's variants."""
+
+from repro.attacks.base import AttackOutcome, ReIdentifiedRegion
+from repro.attacks.fine_grained import FineGrainedAttack, FineGrainedOutcome
+from repro.attacks.metrics import AttackEvaluation, evaluate_region_attack
+from repro.attacks.recovery import RecoveryTrainingReport, SanitizationRecoveryAttack
+from repro.attacks.region import RegionAttack
+from repro.attacks.tracker import ContinuousTracker, TimedRelease, TrackingResult
+from repro.attacks.trajectory import (
+    DistanceRegressor,
+    PairRelease,
+    TrajectoryAttack,
+    TrajectoryOutcome,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "ReIdentifiedRegion",
+    "RegionAttack",
+    "FineGrainedAttack",
+    "FineGrainedOutcome",
+    "SanitizationRecoveryAttack",
+    "RecoveryTrainingReport",
+    "DistanceRegressor",
+    "PairRelease",
+    "TrajectoryAttack",
+    "TrajectoryOutcome",
+    "ContinuousTracker",
+    "TimedRelease",
+    "TrackingResult",
+    "AttackEvaluation",
+    "evaluate_region_attack",
+]

@@ -1,0 +1,64 @@
+"""Attack interfaces and shared result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.disk import Disk
+from repro.geo.point import Point
+
+__all__ = ["ReIdentifiedRegion", "AttackOutcome"]
+
+
+@dataclass(frozen=True)
+class ReIdentifiedRegion:
+    """One re-identified area ``phi(l)``: a disk the target is claimed to be in."""
+
+    disk: Disk
+    anchor_poi: int
+
+    @property
+    def center(self) -> Point:
+        return self.disk.center
+
+    @property
+    def area(self) -> float:
+        """Area of the region in square meters."""
+        return self.disk.area
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The result of one re-identification attempt.
+
+    Following the paper's metric (§II-B), the attack *succeeds* iff exactly
+    one candidate region remains (``|Phi| = 1``).  ``candidates`` holds the
+    surviving anchor POI indices; ``regions`` the corresponding disks.
+    """
+
+    candidates: tuple[int, ...]
+    regions: tuple[ReIdentifiedRegion, ...] = field(default_factory=tuple)
+    anchor_type: "int | None" = None
+
+    @property
+    def success(self) -> bool:
+        """Whether the candidate set is a singleton (``|Phi| = 1``)."""
+        return len(self.candidates) == 1
+
+    @property
+    def region(self) -> "ReIdentifiedRegion | None":
+        """The unique region ``phi*(l)`` when the attack succeeded."""
+        return self.regions[0] if self.success and self.regions else None
+
+    def locates(self, true_location: Point) -> bool:
+        """Whether the attack succeeded *and* its region contains the target.
+
+        The paper's success metric is purely ``|Phi| = 1``; for defended
+        releases we additionally report whether the unique region actually
+        contains the true location (a formally "successful" attack that
+        points at the wrong place is a defense win).  For undefended
+        releases the two coincide because the pruning rule has no false
+        negatives.
+        """
+        region = self.region
+        return region is not None and region.disk.contains(true_location)

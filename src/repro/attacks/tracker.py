@@ -1,0 +1,148 @@
+"""Continuous tracking across many releases (extension beyond the paper).
+
+The paper links *two* successive releases with a learned distance model
+(§IV-B).  The natural generalisation — its obvious future work — is to
+track a user over an arbitrarily long release sequence.  This module does
+that with a *sound* motion constraint instead of a learned one: between
+releases at gap ``dt`` the user moves at most ``v_max * dt``, so a
+candidate anchor at step ``t`` is only consistent with a candidate at
+``t-1`` if their distance is at most ``v_max * dt + 2r`` (each anchor
+stands for a disk of radius ``r`` around the true position).
+
+Forward filtering keeps, per step, the anchors consistent with at least
+one surviving anchor of the previous step; because the bound is sound,
+the true anchor chain always survives, so — like the baseline attack —
+tracking has no false negatives on honest releases.  Steps where a single
+anchor survives re-identify the user at that moment; ambiguity can also
+*collapse retroactively*: once a later step is unique, backward smoothing
+prunes earlier candidate sets against it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.region import RegionAttack
+from repro.core.errors import AttackError
+from repro.poi.database import POIDatabase
+
+__all__ = ["TimedRelease", "TrackingResult", "ContinuousTracker"]
+
+
+@dataclass(frozen=True)
+class TimedRelease:
+    """One observed aggregate release with its metadata."""
+
+    frequency_vector: np.ndarray
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Per-step candidate sets after forward filtering and smoothing."""
+
+    candidates_per_step: tuple[tuple[int, ...], ...]
+    timestamps: tuple[float, ...]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.candidates_per_step)
+
+    @property
+    def unique_steps(self) -> tuple[int, ...]:
+        """Indices of steps where exactly one candidate survives."""
+        return tuple(
+            i for i, c in enumerate(self.candidates_per_step) if len(c) == 1
+        )
+
+    @property
+    def unique_rate(self) -> float:
+        """Fraction of steps with a unique candidate."""
+        if not self.candidates_per_step:
+            return 0.0
+        return len(self.unique_steps) / self.n_steps
+
+    def candidate_at(self, step: int) -> "int | None":
+        """The unique anchor at *step*, or ``None`` if ambiguous/empty."""
+        cands = self.candidates_per_step[step]
+        return cands[0] if len(cands) == 1 else None
+
+
+class ContinuousTracker:
+    """Track one user over a sequence of releases.
+
+    Parameters
+    ----------
+    database:
+        The public POI map.
+    max_speed_mps:
+        Sound upper bound on the user's speed (e.g. 35 m/s for urban
+        vehicles).  An underestimate can prune the true anchor; an
+        overestimate only weakens the filter.
+    smooth:
+        Also run the backward pass, pruning earlier candidate sets
+        against later survivors.
+    """
+
+    def __init__(self, database: POIDatabase, max_speed_mps: float = 35.0, smooth: bool = True):
+        if max_speed_mps <= 0:
+            raise AttackError(f"max_speed_mps must be positive, got {max_speed_mps}")
+        self._db = database
+        self._region_attack = RegionAttack(database)
+        self.max_speed_mps = max_speed_mps
+        self.smooth = smooth
+
+    def _consistent(
+        self, from_candidates: Sequence[int], to_candidate: int, slack: float
+    ) -> bool:
+        loc = self._db.location_of(to_candidate)
+        return any(
+            loc.distance_to(self._db.location_of(int(c))) <= slack
+            for c in from_candidates
+        )
+
+    def track(self, releases: Sequence[TimedRelease], radius: float) -> TrackingResult:
+        """Run forward filtering (and optional smoothing) over *releases*."""
+        if not releases:
+            raise AttackError("cannot track an empty release sequence")
+        times = [r.timestamp for r in releases]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise AttackError("releases must be time-ordered")
+
+        per_step: list[list[int]] = []
+        for release in releases:
+            _, survivors = self._region_attack.candidate_set(
+                np.asarray(release.frequency_vector), radius
+            )
+            per_step.append([int(p) for p in survivors])
+
+        # Forward pass: keep candidates reachable from the previous step.
+        for t in range(1, len(per_step)):
+            if not per_step[t - 1] or not per_step[t]:
+                continue
+            dt = times[t] - times[t - 1]
+            slack = self.max_speed_mps * dt + 2 * radius
+            per_step[t] = [
+                c for c in per_step[t] if self._consistent(per_step[t - 1], c, slack)
+            ] or per_step[t]  # a fully-pruned step signals a broken chain; keep raw
+
+        if self.smooth:
+            # Backward pass: prune earlier sets against later survivors.
+            for t in range(len(per_step) - 2, -1, -1):
+                if not per_step[t + 1] or not per_step[t]:
+                    continue
+                dt = times[t + 1] - times[t]
+                slack = self.max_speed_mps * dt + 2 * radius
+                pruned = [
+                    c for c in per_step[t] if self._consistent(per_step[t + 1], c, slack)
+                ]
+                if pruned:
+                    per_step[t] = pruned
+
+        return TrackingResult(
+            candidates_per_step=tuple(tuple(c) for c in per_step),
+            timestamps=tuple(times),
+        )

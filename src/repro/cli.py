@@ -1,0 +1,230 @@
+"""Command-line interface: run experiments, list them, inspect datasets.
+
+Examples::
+
+    poiagg list
+    poiagg run fig6 --scale quick --out results/
+    poiagg run all --scale ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scale import SCALES, get_scale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="poiagg",
+        description=(
+            "Reproduction of 'Practical Location Privacy Attacks and Defense "
+            "on Point-of-interest Aggregates' (ICDCS 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and scales")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'poiagg list', or 'all'")
+    run.add_argument(
+        "--scale", default="ci", choices=sorted(SCALES), help="sample-size preset"
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    run.add_argument(
+        "--out", type=Path, default=None, help="directory to write JSON results into"
+    )
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render the experiment's figure as an ASCII chart",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the experiment across N processes (where it has a shard axis)",
+    )
+    run.add_argument(
+        "--svg",
+        type=Path,
+        default=None,
+        help="directory to write an SVG rendering of the figure into",
+    )
+
+    report = sub.add_parser(
+        "report", help="render saved JSON results into one Markdown report"
+    )
+    report.add_argument("results_dir", type=Path, help="directory of poiagg JSON results")
+    report.add_argument(
+        "--output", type=Path, default=None, help="report path (default: <dir>/REPORT.md)"
+    )
+
+    attack = sub.add_parser(
+        "attack", help="re-identify one location's aggregate in a synthetic city"
+    )
+    attack.add_argument("--city", default="beijing", choices=["beijing", "nyc", "small"])
+    attack.add_argument("--x", type=float, required=True, help="planar x in meters")
+    attack.add_argument("--y", type=float, required=True, help="planar y in meters")
+    attack.add_argument("--radius", type=float, default=2_000.0, help="query range in meters")
+    attack.add_argument(
+        "--fine", action="store_true", help="also run the fine-grained attack"
+    )
+    attack.add_argument("--seed", type=int, default=None)
+
+    uniq = sub.add_parser(
+        "uniqueness", help="print a city's uniqueness map and anchor profile"
+    )
+    uniq.add_argument("--city", default="beijing", choices=["beijing", "nyc", "small"])
+    uniq.add_argument("--radius", type=float, default=2_000.0)
+    uniq.add_argument("--cell", type=float, default=2_000.0, help="map cell size in meters")
+    uniq.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _run_one(
+    experiment_id: str,
+    scale_name: str,
+    seed: "int | None",
+    out: "Path | None",
+    chart: bool = False,
+    jobs: int = 1,
+    svg: "Path | None" = None,
+) -> None:
+    from repro.experiments.parallel import SHARD_AXES, run_sharded
+
+    scale = get_scale(scale_name)
+    if seed is not None:
+        scale = scale.with_seed(seed)
+    start = time.time()
+    if jobs > 1 and experiment_id in SHARD_AXES:
+        result = run_sharded(experiment_id, scale, max_workers=jobs)
+    else:
+        result = run_experiment(experiment_id, scale)
+    elapsed = time.time() - start
+    print(result.render())
+    if chart:
+        from repro.experiments.figure_charts import render_chart
+
+        rendered = render_chart(result)
+        if rendered is not None:
+            print(rendered)
+    print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+    if out is not None:
+        path = result.save(out / f"{experiment_id}_{scale.name}.json")
+        print(f"[saved {path}]")
+    if svg is not None:
+        from repro.experiments.svg import save_figure_svg
+
+        svg_path = save_figure_svg(result, svg)
+        if svg_path is not None:
+            print(f"[figure written to {svg_path}]")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("scales:")
+        for name, scale in SCALES.items():
+            print(f"  {name}: n_targets={scale.n_targets}, n_train={scale.n_train}")
+        return 0
+    if args.command == "run":
+        ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for experiment_id in ids:
+            _run_one(
+                experiment_id,
+                args.scale,
+                args.seed,
+                args.out,
+                chart=args.chart,
+                jobs=args.jobs,
+                svg=args.svg,
+            )
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        path = write_report(args.results_dir, args.output)
+        print(f"[report written to {path}]")
+        return 0
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "uniqueness":
+        return _cmd_uniqueness(args)
+    return 2
+
+
+def _city_for(args):
+    from repro.experiments.scale import DEFAULT_SEED
+    from repro.poi.cities import CITY_BUILDERS
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    return CITY_BUILDERS[args.city](seed)
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks.fine_grained import FineGrainedAttack
+    from repro.attacks.region import RegionAttack
+    from repro.core.rng import derive_rng
+    from repro.geo.point import Point
+
+    city = _city_for(args)
+    db = city.database
+    target = db.bounds.clamp(Point(args.x, args.y))
+    released = db.freq(target, args.radius)
+    print(
+        f"{city.name}: target ({target.x:.0f}, {target.y:.0f}) m, r={args.radius:.0f} m, "
+        f"{int(released.sum())} POIs over {int((released > 0).sum())} types"
+    )
+    outcome = RegionAttack(db).run(released, args.radius)
+    if not outcome.success:
+        print(f"attack failed: {len(outcome.candidates)} candidate regions")
+        return 0
+    region = outcome.region
+    print(
+        f"re-identified: anchor POI #{region.anchor_poi} "
+        f"({db.vocabulary.name_of(outcome.anchor_type)}), "
+        f"area {region.area / 1e6:.2f} km^2"
+    )
+    if args.fine:
+        fine = FineGrainedAttack(db, max_aux=20).run(released, args.radius)
+        area = fine.search_area_m2(rng=derive_rng(0, "cli-attack"))
+        print(
+            f"fine-grained: {len(fine.anchors)} auxiliary anchors, "
+            f"area {area / 1e6:.3f} km^2"
+        )
+    return 0
+
+
+def _cmd_uniqueness(args) -> int:
+    from repro.analysis import anchor_statistics, uniqueness_map
+    from repro.core.rng import derive_rng
+
+    city = _city_for(args)
+    db = city.database
+    m = uniqueness_map(db, args.radius, cell_m=args.cell)
+    print(f"{city.name} uniqueness map at r = {args.radius / 1000:.1f} km ('#' = unique):")
+    print(m.to_ascii())
+    print(f"map-level uniqueness: {m.rate:.1%}")
+    stats = anchor_statistics(
+        db, args.radius, n_samples=300, rng=derive_rng(0, "cli-uniq")
+    )
+    print(
+        f"median anchor: {stats.median_anchor_city_count:.0f} POIs city-wide, "
+        f"rank {stats.median_anchor_rank:.0f}/{db.n_types}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

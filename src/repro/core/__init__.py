@@ -1,0 +1,29 @@
+"""Core primitives shared by every subsystem: errors, RNG discipline, config."""
+
+from repro.core.errors import (
+    AttackError,
+    ConfigError,
+    DatasetError,
+    DefenseError,
+    GeometryError,
+    NotFittedError,
+    OptimizationError,
+    PrivacyError,
+    ReproError,
+)
+from repro.core.rng import as_generator, derive_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GeometryError",
+    "DatasetError",
+    "AttackError",
+    "DefenseError",
+    "PrivacyError",
+    "NotFittedError",
+    "OptimizationError",
+    "as_generator",
+    "derive_rng",
+    "spawn_rngs",
+]

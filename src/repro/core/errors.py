@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class GeometryError(ReproError):
+    """A geometric operation received degenerate or out-of-domain input."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class AttackError(ReproError):
+    """An attack was invoked with inputs it cannot process."""
+
+
+class DefenseError(ReproError):
+    """A defense mechanism was invoked with invalid parameters."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy parameter or mechanism invariant is violated."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` was called."""
+
+
+class OptimizationError(ReproError):
+    """The perturbation optimizer could not produce a feasible solution."""

@@ -1,0 +1,41 @@
+"""Dataset substrate: synthetic T-drive, Foursquare, and random targets."""
+
+from repro.datasets.foursquare import CheckinConfig, checkin_locations, synthesize_checkins
+from repro.datasets.random_locations import random_locations
+from repro.datasets.roads import (
+    RoadFleetConfig,
+    RoadNetwork,
+    synthesize_road_trajectories,
+)
+from repro.datasets.targets import DATASET_NAMES, dataset_city, sample_targets
+from repro.datasets.tdrive import (
+    TaxiFleetConfig,
+    synthesize_taxi_trajectories,
+    taxi_locations,
+)
+from repro.datasets.trajectory import (
+    ReleasePair,
+    Trajectory,
+    TrajectoryPoint,
+    extract_release_pairs,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryPoint",
+    "ReleasePair",
+    "extract_release_pairs",
+    "TaxiFleetConfig",
+    "synthesize_taxi_trajectories",
+    "taxi_locations",
+    "CheckinConfig",
+    "synthesize_checkins",
+    "checkin_locations",
+    "random_locations",
+    "RoadNetwork",
+    "RoadFleetConfig",
+    "synthesize_road_trajectories",
+    "DATASET_NAMES",
+    "sample_targets",
+    "dataset_city",
+]

@@ -1,0 +1,127 @@
+"""Synthetic T-drive-style taxi trajectories (offline substitute, see DESIGN.md).
+
+The real T-drive dataset (Yuan et al., 2010) holds one week of GPS traces
+from 10,357 Beijing taxis.  The attacks consume only ``(location,
+timestamp)`` sequences, and what distinguishes real traces from uniform
+random locations — the paper's third takeaway — is that taxis concentrate
+where the city is busy, i.e. where POIs cluster.  The synthesizer
+reproduces exactly that:
+
+* each taxi performs trips between *hotspots* — locations sampled near
+  POIs, so trip endpoints are POI-density-biased like real taxi demand;
+* motion between hotspots follows the straight segment at urban taxi
+  speeds (5–15 m/s) with GPS-like jitter;
+* samples are emitted at T-drive-like intervals (1–5 minutes);
+* timestamps spread over one week, giving the hour/day features of the
+  trajectory attack a realistic marginal distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.core.rng import as_generator
+from repro.datasets.trajectory import Trajectory, TrajectoryPoint
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+
+__all__ = ["TaxiFleetConfig", "synthesize_taxi_trajectories", "taxi_locations"]
+
+_WEEK_S = 7 * 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class TaxiFleetConfig:
+    """Parameters of the synthetic taxi fleet."""
+
+    n_taxis: int = 200
+    trips_per_taxi: int = 6
+    sample_interval_min_s: float = 60.0
+    sample_interval_max_s: float = 300.0
+    speed_min_mps: float = 5.0
+    speed_max_mps: float = 15.0
+    hotspot_jitter_m: float = 300.0
+    gps_noise_m: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.n_taxis <= 0 or self.trips_per_taxi <= 0:
+            raise DatasetError("fleet needs positive n_taxis and trips_per_taxi")
+        if not 0 < self.sample_interval_min_s <= self.sample_interval_max_s:
+            raise DatasetError("invalid sample interval range")
+        if not 0 < self.speed_min_mps <= self.speed_max_mps:
+            raise DatasetError("invalid speed range")
+
+
+def _sample_hotspots(db: POIDatabase, n: int, jitter_m: float, rng: np.random.Generator) -> np.ndarray:
+    """Locations near uniformly chosen POIs — POI-density-biased demand."""
+    idx = rng.integers(0, len(db), size=n)
+    base = db.positions[idx]
+    noise = rng.normal(0.0, jitter_m, size=(n, 2))
+    pts = base + noise
+    b = db.bounds
+    pts[:, 0] = np.clip(pts[:, 0], b.min_x, b.max_x)
+    pts[:, 1] = np.clip(pts[:, 1], b.min_y, b.max_y)
+    return pts
+
+
+def synthesize_taxi_trajectories(
+    db: POIDatabase,
+    config: TaxiFleetConfig = TaxiFleetConfig(),
+    rng=None,
+) -> list[Trajectory]:
+    """Generate one week of trajectories for the configured fleet."""
+    gen = as_generator(rng)
+    trajectories: list[Trajectory] = []
+    for taxi in range(config.n_taxis):
+        n_stops = config.trips_per_taxi + 1
+        stops = _sample_hotspots(db, n_stops, config.hotspot_jitter_m, gen)
+        t = float(gen.uniform(0.0, _WEEK_S * 0.5))
+        points: list[TrajectoryPoint] = []
+        pos = stops[0]
+        points.append(TrajectoryPoint(Point(float(pos[0]), float(pos[1])), t))
+        for stop in stops[1:]:
+            speed = float(gen.uniform(config.speed_min_mps, config.speed_max_mps))
+            dest = stop
+            while True:
+                step_s = float(
+                    gen.uniform(config.sample_interval_min_s, config.sample_interval_max_s)
+                )
+                leg = dest - pos
+                dist = float(np.hypot(leg[0], leg[1]))
+                travel = speed * step_s
+                t += step_s
+                if travel >= dist:
+                    pos = dest
+                else:
+                    pos = pos + leg / dist * travel
+                noisy = pos + gen.normal(0.0, config.gps_noise_m, size=2)
+                points.append(TrajectoryPoint(Point(float(noisy[0]), float(noisy[1])), t))
+                if travel >= dist:
+                    break
+            # Dwell at the stop (passenger exchange) before the next trip.
+            t += float(gen.uniform(60.0, 900.0))
+        trajectories.append(Trajectory(user_id=taxi, points=tuple(points)))
+    return trajectories
+
+
+def taxi_locations(
+    db: POIDatabase,
+    n: int,
+    config: TaxiFleetConfig = TaxiFleetConfig(),
+    rng=None,
+) -> list[Point]:
+    """Draw *n* single target locations from synthetic taxi traces.
+
+    This is the paper's "Beijing: T-drive" target sampler: pick random
+    trajectory points of the fleet.
+    """
+    gen = as_generator(rng)
+    trajectories = synthesize_taxi_trajectories(db, config, gen)
+    pool = [p.location for traj in trajectories for p in traj.points]
+    if not pool:
+        raise DatasetError("trajectory synthesis produced no points")
+    picks = gen.integers(0, len(pool), size=n)
+    return [pool[int(i)] for i in picks]

@@ -1,0 +1,57 @@
+"""Defense interface.
+
+Every protection mechanism in the paper — whether it perturbs the location
+(geo-indistinguishability, k-cloaking) or the aggregate (sanitization, the
+optimization-based releases) — can be modelled as one function: given the
+user's true location and query range, produce the POI type frequency vector
+that is actually released to the LBS application.  :class:`Defense`
+captures that contract so attacks and experiment runners can treat all
+mechanisms uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+
+__all__ = ["Defense", "NoDefense"]
+
+
+class Defense(ABC):
+    """A release mechanism mapping (location, radius) to a frequency vector."""
+
+    @abstractmethod
+    def release(
+        self,
+        database: POIDatabase,
+        location: Point,
+        radius: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Produce the released ``(M,)`` frequency vector for a query.
+
+        Implementations must not mutate the database and must draw all
+        randomness from *rng* so experiments stay reproducible.
+        """
+
+    @property
+    def name(self) -> str:
+        """Human-readable mechanism name for reports."""
+        return type(self).__name__
+
+
+class NoDefense(Defense):
+    """The undefended baseline: release ``Freq(l, r)`` verbatim."""
+
+    def release(
+        self,
+        database: POIDatabase,
+        location: Point,
+        radius: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return database.freq(location, radius)

@@ -1,0 +1,99 @@
+"""Per-user privacy budgeting across repeated releases (extension).
+
+The paper analyses one release; real deployments serve users who query
+continuously, and under sequential composition each DP release spends
+privacy budget.  :class:`BudgetedDefense` wraps any ``(epsilon, delta)``-DP
+release mechanism with a :class:`~repro.dp.accountant.PrivacyAccountant`
+per user: while budget remains, releases go through the wrapped mechanism;
+once a user's budget is exhausted the defense degrades to a configurable
+fallback — by default *suppression* (an all-zero vector, releasing
+nothing) — rather than silently blowing past the guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DefenseError, PrivacyError
+from repro.defense.base import Defense
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import PrivacyParams
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+
+__all__ = ["BudgetedDefense"]
+
+
+class BudgetedDefense(Defense):
+    """Budget-enforcing wrapper around a DP release mechanism.
+
+    Parameters
+    ----------
+    mechanism:
+        The wrapped defense.  Must expose ``epsilon`` and ``delta``
+        attributes describing the cost of one release (as
+        :class:`~repro.defense.dp_release.DPReleaseMechanism` does).
+    budget:
+        Total per-user ``(epsilon, delta)`` allowance.
+    fallback:
+        Optional defense used once the budget is exhausted.  ``None``
+        suppresses the release entirely (all-zero vector) — the
+        conservative default.  Note a *non-private* fallback would void
+        the overall guarantee; pass one only if it is itself acceptable.
+    """
+
+    def __init__(
+        self,
+        mechanism: Defense,
+        budget: PrivacyParams,
+        fallback: "Defense | None" = None,
+    ):
+        for attr in ("epsilon", "delta"):
+            if not hasattr(mechanism, attr):
+                raise DefenseError(
+                    f"wrapped mechanism must expose {attr!r} (its per-release cost)"
+                )
+        self._mechanism = mechanism
+        self._budget = budget
+        self._fallback = fallback
+        self._accountant = PrivacyAccountant(budget=budget)
+        self.n_released = 0
+        self.n_suppressed = 0
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Budgeted({self._mechanism.name}, "
+            f"eps<={self._budget.epsilon}, delta<={self._budget.delta})"
+        )
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return self._accountant.remaining_epsilon()
+
+    @property
+    def releases_remaining(self) -> int:
+        """How many more mechanism releases the budget affords."""
+        eps = getattr(self._mechanism, "epsilon")
+        if eps <= 0:
+            return 0
+        return int(self.remaining_epsilon // eps)
+
+    def release(
+        self,
+        database: POIDatabase,
+        location: Point,
+        radius: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        eps = float(getattr(self._mechanism, "epsilon"))
+        delta = float(getattr(self._mechanism, "delta"))
+        try:
+            self._accountant.spend(eps, delta, label=self._mechanism.name)
+        except PrivacyError:
+            self.n_suppressed += 1
+            if self._fallback is not None:
+                return self._fallback.release(database, location, radius, rng)
+            return np.zeros(database.n_types, dtype=np.int64)
+        self.n_released += 1
+        return self._mechanism.release(database, location, radius, rng)

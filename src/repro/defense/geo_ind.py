@@ -1,0 +1,44 @@
+"""Geo-indistinguishability defense (paper §III-B).
+
+The user perturbs their location with the planar Laplace mechanism before
+querying the GSP, so the released aggregate is ``Freq(l', r)`` for a noisy
+``l'``.  The paper's convention sets the unit of distance to 100 m, so
+``epsilon = 0.1`` yields a mean displacement of ``2 / (0.1 / 100 m)`` =
+2 km — larger than a 0.5 km query radius (strong mitigation) but smaller
+than a 4 km one (weak mitigation), which is exactly the trend in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defense.base import Defense
+from repro.dp.planar_laplace import PlanarLaplace
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+
+__all__ = ["GeoIndDefense"]
+
+
+class GeoIndDefense(Defense):
+    """Release the aggregate of a planar-Laplace-perturbed location."""
+
+    def __init__(self, epsilon: float, unit_m: float = 100.0, clamp_to_city: bool = True):
+        self.mechanism = PlanarLaplace(epsilon, unit_m=unit_m)
+        self.clamp_to_city = clamp_to_city
+
+    @property
+    def name(self) -> str:
+        return f"GeoInd(eps={self.mechanism.epsilon}/{self.mechanism.unit_m:.0f}m)"
+
+    def release(
+        self,
+        database: POIDatabase,
+        location: Point,
+        radius: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        perturbed = self.mechanism.perturb(location, rng)
+        if self.clamp_to_city:
+            perturbed = database.bounds.clamp(perturbed)
+        return database.freq(perturbed, radius)

@@ -1,0 +1,41 @@
+"""The non-private optimization defense — Eq. (7) applied directly.
+
+Perturbs the true aggregate under the beta distortion budget with no noise
+and no cloaking.  Evaluated in Figs. 9–10 as the utility/defense baseline
+for the differentially private mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DefenseError
+from repro.defense.base import Defense
+from repro.defense.optimization import optimize_release
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+
+__all__ = ["NonPrivateOptimizationDefense"]
+
+
+class NonPrivateOptimizationDefense(Defense):
+    """Release ``optimize(F(l, r), beta)`` — deterministic, noise-free."""
+
+    def __init__(self, beta: float):
+        if beta < 0:
+            raise DefenseError(f"beta must be non-negative, got {beta}")
+        self.beta = beta
+
+    @property
+    def name(self) -> str:
+        return f"NonPrivateOpt(beta={self.beta})"
+
+    def release(
+        self,
+        database: POIDatabase,
+        location: Point,
+        radius: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        freq = database.freq(location, radius)
+        return optimize_release(freq, database.infrequent_ranks, self.beta).released

@@ -1,0 +1,132 @@
+"""Optimization-based frequency perturbation — paper Eq. (7) / Eq. (9).
+
+The release problem::
+
+    max   sum_i  (1 / R(i)) * |F~_i - F_i|
+    s.t.  (1/M) sum_i  (1 / (F_i + 1)) * |F~_i - F_i|  <=  beta
+          F~_i  in  N
+
+maximizes the *rank-weighted* distortion — pushing perturbation onto the
+city-rare types that anchor re-identification — while the constraint caps
+the mean *relative* distortion, which protects the common types that carry
+the aggregate's utility (Top-K services read only the frequent types).
+
+Structure: with ``d_i = |F~_i - F_i|`` the problem is a linear knapsack —
+each unit of distortion on type ``i`` gains ``w_i`` and costs
+``c_i = 1/(M (F_i + 1))`` of the budget ``beta``.  We solve it with the
+classic density greedy (buy units in decreasing ``w_i / c_i`` order),
+checked against brute force on small instances by a property test.
+
+Two interpretation choices are pinned down by the paper's *measured*
+defense/utility curves rather than by the (ambiguous) formula text:
+
+* **Erasure only** (``d_i <= F_i``, reading ``F~ in N^+`` as keeping the
+  release a natural-number vector built from existing counts).  An
+  unbounded maximizer would dump the whole budget into one "phantom"
+  zero-count rare type, deterministically destroying the attacker's anchor
+  at *any* beta > 0 — making the smooth beta- and epsilon-dependence of
+  Figs. 9 and 11 impossible, and being trivially detectable besides (a
+  reported rare type with no candidate POI anywhere is a tell).
+* **Rank-prioritized weighting** (``w_i = 1 / (R(i) (F_i + 1))``, i.e. the
+  1/R(i) weight applied to the *relative* perturbation, the same
+  normalisation the constraint uses).  Under the unnormalised objective
+  the greedy density ``M (F_i + 1) / R(i)`` *increases* with popularity,
+  so an optimal solution erases the Top-K common types first and Jaccard
+  utility collapses to ~0.1 by beta = 0.05 — the opposite of the near-flat
+  utility measured in Fig. 10.  With the normalised weight the density is
+  ``M / R(i)``: budget erases the rarest present types first and only
+  reaches common types when beta is large.  The mechanism then behaves as
+  budget-targeted, utility-aware sanitization, which is how the paper
+  positions it against the naive-sanitization baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import OptimizationError
+
+__all__ = ["PerturbationPlan", "optimize_release"]
+
+
+@dataclass(frozen=True)
+class PerturbationPlan:
+    """The solved release: perturbed vector plus diagnostics."""
+
+    released: np.ndarray
+    units: np.ndarray
+    objective: float
+    distortion: float
+
+    @property
+    def n_perturbed_types(self) -> int:
+        """Number of types whose frequency was changed."""
+        return int((self.units > 0).sum())
+
+
+def optimize_release(
+    freq_vector: np.ndarray,
+    ranks: np.ndarray,
+    beta: float,
+) -> PerturbationPlan:
+    """Solve Eq. (7): perturb *freq_vector* under distortion budget *beta*.
+
+    Parameters
+    ----------
+    freq_vector:
+        The vector to perturb.  Eq. (7) passes the true ``F(l, r)``;
+        Eq. (9) passes the noisy cloak mean ``F*_D`` (values may be
+        non-integral; they are clamped to non-negative and rounded as part
+        of the DP post-processing).
+    ranks:
+        The city-wide infrequent ranks ``R(i)`` (rarest type ranks 1).
+    beta:
+        Mean relative-distortion budget; ``beta = 0`` releases the input
+        unchanged (after rounding).
+    """
+    base = np.rint(np.clip(np.asarray(freq_vector, dtype=float), 0.0, None)).astype(np.int64)
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if ranks.shape != base.shape:
+        raise OptimizationError(f"ranks shape {ranks.shape} != vector shape {base.shape}")
+    if np.any(ranks < 1):
+        raise OptimizationError("ranks must start at 1 (the rarest type)")
+    if beta < 0:
+        raise OptimizationError(f"beta must be non-negative, got {beta}")
+
+    m = len(base)
+    weights = 1.0 / (ranks * (base + 1.0))
+    unit_costs = 1.0 / (m * (base + 1.0))
+    budget = float(beta)
+
+    units = np.zeros(m, dtype=np.int64)
+    if budget > 0:
+        # Density greedy over types, densest first.  Ties broken by rank so
+        # the result is deterministic.  Each type can absorb at most its own
+        # count (erasure only; see the module docstring).
+        density = weights / unit_costs
+        order = np.lexsort((ranks, -density))
+        remaining = budget
+        for t in order:
+            if base[t] == 0 or remaining < unit_costs[t]:
+                continue
+            n_units = min(int(base[t]), int(remaining // unit_costs[t]))
+            if n_units <= 0:
+                continue
+            units[t] = n_units
+            remaining -= n_units * unit_costs[t]
+            if remaining <= 1e-15:
+                break
+
+    released = base - units
+
+    distortion = float((unit_costs * units).sum())
+    objective = float((weights * units).sum())
+    if distortion > beta + 1e-9:
+        raise OptimizationError(
+            f"internal error: distortion {distortion:.6g} exceeds budget {beta:.6g}"
+        )
+    return PerturbationPlan(
+        released=released, units=units, objective=objective, distortion=distortion
+    )

@@ -1,0 +1,19 @@
+"""Differential-privacy substrate: mechanisms, planar Laplace, accounting."""
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import (
+    PrivacyParams,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+)
+from repro.dp.planar_laplace import PlanarLaplace
+
+__all__ = [
+    "PrivacyParams",
+    "gaussian_sigma",
+    "gaussian_mechanism",
+    "laplace_mechanism",
+    "PlanarLaplace",
+    "PrivacyAccountant",
+]

@@ -1,0 +1,64 @@
+"""A minimal privacy accountant.
+
+Tracks the cumulative ``(epsilon, delta)`` budget consumed by a sequence of
+mechanism invocations under basic (sequential) composition, and exposes the
+post-processing rule (Lemma 3 of the paper): applying any data-independent
+transformation to a mechanism's output consumes no additional budget —
+which is exactly why the optimization step of the paper's defense is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import PrivacyError
+from repro.dp.mechanisms import PrivacyParams
+
+__all__ = ["PrivacyAccountant"]
+
+
+@dataclass
+class PrivacyAccountant:
+    """Sequential-composition ledger of privacy expenditures."""
+
+    budget: "PrivacyParams | None" = None
+    _spent: list[PrivacyParams] = field(default_factory=list)
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> PrivacyParams:
+        """Record one mechanism invocation; raises if it exceeds the budget."""
+        params = PrivacyParams(epsilon, delta)
+        eps_after = self.total_epsilon + epsilon
+        delta_after = self.total_delta + delta
+        if self.budget is not None and (
+            eps_after > self.budget.epsilon + 1e-12 or delta_after > self.budget.delta + 1e-12
+        ):
+            raise PrivacyError(
+                f"budget exceeded by {label or 'mechanism'}: "
+                f"({eps_after:.4g}, {delta_after:.4g}) > "
+                f"({self.budget.epsilon:.4g}, {self.budget.delta:.4g})"
+            )
+        self._spent.append(params)
+        return params
+
+    def post_process(self) -> None:
+        """Record a post-processing step (free by Lemma 3); a no-op ledger entry."""
+
+    @property
+    def total_epsilon(self) -> float:
+        """Total epsilon under basic sequential composition."""
+        return sum(p.epsilon for p in self._spent)
+
+    @property
+    def total_delta(self) -> float:
+        """Total delta under basic sequential composition."""
+        return sum(p.delta for p in self._spent)
+
+    @property
+    def n_invocations(self) -> int:
+        return len(self._spent)
+
+    def remaining_epsilon(self) -> float:
+        """Budget left, or ``inf`` when no budget was set."""
+        if self.budget is None:
+            return float("inf")
+        return max(0.0, self.budget.epsilon - self.total_epsilon)

@@ -1,0 +1,25 @@
+"""Experiment runners — one per figure of the paper's evaluation."""
+
+from repro.experiments.parallel import DEFAULT_SHARDS, SHARD_AXES, run_sharded
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import collect_results, render_markdown_report, write_report
+from repro.experiments.results import ExperimentResult, render_table
+from repro.experiments.scale import DEFAULT_SEED, SCALES, ExperimentScale, get_scale
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "run_sharded",
+    "SHARD_AXES",
+    "DEFAULT_SHARDS",
+    "ExperimentResult",
+    "render_table",
+    "collect_results",
+    "render_markdown_report",
+    "write_report",
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "DEFAULT_SEED",
+]

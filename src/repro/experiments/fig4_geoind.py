@@ -1,0 +1,71 @@
+"""Figure 4 — planar Laplace (geo-indistinguishability) versus the attack.
+
+Four datasets x four radii x epsilon in {0.1, 1.0} (per 100 m), compared
+with the unprotected baseline.  The paper's headline: at epsilon = 0.1 the
+mechanism mitigates ~75-81% of attacks at r = 0.5 km but only ~9-12% at
+r = 4 km — location noise of a fixed scale is outrun by large query radii.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.metrics import evaluate_region_attack
+from repro.attacks.region import RegionAttack
+from repro.core.rng import derive_rng
+from repro.datasets.targets import DATASET_NAMES
+from repro.defense.geo_ind import GeoIndDefense
+from repro.experiments.common import RADII_M, targets_for
+from repro.experiments.results import ExperimentResult
+from repro.experiments.scale import SCALES, ExperimentScale
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(
+    scale: ExperimentScale = SCALES["ci"],
+    radii=RADII_M,
+    datasets=DATASET_NAMES,
+    epsilons=(0.1, 1.0),
+) -> ExperimentResult:
+    """Evaluate planar Laplace mitigation across datasets and radii."""
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Performance of planar Laplacian (geo-indistinguishability)",
+        config={"scale": scale.name, "n_targets": scale.n_targets, "unit_m": 100.0},
+        notes=(
+            "Paper reference (eps=0.1): mitigation ~75-81% at r=0.5km shrinking "
+            "to ~9-12% at r=4km; eps=1.0 barely mitigates anything."
+        ),
+    )
+    for dataset in datasets:
+        for radius in radii:
+            city, targets = targets_for(dataset, radius, scale)
+            attack = RegionAttack(city.database)
+            baseline = evaluate_region_attack(
+                city.database, targets, radius, attack=attack
+            )
+            result.add_row(
+                dataset=dataset,
+                r_km=radius / 1000.0,
+                epsilon=None,
+                success_rate=baseline.success_rate,
+                correct_rate=baseline.correct_rate,
+                mitigation=0.0,
+            )
+            for eps in epsilons:
+                defended = evaluate_region_attack(
+                    city.database,
+                    targets,
+                    radius,
+                    defense=GeoIndDefense(eps),
+                    rng=derive_rng(scale.seed, "fig4", dataset, radius, eps),
+                    attack=attack,
+                )
+                result.add_row(
+                    dataset=dataset,
+                    r_km=radius / 1000.0,
+                    epsilon=eps,
+                    success_rate=defended.success_rate,
+                    correct_rate=defended.correct_rate,
+                    mitigation=defended.mitigation_vs(baseline),
+                )
+    return result

@@ -1,0 +1,153 @@
+"""Per-figure terminal charts: render an ExperimentResult like its figure.
+
+``poiagg run figN --chart`` appends these after the row table.  Each
+renderer picks the series the paper plots; experiments without a natural
+chart (the datasets table) simply have no entry.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable
+
+from repro.experiments.charts import line_chart
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["FIGURE_CHARTS", "render_chart"]
+
+
+def _series(result: ExperimentResult, x: str, y: str, by: tuple[str, ...]) -> dict:
+    """Group rows into named (x, y) series keyed by the *by* columns."""
+    grouped: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for row in result.rows:
+        if row.get(x) is None or row.get(y) is None:
+            continue
+        name = ", ".join(f"{k}={row.get(k)}" for k in by)
+        grouped[name].append((float(row[x]), float(row[y])))
+    return {name: sorted(pts) for name, pts in grouped.items()}
+
+
+def _chart_fig2(result: ExperimentResult) -> str:
+    return line_chart(
+        _series(result, "r_km", "mean_accuracy", ("city",)), y_label="model accuracy"
+    )
+
+
+def _chart_fig3(result: ExperimentResult) -> str:
+    charts = []
+    for city in sorted({row["city"] for row in result.rows}):
+        sub = ExperimentResult(result.experiment_id, result.title, rows=result.filter(city=city))
+        charts.append(
+            f"--- {city} ---\n"
+            + line_chart(_series(sub, "r_km", "success_rate", ("variant",)), y_label="success rate")
+        )
+    return "\n".join(charts)
+
+
+def _chart_fig4(result: ExperimentResult) -> str:
+    charts = []
+    # The epsilon=None rows are the undefended baseline; label them.
+    rows = [
+        {**row, "epsilon": row["epsilon"] if row.get("epsilon") is not None else "off"}
+        for row in result.rows
+    ]
+    for dataset in sorted({row["dataset"] for row in rows}):
+        sub = ExperimentResult(
+            result.experiment_id,
+            result.title,
+            rows=[r for r in rows if r["dataset"] == dataset],
+        )
+        charts.append(
+            f"--- {dataset} ---\n"
+            + line_chart(
+                _series(sub, "r_km", "correct_rate", ("epsilon",)), y_label="correct rate"
+            )
+        )
+    return "\n".join(charts)
+
+
+def _chart_fig5(result: ExperimentResult) -> str:
+    charts = []
+    for dataset in sorted({row["dataset"] for row in result.rows}):
+        sub = ExperimentResult(result.experiment_id, result.title, rows=result.filter(dataset=dataset))
+        charts.append(
+            f"--- {dataset} ---\n"
+            + line_chart(_series(sub, "k", "correct_rate", ("r_km",)), y_label="correct rate")
+        )
+    return "\n".join(charts)
+
+
+def _chart_fig6(result: ExperimentResult) -> str:
+    rows = [row for row in result.rows if row.get("n_success")]
+    sub = ExperimentResult(result.experiment_id, result.title, rows=rows)
+    return line_chart(
+        _series(sub, "r_km", "d50_km2", ("dataset",)), y_label="median area km^2"
+    )
+
+
+def _chart_fig7(result: ExperimentResult) -> str:
+    return line_chart(
+        _series(result, "n_aux", "mean_area_km2", ("dataset",)), y_label="mean area km^2"
+    )
+
+
+def _chart_fig8(result: ExperimentResult) -> str:
+    rows = [row for row in result.rows if "single_success" in row]
+    sub = ExperimentResult(result.experiment_id, result.title, rows=rows)
+    single = _series(sub, "r_km", "single_success", ())
+    enhanced = _series(sub, "r_km", "enhanced_success", ())
+    return line_chart(
+        {"single": single.get("", []), "two-release": enhanced.get("", [])},
+        y_label="success rate",
+    )
+
+
+def _chart_fig9_10(result: ExperimentResult) -> str:
+    charts = []
+    for dataset in sorted({row["dataset"] for row in result.rows}):
+        sub = ExperimentResult(result.experiment_id, result.title, rows=result.filter(dataset=dataset))
+        charts.append(
+            f"--- {dataset}: defense (Fig. 9) ---\n"
+            + line_chart(_series(sub, "beta", "success_rate", ("r_km",)), y_label="success rate")
+        )
+        charts.append(
+            f"--- {dataset}: utility (Fig. 10) ---\n"
+            + line_chart(_series(sub, "beta", "jaccard", ("r_km",)), y_label="Top-10 Jaccard")
+        )
+    return "\n".join(charts)
+
+
+def _chart_fig11_12(result: ExperimentResult) -> str:
+    charts = []
+    for dataset in sorted({row["dataset"] for row in result.rows}):
+        sub = ExperimentResult(result.experiment_id, result.title, rows=result.filter(dataset=dataset))
+        charts.append(
+            f"--- {dataset}: defense (Fig. 11) ---\n"
+            + line_chart(_series(sub, "epsilon", "success_rate", ("beta",)), y_label="success rate")
+        )
+        charts.append(
+            f"--- {dataset}: utility (Fig. 12) ---\n"
+            + line_chart(_series(sub, "epsilon", "jaccard", ("beta",)), y_label="Top-10 Jaccard")
+        )
+    return "\n".join(charts)
+
+
+FIGURE_CHARTS: dict[str, Callable[[ExperimentResult], str]] = {
+    "fig2": _chart_fig2,
+    "fig3": _chart_fig3,
+    "fig4": _chart_fig4,
+    "fig5": _chart_fig5,
+    "fig6": _chart_fig6,
+    "fig7": _chart_fig7,
+    "fig8": _chart_fig8,
+    "fig9_10": _chart_fig9_10,
+    "fig11_12": _chart_fig11_12,
+}
+
+
+def render_chart(result: ExperimentResult) -> "str | None":
+    """Chart for a result, or ``None`` when the experiment has no chart."""
+    renderer = FIGURE_CHARTS.get(result.experiment_id)
+    if renderer is None:
+        return None
+    return renderer(result)

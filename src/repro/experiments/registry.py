@@ -1,0 +1,53 @@
+"""Registry mapping experiment ids to runner callables."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.errors import ConfigError
+from repro.experiments.datasets_table import run_datasets_table
+from repro.experiments.fig2_recovery_accuracy import run_fig2
+from repro.experiments.fig3_sanitization import run_fig3
+from repro.experiments.fig4_geoind import run_fig4
+from repro.experiments.fig5_cloaking import run_fig5
+from repro.experiments.fig6_finegrained_cdf import run_fig6
+from repro.experiments.fig7_aux_anchors import run_fig7
+from repro.experiments.fig8_trajectory import run_fig8
+from repro.experiments.fig9_10_nonprivate import run_fig9_10
+from repro.experiments.fig11_12_dp import run_fig11_12
+from repro.experiments.results import ExperimentResult
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.seed_sensitivity import run_seed_sensitivity
+from repro.experiments.uniqueness_sweep import run_uniqueness
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "datasets": run_datasets_table,
+    "uniqueness": run_uniqueness,
+    "seed_sensitivity": run_seed_sensitivity,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9_10": run_fig9_10,
+    "fig11_12": run_fig11_12,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a runner; raises :class:`ConfigError` for unknown ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, scale: ExperimentScale, **kwargs) -> ExperimentResult:
+    """Run one experiment at the given scale."""
+    return get_experiment(experiment_id)(scale=scale, **kwargs)

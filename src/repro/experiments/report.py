@@ -1,0 +1,101 @@
+"""Markdown report generation from saved experiment results.
+
+``poiagg report results/`` collects the JSON dumps a ``poiagg run --out``
+produced and renders one self-contained Markdown document — tables, the
+run configurations, and the per-figure notes — so a full reproduction run
+can be archived or diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.errors import ConfigError
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["collect_results", "render_markdown_report", "write_report"]
+
+#: Figure order for the report (anything else is appended alphabetically).
+_PREFERRED_ORDER = [
+    "datasets",
+    "uniqueness",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9_10",
+    "fig11_12",
+]
+
+
+def collect_results(directory: "str | Path") -> list[ExperimentResult]:
+    """Load every ``*.json`` experiment result in *directory*."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigError(f"not a results directory: {directory}")
+    results = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            results.append(ExperimentResult.load(path))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"not an experiment result: {path} ({exc})") from exc
+    if not results:
+        raise ConfigError(f"no experiment results found in {directory}")
+    order = {name: i for i, name in enumerate(_PREFERRED_ORDER)}
+    results.sort(key=lambda r: (order.get(r.experiment_id, len(order)), r.experiment_id))
+    return results
+
+
+def _markdown_table(rows: list[dict]) -> str:
+    if not rows:
+        return "*(no rows)*"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        if value is None:
+            return ""
+        return str(value)
+
+    lines = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(c)) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(results: list[ExperimentResult], title: str = "Reproduction report") -> str:
+    """Render the loaded results as one Markdown document."""
+    parts = [f"# {title}", ""]
+    parts.append("Generated from saved experiment results; regenerate with "
+                 "`poiagg run all --out <dir>` followed by `poiagg report <dir>`.")
+    parts.append("")
+    for result in results:
+        parts.append(f"## {result.experiment_id} — {result.title}")
+        parts.append("")
+        if result.config:
+            cfg = ", ".join(f"`{k}={v}`" for k, v in result.config.items())
+            parts.append(f"Config: {cfg}")
+            parts.append("")
+        parts.append(_markdown_table(result.rows))
+        parts.append("")
+        if result.notes:
+            parts.append(f"> {result.notes}")
+            parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(directory: "str | Path", output: "str | Path | None" = None) -> Path:
+    """Collect *directory* and write the report next to it (or to *output*)."""
+    directory = Path(directory)
+    results = collect_results(directory)
+    target = Path(output) if output is not None else directory / "REPORT.md"
+    target.write_text(render_markdown_report(results))
+    return target

@@ -1,0 +1,91 @@
+"""Experiment result records, JSON persistence, and table rendering.
+
+Every figure runner returns an :class:`ExperimentResult`: a named grid of
+rows (dicts of scalars) plus the run's configuration, with helpers to
+render the same rows/series the paper reports and to persist them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment runner."""
+
+    experiment_id: str
+    title: str
+    config: dict = field(default_factory=dict)
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append one result row."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria) -> list[dict]:
+        """Rows matching all ``column=value`` criteria."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in criteria.items())
+        ]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, default=float)
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ExperimentResult":
+        data = json.loads(Path(path).read_text())
+        return cls(**data)
+
+    def render(self) -> str:
+        """Human-readable report: title, config, and the row table."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.config:
+            cfg = ", ".join(f"{k}={v}" for k, v in self.config.items())
+            lines.append(f"config: {cfg}")
+        lines.append(render_table(self.rows))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: list[dict]) -> str:
+    """Render rows as an aligned ASCII table with a union-of-keys header."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    grid = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in grid)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in grid]
+    return "\n".join([header, sep, *body])

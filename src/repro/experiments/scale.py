@@ -1,0 +1,78 @@
+"""Experiment scale presets.
+
+Every runner accepts an :class:`ExperimentScale`; the ``ci`` preset keeps
+the whole suite runnable in minutes (used by the benchmarks), ``quick`` is
+for interactive exploration, and ``paper`` matches the paper's sample
+sizes (1,000 targets per setting, 10,000/2,000 ML train/validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import ConfigError
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20210414
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """Sample-size knobs shared across experiment runners."""
+
+    name: str
+    n_targets: int
+    n_train: int
+    n_validation: int
+    n_area_samples: int
+    n_taxis: int
+    n_users: int
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        for attr in ("n_targets", "n_train", "n_validation", "n_area_samples", "n_taxis", "n_users"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive, got {getattr(self, attr)}")
+
+    def with_seed(self, seed: int) -> "ExperimentScale":
+        return replace(self, seed=seed)
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "ci": ExperimentScale(
+        name="ci",
+        n_targets=120,
+        n_train=250,
+        n_validation=60,
+        n_area_samples=6_000,
+        n_taxis=80,
+        n_users=60,
+    ),
+    "quick": ExperimentScale(
+        name="quick",
+        n_targets=300,
+        n_train=800,
+        n_validation=200,
+        n_area_samples=12_000,
+        n_taxis=150,
+        n_users=120,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n_targets=1_000,
+        n_train=10_000,
+        n_validation=2_000,
+        n_area_samples=20_000,
+        n_taxis=800,
+        n_users=400,
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigError(f"unknown scale {name!r}; choose from {sorted(SCALES)}") from None

@@ -1,0 +1,184 @@
+"""Dependency-free SVG line charts for experiment results.
+
+The ASCII charts (:mod:`repro.experiments.charts`) are for terminals;
+this module renders the same named series as standalone SVG files —
+axes, ticks, per-series colors/markers, and a legend — with nothing but
+string formatting, so figure files can be produced in the offline build.
+``poiagg run figN --svg out/`` writes one file per figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["svg_line_chart", "save_figure_svg"]
+
+_PALETTE = (
+    "#4269d0",
+    "#efb118",
+    "#ff725c",
+    "#6cc5b0",
+    "#3ca951",
+    "#ff8ab7",
+    "#a463f2",
+    "#97bbf5",
+)
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 56, 16, 28, 42
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Evenly spaced tick values including both ends."""
+    if hi <= lo:
+        return [lo]
+    return [lo + (hi - lo) * i / (n - 1) for i in range(n)]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def svg_line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Render named (x, y) series as an SVG document string."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="16" text-anchor="middle" font-size="13">{title}</text>'
+        )
+    if not points:
+        parts.append(
+            f'<text x="{width / 2}" y="{height / 2}" text-anchor="middle">no data</text></svg>'
+        )
+        return "".join(parts)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if y_hi == y_lo:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    pad = 0.04 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def sx(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    # Axes, grid, and ticks.
+    axis = f'stroke="#444" stroke-width="1"'
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T + plot_h}" '
+        f'x2="{_MARGIN_L + plot_w}" y2="{_MARGIN_T + plot_h}" {axis}/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_MARGIN_T + plot_h}" {axis}/>'
+    )
+    for tick in _ticks(x_lo, x_hi):
+        px = sx(tick)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T + plot_h}" x2="{px:.1f}" '
+            f'y2="{_MARGIN_T + plot_h + 4}" {axis}/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(y_lo, y_hi):
+        py = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{py:.1f}" stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{py + 3:.1f}" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{_MARGIN_L + plot_w / 2}" y="{height - 8}" '
+            f'text-anchor="middle">{x_label}</text>'
+        )
+    if y_label:
+        cy = _MARGIN_T + plot_h / 2
+        parts.append(
+            f'<text x="14" y="{cy}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {cy})">{y_label}</text>'
+        )
+
+    # Series: polyline plus circular markers; legend in the top-right.
+    for i, (name, pts) in enumerate(series.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        ordered = sorted(pts)
+        if ordered:
+            path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in ordered)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="1.6"/>'
+            )
+            for x, y in ordered:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.8" fill="{color}"/>'
+                )
+        ly = _MARGIN_T + 8 + 14 * i
+        lx = _MARGIN_L + plot_w - 150
+        parts.append(f'<circle cx="{lx}" cy="{ly}" r="3.5" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 8}" y="{ly + 3}">{name}</text>')
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_figure_svg(result, directory: "str | Path") -> "Path | None":
+    """Write one SVG per chartable experiment result; None when unchartable.
+
+    Reuses the per-figure series extraction of
+    :mod:`repro.experiments.figure_charts` by rendering each chart's
+    series; experiments without a chart yield no file.
+    """
+    from repro.experiments.figure_charts import FIGURE_CHARTS, _series  # noqa: PLC0415
+
+    if result.experiment_id not in FIGURE_CHARTS:
+        return None
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    # Generic extraction: reuse the most informative (x, y, by) mapping per
+    # figure family.  Axes mirror figure_charts.
+    spec = {
+        "fig2": ("r_km", "mean_accuracy", ("city",), "r (km)", "model accuracy"),
+        "fig3": ("r_km", "success_rate", ("city", "variant"), "r (km)", "success rate"),
+        "fig4": ("r_km", "correct_rate", ("dataset", "epsilon"), "r (km)", "correct rate"),
+        "fig5": ("k", "correct_rate", ("dataset", "r_km"), "k", "correct rate"),
+        "fig6": ("r_km", "d50_km2", ("dataset",), "r (km)", "median area (km^2)"),
+        "fig7": ("n_aux", "mean_area_km2", ("dataset",), "MAX_aux", "mean area (km^2)"),
+        "fig8": ("r_km", "enhanced_success", (), "r (km)", "success rate"),
+        "fig9_10": ("beta", "success_rate", ("dataset", "r_km"), "beta", "success rate"),
+        "fig11_12": ("epsilon", "success_rate", ("dataset", "beta"), "epsilon", "success rate"),
+    }[result.experiment_id]
+    x, y, by, x_label, y_label = spec
+    series = _series(result, x, y, by)
+    svg = svg_line_chart(
+        series, title=result.title, x_label=x_label, y_label=y_label
+    )
+    path = directory / f"{result.experiment_id}.svg"
+    path.write_text(svg)
+    return path

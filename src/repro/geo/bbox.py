@@ -1,0 +1,96 @@
+"""Axis-aligned bounding boxes in the local planar frame."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GeometryError
+from repro.geo.point import Point
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]`` (meters)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise GeometryError(
+                f"degenerate bbox: ({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area in square meters."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains(self, p: Point) -> bool:
+        """Whether *p* lies inside the box (inclusive boundaries)."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over coordinate arrays."""
+        return (xs >= self.min_x) & (xs <= self.max_x) & (ys >= self.min_y) & (ys <= self.max_y)
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the two boxes overlap (touching counts)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Project *p* onto the box (nearest point inside)."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+    def quadrants(self) -> tuple["BBox", "BBox", "BBox", "BBox"]:
+        """Split into four equal quadrants (SW, SE, NW, NE).
+
+        This is the partition step of the adaptive-interval cloaking
+        algorithm (Gruteser & Grunwald, step 2).
+        """
+        cx, cy = self.center.x, self.center.y
+        return (
+            BBox(self.min_x, self.min_y, cx, cy),
+            BBox(cx, self.min_y, self.max_x, cy),
+            BBox(self.min_x, cy, cx, self.max_y),
+            BBox(cx, cy, self.max_x, self.max_y),
+        )
+
+    def sample_point(self, rng: np.random.Generator) -> Point:
+        """Draw a uniform point inside the box."""
+        return Point(
+            float(rng.uniform(self.min_x, self.max_x)),
+            float(rng.uniform(self.min_y, self.max_y)),
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """Return a copy grown by *margin* meters on every side."""
+        return BBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )

@@ -1,0 +1,64 @@
+"""Distance computations, scalar and vectorized.
+
+The planar Euclidean functions are the hot path; the haversine function is
+kept for validating the projection and for any caller that works directly in
+geographic coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geo.point import EARTH_RADIUS_M, GeoPoint, Point
+
+__all__ = [
+    "euclidean",
+    "euclidean_many",
+    "pairwise_euclidean",
+    "haversine",
+    "l1_distance",
+]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two planar points, in meters."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def euclidean_many(center: Point, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Distances from *center* to each ``(xs[i], ys[i])``; vectorized."""
+    return np.hypot(xs - center.x, ys - center.y)
+
+
+def pairwise_euclidean(xy_a: np.ndarray, xy_b: np.ndarray) -> np.ndarray:
+    """Dense distance matrix between two ``(n, 2)`` / ``(m, 2)`` arrays."""
+    a = np.asarray(xy_a, dtype=float)
+    b = np.asarray(xy_b, dtype=float)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def haversine(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two WGS-84 points, in meters."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def l1_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """L1 (Manhattan) distance between two equal-length vectors.
+
+    Used by the trajectory attack as a feature: the L1 distance between two
+    frequency vectors correlates with how far the user moved between the two
+    releases.
+    """
+    av = np.asarray(a, dtype=float)
+    bv = np.asarray(b, dtype=float)
+    if av.shape != bv.shape:
+        raise ValueError(f"shape mismatch: {av.shape} vs {bv.shape}")
+    return float(np.abs(av - bv).sum())

@@ -1,0 +1,104 @@
+"""A from-scratch 2-d kd-tree for nearest-neighbour queries.
+
+The grid index answers range queries; the kd-tree complements it with
+nearest-neighbour and k-NN queries, used e.g. to snap perturbed locations
+back onto the road/POI fabric and by the trajectory synthesizer to find
+hotspot waypoints.  Implemented array-based (no per-node objects) so that
+construction of city-scale trees stays fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.errors import GeometryError
+from repro.geo.point import Point
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 16
+
+
+class KDTree:
+    """Static 2-d kd-tree over an ``(n, 2)`` coordinate array."""
+
+    def __init__(self, xy: np.ndarray):
+        xy = np.asarray(xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        self._xy = xy
+        n = len(xy)
+        self._idx = np.arange(n, dtype=np.intp)
+        # Flat node arrays: each node stores its index range [lo, hi), split
+        # axis, split value, and children (-1 for leaves).
+        self._nodes: list[tuple[int, int, int, float, int, int]] = []
+        if n:
+            self._build(0, n, 0)
+
+    def _build(self, lo: int, hi: int, axis: int) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append((lo, hi, -1, 0.0, -1, -1))
+        if hi - lo <= _LEAF_SIZE:
+            return node_id
+        seg = self._idx[lo:hi]
+        vals = self._xy[seg, axis]
+        mid = (hi - lo) // 2
+        part = np.argpartition(vals, mid)
+        self._idx[lo:hi] = seg[part]
+        split_val = float(self._xy[self._idx[lo + mid], axis])
+        left = self._build(lo, lo + mid, 1 - axis)
+        right = self._build(lo + mid, hi, 1 - axis)
+        self._nodes[node_id] = (lo, hi, axis, split_val, left, right)
+        return node_id
+
+    @property
+    def n_points(self) -> int:
+        return len(self._xy)
+
+    def nearest(self, query: Point) -> tuple[int, float]:
+        """Return ``(index, distance)`` of the nearest point to *query*."""
+        idx, dist = self.k_nearest(query, 1)
+        return int(idx[0]), float(dist[0])
+
+    def k_nearest(self, query: Point, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return the *k* nearest points as ``(indices, distances)`` arrays.
+
+        Results are sorted by increasing distance.  If fewer than *k* points
+        exist, all points are returned.
+        """
+        if k <= 0:
+            raise GeometryError(f"k must be positive, got {k}")
+        if not len(self._xy):
+            return np.empty(0, dtype=np.intp), np.empty(0)
+        k = min(k, len(self._xy))
+        qx, qy = query.x, query.y
+        # Max-heap of the best k found so far, as (-dist2, index).
+        best: list[tuple[float, int]] = []
+
+        def visit(node_id: int) -> None:
+            lo, hi, axis, split_val, left, right = self._nodes[node_id]
+            if left == -1:  # leaf
+                seg = self._idx[lo:hi]
+                dx = self._xy[seg, 0] - qx
+                dy = self._xy[seg, 1] - qy
+                d2s = dx * dx + dy * dy
+                for d2, i in zip(d2s, seg):
+                    if len(best) < k:
+                        heapq.heappush(best, (-float(d2), int(i)))
+                    elif d2 < -best[0][0]:
+                        heapq.heapreplace(best, (-float(d2), int(i)))
+                return
+            qv = qx if axis == 0 else qy
+            near, far = (left, right) if qv <= split_val else (right, left)
+            visit(near)
+            gap = qv - split_val
+            if len(best) < k or gap * gap < -best[0][0]:
+                visit(far)
+
+        visit(0)
+        order = sorted(best, key=lambda t: -t[0])
+        indices = np.array([i for _, i in order], dtype=np.intp)
+        dists = np.sqrt(np.array([-d2 for d2, _ in order]))
+        return indices, dists

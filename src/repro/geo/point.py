@@ -1,0 +1,54 @@
+"""Planar points and geographic coordinates.
+
+All algorithms in this package operate on a local planar frame measured in
+meters.  City-scale extents (tens of kilometers) make an equirectangular
+projection accurate to well under the spatial-index cell size, so we project
+latitude/longitude once on ingestion and never pay geodesic costs in inner
+loops.  :class:`GeoPoint` carries WGS-84 coordinates; :class:`Point` is the
+planar workhorse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "GeoPoint", "EARTH_RADIUS_M"]
+
+#: Mean Earth radius in meters (IUGG value), used by the projection and by
+#: the haversine distance.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the local planar frame, in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other* in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)`` meters."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-84 coordinate pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")

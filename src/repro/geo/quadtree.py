@@ -1,0 +1,188 @@
+"""A point-region quadtree.
+
+The adaptive-interval cloaking algorithm is quadtree descent by nature;
+this index materialises that tree once over a static point set so cloaking
+(and any other recursive spatial partitioning) can reuse it.  It also
+serves as an independent implementation for cross-checking the grid index:
+a property test asserts both return identical range-query results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GeometryError
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+
+__all__ = ["QuadTree", "QuadNode"]
+
+_MAX_DEPTH_DEFAULT = 16
+
+
+@dataclass
+class QuadNode:
+    """One node: its extent, the point indices it holds, and children."""
+
+    bounds: BBox
+    depth: int
+    point_indices: np.ndarray
+    children: "tuple[QuadNode, QuadNode, QuadNode, QuadNode] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def count(self) -> int:
+        """Number of points in this node's subtree."""
+        return len(self.point_indices)
+
+
+class QuadTree:
+    """Static quadtree over an ``(n, 2)`` coordinate array.
+
+    Parameters
+    ----------
+    xy:
+        Point coordinates in meters.
+    bounds:
+        Root extent; defaults to the tight bounds of the points.
+    leaf_size:
+        Nodes with at most this many points stay leaves.
+    max_depth:
+        Hard recursion cap (duplicated points would otherwise split
+        forever).
+    """
+
+    def __init__(
+        self,
+        xy: np.ndarray,
+        bounds: "BBox | None" = None,
+        leaf_size: int = 32,
+        max_depth: int = _MAX_DEPTH_DEFAULT,
+    ):
+        xy = np.asarray(xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if leaf_size < 1:
+            raise GeometryError(f"leaf_size must be at least 1, got {leaf_size}")
+        if bounds is None:
+            if len(xy) == 0:
+                bounds = BBox(0.0, 0.0, 1.0, 1.0)
+            else:
+                bounds = BBox(
+                    float(xy[:, 0].min()),
+                    float(xy[:, 1].min()),
+                    float(xy[:, 0].max()),
+                    float(xy[:, 1].max()),
+                )
+        self._xy = xy
+        self.leaf_size = leaf_size
+        self.max_depth = max_depth
+        self.root = self._build(bounds, np.arange(len(xy), dtype=np.intp), 0)
+
+    def _build(self, bounds: BBox, indices: np.ndarray, depth: int) -> QuadNode:
+        node = QuadNode(bounds=bounds, depth=depth, point_indices=indices)
+        if len(indices) <= self.leaf_size or depth >= self.max_depth:
+            return node
+        quads = bounds.quadrants()
+        xs = self._xy[indices, 0]
+        ys = self._xy[indices, 1]
+        cx, cy = bounds.center.x, bounds.center.y
+        west = xs < cx
+        south = ys < cy
+        masks = (west & south, ~west & south, west & ~south, ~west & ~south)
+        node.children = tuple(
+            self._build(quad, indices[mask], depth + 1)
+            for quad, mask in zip(quads, masks)
+        )
+        return node
+
+    @property
+    def n_points(self) -> int:
+        return len(self._xy)
+
+    def count_in(self, box: BBox) -> int:
+        """Number of points inside *box*."""
+        return len(self.query_box(box))
+
+    def query_box(self, box: BBox) -> np.ndarray:
+        """Indices of points inside *box* (inclusive boundaries)."""
+        out: list[np.ndarray] = []
+        self._collect_box(self.root, box, out)
+        if not out:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(out))
+
+    def _collect_box(self, node: QuadNode, box: BBox, out: list[np.ndarray]) -> None:
+        if not node.bounds.intersects(box) or node.count == 0:
+            return
+        if node.is_leaf:
+            seg = node.point_indices
+            keep = box.contains_many(self._xy[seg, 0], self._xy[seg, 1])
+            if keep.any():
+                out.append(seg[keep])
+            return
+        assert node.children is not None
+        for child in node.children:
+            self._collect_box(child, box, out)
+
+    def query_radius(self, center: Point, radius: float) -> np.ndarray:
+        """Indices of points within *radius* of *center* (inclusive)."""
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        out: list[np.ndarray] = []
+        box = BBox(center.x - radius, center.y - radius, center.x + radius, center.y + radius)
+        self._collect_radius(self.root, center, radius, box, out)
+        if not out:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(out))
+
+    def _collect_radius(
+        self,
+        node: QuadNode,
+        center: Point,
+        radius: float,
+        box: BBox,
+        out: list[np.ndarray],
+    ) -> None:
+        if not node.bounds.intersects(box) or node.count == 0:
+            return
+        if node.is_leaf:
+            seg = node.point_indices
+            dist = np.hypot(self._xy[seg, 0] - center.x, self._xy[seg, 1] - center.y)
+            keep = dist <= radius
+            if keep.any():
+                out.append(seg[keep])
+            return
+        assert node.children is not None
+        for child in node.children:
+            self._collect_radius(child, center, radius, box, out)
+
+    def descend(self, location: Point, min_count: int) -> BBox:
+        """Smallest ancestor cell of *location* holding >= *min_count* points.
+
+        This is exactly the adaptive-interval cloaking recursion (paper
+        §III-C) expressed over the materialised tree: starting at the root,
+        descend into the child quadrant containing *location* while it
+        still holds at least *min_count* points.
+        """
+        if min_count < 1:
+            raise GeometryError(f"min_count must be at least 1, got {min_count}")
+        node = self.root
+        location = node.bounds.clamp(location)
+        while not node.is_leaf:
+            assert node.children is not None
+            # Same west/south rule the build used, so boundary points land
+            # in the child that actually holds them.
+            cx, cy = node.bounds.center.x, node.bounds.center.y
+            which = (0 if location.x < cx else 1) + (0 if location.y < cy else 2)
+            child = node.children[which]
+            if child.count >= min_count:
+                node = child
+            else:
+                break
+        return node.bounds

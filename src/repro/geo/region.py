@@ -1,0 +1,82 @@
+"""Feasible regions: intersections of many disks.
+
+The fine-grained attack (paper §IV-A) positions the target inside the
+intersection of the major anchor's radius-``r`` disk with one radius-``r``
+disk per auxiliary anchor.  With tens of anchors there is no tractable
+closed form for the intersection area, so the canonical estimator is
+Monte-Carlo sampling inside the major anchor's disk; the analytic two-disk
+lens area (:func:`repro.geo.disk.lens_area`) validates the estimator in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import GeometryError
+from repro.core.rng import as_generator
+from repro.geo.disk import Disk
+from repro.geo.point import Point
+
+__all__ = ["DiskIntersection"]
+
+
+@dataclass(frozen=True)
+class DiskIntersection:
+    """The intersection of a *base* disk with zero or more *constraint* disks.
+
+    The base disk is the region the baseline attack reports (the major
+    anchor's disk); each constraint disk shrinks it further.
+    """
+
+    base: Disk
+    constraints: tuple[Disk, ...] = field(default_factory=tuple)
+
+    def contains(self, p: Point) -> bool:
+        """Whether *p* lies in every disk of the intersection."""
+        if not self.base.contains(p):
+            return False
+        return all(d.contains(p) for d in self.constraints)
+
+    def area(self, n_samples: int = 20_000, rng=None) -> float:
+        """Monte-Carlo estimate of the intersection area in square meters.
+
+        Samples uniformly inside the base disk and multiplies the acceptance
+        rate by the base area.  The standard error is
+        ``base.area * sqrt(p(1-p)/n)``; with the default 20k samples it is
+        below 0.4% of the base area.
+        """
+        if n_samples <= 0:
+            raise GeometryError(f"n_samples must be positive, got {n_samples}")
+        if not self.constraints:
+            return self.base.area
+        gen = as_generator(rng)
+        pts = self.base.sample_points(n_samples, gen)
+        keep = np.ones(n_samples, dtype=bool)
+        for d in self.constraints:
+            keep &= d.contains_many(pts[:, 0], pts[:, 1])
+            if not keep.any():
+                return 0.0
+        return self.base.area * float(keep.mean())
+
+    def centroid(self, n_samples: int = 20_000, rng=None) -> Point | None:
+        """Monte-Carlo centroid of the region, or ``None`` if it is empty.
+
+        The centroid is the attacker's single best point estimate of the
+        target's location.
+        """
+        gen = as_generator(rng)
+        pts = self.base.sample_points(n_samples, gen)
+        keep = np.ones(n_samples, dtype=bool)
+        for d in self.constraints:
+            keep &= d.contains_many(pts[:, 0], pts[:, 1])
+        if not keep.any():
+            return None
+        sel = pts[keep]
+        return Point(float(sel[:, 0].mean()), float(sel[:, 1].mean()))
+
+    def with_constraint(self, disk: Disk) -> "DiskIntersection":
+        """Return a new region with one more constraint disk."""
+        return DiskIntersection(self.base, self.constraints + (disk,))

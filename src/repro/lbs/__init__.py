@@ -1,0 +1,16 @@
+"""The LBS architecture of paper Fig. 1 as a deterministic simulation."""
+
+from repro.lbs.entities import GeoServiceProvider, MobileUser, POIService
+from repro.lbs.messages import AggregateRelease, GeoQuery, GeoResponse
+from repro.lbs.simulation import SessionReport, simulate_sessions
+
+__all__ = [
+    "GeoQuery",
+    "GeoResponse",
+    "AggregateRelease",
+    "GeoServiceProvider",
+    "MobileUser",
+    "POIService",
+    "SessionReport",
+    "simulate_sessions",
+]

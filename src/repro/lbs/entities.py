@@ -1,0 +1,123 @@
+"""The three parties of the LBS architecture, as simulation entities.
+
+:class:`GeoServiceProvider` owns the POI database and answers range
+queries.  :class:`MobileUser` walks a trajectory, queries the GSP, applies
+its configured :class:`~repro.defense.base.Defense`, and releases
+aggregates.  :class:`POIService` is the LBS application: it consumes
+aggregates to serve Top-K type recommendations — and, when instantiated as
+honest-but-curious, logs every release for the attack layer.
+
+The simulation is deliberately synchronous and deterministic: it models
+the *information flow* of the architecture (who learns what), which is
+what the privacy analysis needs, not network timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import as_generator
+from repro.datasets.trajectory import Trajectory
+from repro.defense.base import Defense, NoDefense
+from repro.lbs.messages import AggregateRelease, GeoQuery, GeoResponse
+from repro.poi.database import POIDatabase
+from repro.poi.frequency import top_k_types
+
+__all__ = ["GeoServiceProvider", "MobileUser", "POIService"]
+
+
+class GeoServiceProvider:
+    """The GSP: answers ``Query(l, r)`` over its POI database."""
+
+    def __init__(self, database: POIDatabase):
+        self._db = database
+        self.n_queries_served = 0
+
+    @property
+    def database(self) -> POIDatabase:
+        """The public map (the adversary holds a copy of this too)."""
+        return self._db
+
+    def handle(self, query: GeoQuery) -> GeoResponse:
+        """Serve one range query."""
+        if query.radius <= 0:
+            raise ConfigError(f"query radius must be positive, got {query.radius}")
+        indices = self._db.query(query.location, query.radius)
+        self.n_queries_served += 1
+        return GeoResponse(query=query, poi_indices=tuple(int(i) for i in indices))
+
+
+class MobileUser:
+    """A user that releases (defended) aggregates along its trajectory."""
+
+    def __init__(
+        self,
+        user_id: int,
+        gsp: GeoServiceProvider,
+        defense: "Defense | None" = None,
+        rng=None,
+    ):
+        self.user_id = user_id
+        self._gsp = gsp
+        self._defense = defense if defense is not None else NoDefense()
+        self._rng = as_generator(rng)
+
+    @property
+    def defense_name(self) -> str:
+        return self._defense.name
+
+    def release_at(self, location, radius: float, timestamp: float) -> AggregateRelease:
+        """One LBS interaction: query the GSP, defend, release.
+
+        The defense abstraction already covers both placement points the
+        paper considers — location-level defenses perturb before the GSP
+        query, aggregate-level ones perturb the vector afterwards — so the
+        user simply delegates to it.
+        """
+        vector = self._defense.release(self._gsp.database, location, radius, self._rng)
+        return AggregateRelease(
+            user_id=self.user_id,
+            frequency_vector=vector,
+            radius=radius,
+            timestamp=timestamp,
+        )
+
+    def walk(self, trajectory: Trajectory, radius: float) -> list[AggregateRelease]:
+        """Release one aggregate per trajectory sample."""
+        return [
+            self.release_at(point.location, radius, point.timestamp)
+            for point in trajectory.points
+        ]
+
+
+@dataclass
+class POIService:
+    """The LBS application: Top-K recommendations over received aggregates.
+
+    With ``curious=True`` it also keeps the full release log — the
+    honest-but-curious adversary of the threat model, which follows the
+    protocol but retains everything it sees.
+    """
+
+    top_k: int = 10
+    curious: bool = False
+    _log: list[AggregateRelease] = field(default_factory=list)
+
+    def recommend(self, release: AggregateRelease) -> frozenset[int]:
+        """Serve the Top-K POI types for one release."""
+        if self.curious:
+            self._log.append(release)
+        return top_k_types(np.asarray(release.frequency_vector), self.top_k)
+
+    @property
+    def observed_releases(self) -> tuple[AggregateRelease, ...]:
+        """What the adversary has collected (empty unless curious)."""
+        return tuple(self._log)
+
+    def releases_of(self, user_id: int) -> list[AggregateRelease]:
+        """The time-ordered release history of one user."""
+        mine = [r for r in self._log if r.user_id == user_id]
+        return sorted(mine, key=lambda r: r.timestamp)

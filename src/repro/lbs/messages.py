@@ -1,0 +1,64 @@
+"""Message types exchanged in the LBS architecture (paper Fig. 1).
+
+The paper's system has three parties: mobile users, the geo-information
+service provider (GSP), and LBS applications.  A user sends its location
+to the GSP, receives POIs, aggregates them into a type frequency vector,
+and forwards the aggregate to the LBS application.  The adversary sits at
+(or behind) the LBS application and sees only :class:`AggregateRelease`
+messages — user id, frequency vector, query range, timestamp — exactly
+the observables the threat model grants (paper §II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.point import Point
+
+__all__ = ["GeoQuery", "GeoResponse", "AggregateRelease"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoQuery:
+    """User → GSP: retrieve the POIs within *radius* of *location*.
+
+    This is the GSP's single query interface; the location inside it is
+    the sensitive datum the defenses protect.
+    """
+
+    user_id: int
+    location: Point
+    radius: float
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class GeoResponse:
+    """GSP → user: the POIs in range (as database indices)."""
+
+    query: GeoQuery
+    poi_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AggregateRelease:
+    """User → LBS application: the (possibly defended) aggregate.
+
+    This message — not the geo query — is what the adversary observes.
+    ``user_id``, ``radius`` and ``timestamp`` are metadata the paper's
+    threat model explicitly grants the adversary (§II-B); the true
+    location never appears.
+    """
+
+    user_id: int
+    frequency_vector: np.ndarray = field(repr=False)
+    radius: float
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        # Freeze the vector so a logged release can never be mutated.
+        vector = np.asarray(self.frequency_vector)
+        vector.flags.writeable = False
+        object.__setattr__(self, "frequency_vector", vector)

@@ -1,0 +1,36 @@
+"""Kernel functions for the SVM family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rbf_kernel", "linear_kernel", "gamma_scale"]
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``K[i, j] = <A_i, B_j>``."""
+    return np.asarray(A, dtype=float) @ np.asarray(B, dtype=float).T
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+    """``K[i, j] = exp(-gamma * ||A_i - B_j||^2)``."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    sq = (
+        (A**2).sum(axis=1)[:, None]
+        + (B**2).sum(axis=1)[None, :]
+        - 2.0 * (A @ B.T)
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def gamma_scale(X: np.ndarray) -> float:
+    """scikit-learn's ``gamma='scale'`` heuristic: ``1 / (d * Var(X))``."""
+    X = np.asarray(X, dtype=float)
+    var = float(X.var())
+    if var <= 0:
+        return 1.0
+    return 1.0 / (X.shape[1] * var)

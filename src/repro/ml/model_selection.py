@@ -1,0 +1,30 @@
+"""Train/validation splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import as_generator
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into ``(X_train, X_test, y_train, y_test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+    gen = as_generator(rng)
+    perm = gen.permutation(len(X))
+    n_test = max(1, int(round(test_fraction * len(X))))
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,80 @@
+"""Feature preprocessing: standardization and one-hot encoding.
+
+The paper normalises all prediction samples "by being centered to mean and
+scaled with unit standard deviation" (§III-A) and one-hot encodes the
+hour-of-day / day-of-week features of the distance regressor (§IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import NotFittedError
+
+__all__ = ["StandardScaler", "OneHotEncoder"]
+
+
+class StandardScaler:
+    """Center features to zero mean and scale to unit variance.
+
+    Constant features (zero variance) are centered but left unscaled so the
+    transform never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-d feature matrix, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Columns that are constant up to floating-point residue must not
+        # be scaled: their "std" is rounding noise (~1e-16 * |mean|) and
+        # dividing by it would blow the residue up to O(1) values.
+        tiny = 1e-12 * np.maximum(np.abs(self.mean_), 1.0)
+        std[std <= tiny] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit()")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit()")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """Encode an integer column into ``n_categories`` indicator columns.
+
+    Categories are fixed at construction (e.g. 24 hours, 7 weekdays), so
+    the encoding is stable across datasets; out-of-range values raise.
+    """
+
+    def __init__(self, n_categories: int):
+        if n_categories <= 0:
+            raise ValueError(f"n_categories must be positive, got {n_categories}")
+        self.n_categories = n_categories
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.intp)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-d array, got shape {values.shape}")
+        if len(values) and (values.min() < 0 or values.max() >= self.n_categories):
+            raise ValueError(
+                f"values out of range [0, {self.n_categories}): "
+                f"[{values.min()}, {values.max()}]"
+            )
+        out = np.zeros((len(values), self.n_categories))
+        out[np.arange(len(values)), values] = 1.0
+        return out

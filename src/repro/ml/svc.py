@@ -1,0 +1,218 @@
+"""Support vector classification trained with SMO.
+
+A from-scratch replacement for scikit-learn's ``SVC`` (the paper's
+prediction model for recovering sanitized frequencies, §III-A): a binary
+soft-margin SVM solved with Platt's simplified Sequential Minimal
+Optimization on a precomputed kernel matrix, plus a one-vs-rest wrapper for
+multiclass frequency prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import NotFittedError
+from repro.core.rng import as_generator
+from repro.ml.kernels import gamma_scale, linear_kernel, rbf_kernel
+
+__all__ = ["BinarySVC", "OneVsRestSVC"]
+
+
+class BinarySVC:
+    """Binary soft-margin SVM with an RBF or linear kernel.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.
+    kernel:
+        ``"rbf"`` or ``"linear"``.
+    gamma:
+        RBF width; ``None`` uses the ``1 / (d * Var(X))`` heuristic.
+    tol:
+        KKT violation tolerance.
+    max_passes:
+        Number of full passes without any update before stopping.
+    max_iter:
+        Hard cap on optimization sweeps.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma: "float | None" = None,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 200,
+        rng=None,
+    ):
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if kernel not in ("rbf", "linear"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self._rng = as_generator(rng)
+        self._X: "np.ndarray | None" = None
+        self._alpha_y: "np.ndarray | None" = None
+        self._b = 0.0
+        self._gamma_fitted = 1.0
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return linear_kernel(A, B)
+        return rbf_kernel(A, B, self._gamma_fitted)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarySVC":
+        """Train on labels ``y`` in ``{-1, +1}``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {-1.0, 1.0}:
+            raise ValueError("labels must be in {-1, +1}")
+        n = len(X)
+        self._gamma_fitted = self.gamma if self.gamma is not None else gamma_scale(X)
+        if len(np.unique(y)) < 2:
+            # Degenerate one-class training set: constant decision function.
+            self._X = X[:1]
+            self._alpha_y = np.zeros(1)
+            self._b = float(y[0]) if n else 1.0
+            return self
+
+        K = self._kernel_matrix(X, X)
+        alpha = np.zeros(n)
+        self._b = 0.0
+        # Error cache: E_i = f(x_i) - y_i, with f = K @ (alpha * y) + b.
+        E = -y.copy()
+
+        def take_step(i: int, j: int) -> bool:
+            """Attempt one SMO pair update; True if alphas moved."""
+            nonlocal E
+            if i == j:
+                return False
+            Ei, Ej = E[i], E[j]
+            ai_old, aj_old = alpha[i], alpha[j]
+            if y[i] != y[j]:
+                L = max(0.0, aj_old - ai_old)
+                H = min(self.C, self.C + aj_old - ai_old)
+            else:
+                L = max(0.0, ai_old + aj_old - self.C)
+                H = min(self.C, ai_old + aj_old)
+            if H - L < 1e-12:
+                return False
+            eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+            if eta >= -1e-12:
+                return False
+            aj = aj_old - y[j] * (Ei - Ej) / eta
+            aj = min(H, max(L, aj))
+            if abs(aj - aj_old) < 1e-7:
+                return False
+            ai = ai_old + y[i] * y[j] * (aj_old - aj)
+            b = self._b
+            b1 = b - Ei - y[i] * (ai - ai_old) * K[i, i] - y[j] * (aj - aj_old) * K[i, j]
+            b2 = b - Ej - y[i] * (ai - ai_old) * K[i, j] - y[j] * (aj - aj_old) * K[j, j]
+            if 0 < ai < self.C:
+                new_b = b1
+            elif 0 < aj < self.C:
+                new_b = b2
+            else:
+                new_b = (b1 + b2) / 2.0
+            # Incremental error-cache update.
+            E += y[i] * (ai - ai_old) * K[i] + y[j] * (aj - aj_old) * K[j] + (new_b - b)
+            alpha[i], alpha[j] = ai, aj
+            self._b = new_b
+            return True
+
+        passes = 0
+        it = 0
+        while passes < self.max_passes and it < self.max_iter:
+            it += 1
+            n_changed = 0
+            for i in range(n):
+                Ei = E[i]
+                violates = (y[i] * Ei < -self.tol and alpha[i] < self.C) or (
+                    y[i] * Ei > self.tol and alpha[i] > 0
+                )
+                if not violates:
+                    continue
+                # Second-choice heuristic first, then Platt's fallback over
+                # random partners until one makes progress.
+                j = int(np.argmax(np.abs(E - Ei)))
+                if take_step(i, j):
+                    n_changed += 1
+                    continue
+                for j in self._rng.permutation(n)[:50]:
+                    if take_step(i, int(j)):
+                        n_changed += 1
+                        break
+            passes = passes + 1 if n_changed == 0 else 0
+        b = self._b
+
+        support = alpha > 1e-8
+        self._X = X[support]
+        self._alpha_y = (alpha * y)[support]
+        self._b = float(b)
+        return self
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors."""
+        if self._alpha_y is None:
+            raise NotFittedError("BinarySVC used before fit()")
+        return len(self._alpha_y)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin ``f(x)`` for each row of *X*."""
+        if self._X is None or self._alpha_y is None:
+            raise NotFittedError("BinarySVC used before fit()")
+        X = np.asarray(X, dtype=float)
+        if len(self._X) == 0:
+            return np.full(len(X), self._b)
+        K = self._kernel_matrix(X, self._X)
+        return K @ self._alpha_y + self._b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in ``{-1, +1}``; ties resolve to +1."""
+        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)
+
+
+class OneVsRestSVC:
+    """Multiclass SVC via one binary machine per observed class.
+
+    Predicts the class whose binary machine reports the largest decision
+    value — the standard one-vs-rest rule.  Classes are arbitrary integers
+    (here: candidate frequency values of a sanitized POI type).
+    """
+
+    def __init__(self, C: float = 1.0, kernel: str = "rbf", gamma: "float | None" = None, rng=None):
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self._rng = as_generator(rng)
+        self.classes_: "np.ndarray | None" = None
+        self._machines: list[BinarySVC] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsRestSVC":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._machines = []
+        for cls in self.classes_:
+            machine = BinarySVC(
+                C=self.C, kernel=self.kernel, gamma=self.gamma, rng=self._rng
+            )
+            machine.fit(X, np.where(y == cls, 1.0, -1.0))
+            self._machines.append(machine)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("OneVsRestSVC used before fit()")
+        if len(self.classes_) == 1:
+            return np.full(len(np.asarray(X)), self.classes_[0])
+        scores = np.stack([m.decision_function(X) for m in self._machines], axis=1)
+        return self.classes_[np.argmax(scores, axis=1)]

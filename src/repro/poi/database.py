@@ -1,0 +1,233 @@
+"""The geo-information service provider (GSP) model.
+
+The paper's LBS architecture (Fig. 1) exposes exactly one query interface:
+retrieving the POIs within a given range of a location.  ``POIDatabase``
+implements that interface (:meth:`query`) and the derived POI type histogram
+(:meth:`freq`), backed by a uniform grid index so both are cheap enough to
+sit in the inner loop of every attack.
+
+The adversary's prior knowledge ``P`` in the paper is precisely this object:
+the public POI map plus the ability to evaluate ``Freq`` anywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.geo.bbox import BBox
+from repro.geo.grid_index import GridIndex
+from repro.geo.point import Point
+from repro.poi.models import POI
+from repro.poi.vocabulary import TypeVocabulary
+
+__all__ = ["POIDatabase"]
+
+
+class POIDatabase:
+    """A static POI map with range queries and type-frequency aggregation.
+
+    Parameters
+    ----------
+    xy:
+        ``(n, 2)`` planar POI coordinates in meters.
+    type_ids:
+        ``(n,)`` integer array of type ids, each in ``[0, len(vocabulary))``.
+    vocabulary:
+        The type vocabulary; its length ``M`` is the frequency-vector width.
+    bounds:
+        The city's bounding box.  Defaults to the tight POI bounds.
+    cell_size:
+        Grid-index cell size in meters; defaults to 500 m, on the order of
+        the smallest query radius studied in the paper.
+    """
+
+    def __init__(
+        self,
+        xy: np.ndarray,
+        type_ids: np.ndarray,
+        vocabulary: TypeVocabulary,
+        bounds: BBox | None = None,
+        cell_size: float = 500.0,
+    ):
+        xy = np.asarray(xy, dtype=float)
+        type_ids = np.asarray(type_ids, dtype=np.intp)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise DatasetError(f"expected (n, 2) coordinates, got shape {xy.shape}")
+        if type_ids.shape != (len(xy),):
+            raise DatasetError(
+                f"type_ids shape {type_ids.shape} does not match {len(xy)} POIs"
+            )
+        if len(type_ids) and (type_ids.min() < 0 or type_ids.max() >= len(vocabulary)):
+            raise DatasetError("type ids out of vocabulary range")
+        self._xy = xy
+        self._types = type_ids
+        self._vocab = vocabulary
+        if bounds is None:
+            if len(xy) == 0:
+                raise DatasetError("cannot infer bounds from an empty POI set")
+            bounds = BBox(
+                float(xy[:, 0].min()),
+                float(xy[:, 1].min()),
+                float(xy[:, 0].max()),
+                float(xy[:, 1].max()),
+            )
+        self._bounds = bounds
+        self._index = GridIndex(xy, cell_size=cell_size, bounds=bounds.expanded(cell_size))
+        self._city_freq = np.bincount(type_ids, minlength=len(vocabulary)).astype(np.int64)
+        # Infrequent rank per paper Eq. (7): the rarest type ranks 1.  Ties
+        # broken by type id for determinism.
+        order = np.lexsort((np.arange(len(vocabulary)), self._city_freq))
+        ranks = np.empty(len(vocabulary), dtype=np.int64)
+        ranks[order] = np.arange(1, len(vocabulary) + 1)
+        self._ranks = ranks
+        self._by_type: list[np.ndarray] = [
+            np.flatnonzero(type_ids == t) for t in range(len(vocabulary))
+        ]
+        # Freq evaluated at a POI is re-used heavily by the attacks (every
+        # candidate pruning step asks for Freq(p, 2r)); memoise those.
+        self._poi_freq_cache: dict[tuple[int, float], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pois(
+        cls,
+        pois: Sequence[POI],
+        vocabulary: TypeVocabulary,
+        bounds: BBox | None = None,
+        cell_size: float = 500.0,
+    ) -> "POIDatabase":
+        """Build a database from :class:`~repro.poi.models.POI` objects."""
+        xy = np.array([[p.location.x, p.location.y] for p in pois], dtype=float)
+        types = np.array([p.type_id for p in pois], dtype=np.intp)
+        return cls(xy, types, vocabulary, bounds=bounds, cell_size=cell_size)
+
+    def __len__(self) -> int:
+        return len(self._xy)
+
+    @property
+    def n_types(self) -> int:
+        """Number of POI types ``M`` — the frequency-vector width."""
+        return len(self._vocab)
+
+    @property
+    def vocabulary(self) -> TypeVocabulary:
+        return self._vocab
+
+    @property
+    def bounds(self) -> BBox:
+        return self._bounds
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only view of the ``(n, 2)`` POI coordinate array."""
+        view = self._xy.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def type_ids(self) -> np.ndarray:
+        """Read-only view of the ``(n,)`` type-id array."""
+        view = self._types.view()
+        view.flags.writeable = False
+        return view
+
+    def poi(self, index: int) -> POI:
+        """Materialise the POI at a given index."""
+        return POI(
+            poi_id=int(index),
+            location=Point(float(self._xy[index, 0]), float(self._xy[index, 1])),
+            type_id=int(self._types[index]),
+        )
+
+    def location_of(self, index: int) -> Point:
+        """Planar location of the POI at *index*."""
+        return Point(float(self._xy[index, 0]), float(self._xy[index, 1]))
+
+    def type_of(self, index: int) -> int:
+        """Type id of the POI at *index*."""
+        return int(self._types[index])
+
+    # ------------------------------------------------------------------
+    # The GSP query interfaces (paper §II-A)
+    # ------------------------------------------------------------------
+
+    def query(self, center: Point, radius: float) -> np.ndarray:
+        """``Query(l, r)``: indices of POIs within *radius* of *center*."""
+        return self._index.query_radius(center, radius)
+
+    def freq(self, center: Point, radius: float) -> np.ndarray:
+        """``Freq(l, r)``: POI type frequency vector around *center*.
+
+        Returns an ``(M,)`` int64 array where entry ``i`` counts the POIs of
+        type ``i`` within *radius* of *center*.
+        """
+        idx = self.query(center, radius)
+        return np.bincount(self._types[idx], minlength=self.n_types).astype(np.int64)
+
+    def freq_at_poi(self, poi_index: int, radius: float) -> np.ndarray:
+        """Memoised ``Freq`` evaluated at a POI's own location.
+
+        The attacks evaluate ``Freq(p, 2r)`` for every candidate anchor POI
+        ``p``; those anchors repeat across targets, so this cache removes
+        the dominant cost of large experiment sweeps.  The returned array is
+        shared — callers must not mutate it.
+        """
+        key = (int(poi_index), float(radius))
+        cached = self._poi_freq_cache.get(key)
+        if cached is None:
+            cached = self.freq(self.location_of(poi_index), radius)
+            cached.flags.writeable = False
+            self._poi_freq_cache[key] = cached
+        return cached
+
+    def clear_cache(self) -> None:
+        """Drop all memoised frequency vectors."""
+        self._poi_freq_cache.clear()
+
+    # ------------------------------------------------------------------
+    # City-level aggregates used by attacks and defenses
+    # ------------------------------------------------------------------
+
+    @property
+    def city_frequency(self) -> np.ndarray:
+        """Overall POI frequency ``F`` over the whole city (read-only)."""
+        view = self._city_freq.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def infrequent_ranks(self) -> np.ndarray:
+        """Infrequent rank ``R(i)`` per type: the rarest type ranks 1."""
+        view = self._ranks.view()
+        view.flags.writeable = False
+        return view
+
+    def pois_of_type(self, type_id: int) -> np.ndarray:
+        """Indices of every POI with the given type."""
+        if not 0 <= type_id < self.n_types:
+            raise DatasetError(f"type id {type_id} out of range [0, {self.n_types})")
+        return self._by_type[type_id]
+
+    def rarest_present_type(self, freq_vector: np.ndarray) -> int | None:
+        """The city-rarest type with a non-zero entry in *freq_vector*.
+
+        This is steps 1–2 of Cao et al.'s attack: sort the reported vector
+        by the city-wide frequency ``F`` and take the most infrequent type
+        ``t_l`` with ``n_l > 0``.  Returns ``None`` when the vector is all
+        zeros (nothing to anchor on).
+        """
+        freq_vector = np.asarray(freq_vector)
+        if freq_vector.shape != (self.n_types,):
+            raise DatasetError(
+                f"frequency vector has shape {freq_vector.shape}, expected ({self.n_types},)"
+            )
+        present = np.flatnonzero(freq_vector > 0)
+        if len(present) == 0:
+            return None
+        return int(present[np.argmin(self._ranks[present])])

@@ -1,0 +1,49 @@
+"""Frequency-vector helpers shared by attacks and defenses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dominates", "top_k_types", "normalize"]
+
+
+def dominates(big: np.ndarray, small: np.ndarray) -> bool:
+    """Element-wise ``big >= small``.
+
+    The pruning rule of the region re-identification attack: a candidate
+    anchor ``p`` survives iff ``Freq(p, 2r)`` dominates the reported
+    ``Freq(l, r)`` (paper §II-D step 4).
+    """
+    big = np.asarray(big)
+    small = np.asarray(small)
+    if big.shape != small.shape:
+        raise ValueError(f"shape mismatch: {big.shape} vs {small.shape}")
+    return bool(np.all(big >= small))
+
+
+def top_k_types(freq_vector: np.ndarray, k: int) -> frozenset[int]:
+    """The set of the *k* types with the highest frequencies.
+
+    Ties are broken by type id (ascending) for determinism, matching a
+    stable sort over ``(-frequency, type_id)``.  Types with zero frequency
+    may appear if fewer than *k* types are present, mirroring a plain
+    "take the k largest entries" Top-K service.
+    """
+    freq_vector = np.asarray(freq_vector)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, len(freq_vector))
+    order = np.lexsort((np.arange(len(freq_vector)), -freq_vector))
+    return frozenset(int(t) for t in order[:k])
+
+
+def normalize(freq_vector: np.ndarray) -> np.ndarray:
+    """L1-normalise a frequency vector to a probability distribution.
+
+    An all-zero vector maps to the uniform distribution.
+    """
+    v = np.asarray(freq_vector, dtype=float)
+    total = v.sum()
+    if total <= 0:
+        return np.full(v.shape, 1.0 / len(v))
+    return v / total

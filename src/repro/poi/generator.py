@@ -1,0 +1,254 @@
+"""Synthetic city generation — the offline stand-in for OSM extracts.
+
+The paper works with OSM POI extracts of Beijing (10,249 POIs, 177 types)
+and New York City (30,056 POIs, 272 types).  Those extracts are not
+available offline, so this module generates cities that reproduce the two
+statistical properties that location uniqueness depends on:
+
+* **Heavy-tailed type popularity.**  Type counts follow a Zipf law, so most
+  types are rare; rare types are the anchors of the re-identification
+  attack and the targets of sanitization.
+* **Spatial clustering with type–place correlation.**  POIs concentrate in
+  urban clusters, and each type has its own affinity over clusters (rare
+  types live in only a few places).  This correlation is what makes
+  (a) type combinations locally unique, and (b) sanitized frequencies
+  learnable from the remaining ones.
+
+Type counts come from one of two profiles: a plain rank-Zipf law
+(:func:`zipf_type_counts`) or a *calibrated* stretched-exponential profile
+(:func:`calibrated_type_counts`) fitted so a target number of types falls at
+or below a rarity threshold.  The calibrated profile matters because OSM
+type distributions have a long singleton tail — dozens of types occur once
+or twice in a whole city — and those singleton types are exactly what makes
+large-radius queries unique.  A pure rank-Zipf law at these POI/type ratios
+produces no singletons, and attack success stops growing with the radius,
+contradicting the paper's curves.
+
+Generation is fully determined by ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+from repro.geo.bbox import BBox
+from repro.poi.database import POIDatabase
+from repro.poi.vocabulary import TypeVocabulary
+
+__all__ = [
+    "SyntheticCityConfig",
+    "generate_city",
+    "zipf_type_counts",
+    "calibrated_type_counts",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticCityConfig:
+    """Parameters of a synthetic city.
+
+    Attributes
+    ----------
+    name:
+        City label, used for RNG stream derivation and reporting.
+    extent_m:
+        Side length of the square city area, in meters.
+    n_pois:
+        Total number of POIs to place.
+    n_types:
+        Vocabulary size ``M``.
+    zipf_exponent:
+        Exponent ``s`` of the type popularity law ``count_i ∝ 1/i^s``.
+    n_clusters:
+        Number of urban clusters (commercial districts, neighbourhoods).
+    cluster_sigma_min / cluster_sigma_max:
+        Range of per-cluster Gaussian spread, in meters (log-uniform).
+    background_fraction:
+        Fraction of POIs placed uniformly instead of inside a cluster.
+    affinity_common / affinity_rare:
+        Dirichlet concentrations controlling how many clusters a type
+        spreads over; interpolated by popularity (rare types concentrated).
+    """
+
+    name: str
+    extent_m: float = 40_000.0
+    n_pois: int = 10_000
+    n_types: int = 150
+    zipf_exponent: float = 1.05
+    n_clusters: int = 70
+    cluster_sigma_min: float = 250.0
+    cluster_sigma_max: float = 1_500.0
+    background_fraction: float = 0.15
+    affinity_common: float = 3.0
+    affinity_rare: float = 0.08
+    n_rare_types: "int | None" = None
+    rare_threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.extent_m <= 0:
+            raise ConfigError(f"extent_m must be positive, got {self.extent_m}")
+        if self.n_pois < self.n_types:
+            raise ConfigError(
+                f"need at least one POI per type: n_pois={self.n_pois} < n_types={self.n_types}"
+            )
+        if self.n_types <= 1:
+            raise ConfigError(f"n_types must exceed 1, got {self.n_types}")
+        if not 0.0 <= self.background_fraction <= 1.0:
+            raise ConfigError(
+                f"background_fraction must be in [0, 1], got {self.background_fraction}"
+            )
+        if self.n_clusters <= 0:
+            raise ConfigError(f"n_clusters must be positive, got {self.n_clusters}")
+        if self.cluster_sigma_min <= 0 or self.cluster_sigma_max < self.cluster_sigma_min:
+            raise ConfigError("cluster sigma range is invalid")
+
+
+def zipf_type_counts(n_pois: int, n_types: int, exponent: float) -> np.ndarray:
+    """Zipf-distributed type counts summing exactly to *n_pois*.
+
+    Every type receives at least one POI; the remainder is apportioned by
+    the largest-remainder method so the counts are deterministic.
+    """
+    if n_pois < n_types:
+        raise ConfigError(f"n_pois={n_pois} < n_types={n_types}")
+    weights = 1.0 / np.arange(1, n_types + 1, dtype=float) ** exponent
+    weights /= weights.sum()
+    spare = n_pois - n_types
+    raw = weights * spare
+    counts = np.floor(raw).astype(np.int64)
+    remainder = spare - int(counts.sum())
+    if remainder:
+        frac = raw - counts
+        order = np.lexsort((np.arange(n_types), -frac))
+        counts[order[:remainder]] += 1
+    return counts + 1
+
+
+def _stretched_counts(n_types: int, a: float, p: float) -> np.ndarray:
+    """Counts ``c_i = max(1, round(exp(a * (1 - x_i^p))))`` on a rank grid."""
+    x = np.linspace(0.0, 1.0, n_types)
+    return np.maximum(1, np.rint(np.exp(a * (1.0 - x**p)))).astype(np.int64)
+
+
+def calibrated_type_counts(
+    n_pois: int,
+    n_types: int,
+    n_rare_types: int,
+    rare_threshold: int = 10,
+) -> np.ndarray:
+    """Type counts with a calibrated rare tail, summing exactly to *n_pois*.
+
+    Fits the two parameters of a stretched-exponential rank profile so that
+    (a) the counts sum to *n_pois* and (b) exactly about *n_rare_types*
+    types have count ``<= rare_threshold``.  The profile ends at count 1,
+    so the tail always contains singleton types — the anchors of location
+    uniqueness.  The fit is a nested bisection: the count sum is monotone
+    in the scale ``a`` and the rare-type count is monotone in the shape
+    ``p``.
+    """
+    if not 0 < n_rare_types < n_types:
+        raise ConfigError(
+            f"n_rare_types must be in (0, {n_types}), got {n_rare_types}"
+        )
+    if n_pois < n_types:
+        raise ConfigError(f"n_pois={n_pois} < n_types={n_types}")
+
+    def fit_scale(p: float) -> float:
+        lo, hi = 0.1, 25.0
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if _stretched_counts(n_types, mid, p).sum() < n_pois:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2
+
+    def rare_count(p: float) -> int:
+        counts = _stretched_counts(n_types, fit_scale(p), p)
+        return int((counts <= rare_threshold).sum())
+
+    # Larger p inflates mid-rank counts, so fewer types stay rare.
+    lo_p, hi_p = 0.05, 4.0
+    for _ in range(40):
+        mid_p = (lo_p + hi_p) / 2
+        if rare_count(mid_p) > n_rare_types:
+            lo_p = mid_p
+        else:
+            hi_p = mid_p
+    p = (lo_p + hi_p) / 2
+    counts = _stretched_counts(n_types, fit_scale(p), p)
+    # Absorb the residual rounding error into the most common type.
+    counts[0] += n_pois - int(counts.sum())
+    if counts[0] < 1:
+        raise ConfigError("calibration failed: head count went non-positive")
+    return counts
+
+
+def generate_city(config: SyntheticCityConfig, seed: int) -> POIDatabase:
+    """Generate a synthetic city and return its :class:`POIDatabase`."""
+    rng = derive_rng(seed, "city", config.name)
+    extent = config.extent_m
+    bounds = BBox(0.0, 0.0, extent, extent)
+
+    if config.n_rare_types is not None:
+        counts = calibrated_type_counts(
+            config.n_pois, config.n_types, config.n_rare_types, config.rare_threshold
+        )
+    else:
+        counts = zipf_type_counts(config.n_pois, config.n_types, config.zipf_exponent)
+
+    # Cluster layout: centers keep a margin so cluster mass stays in-city.
+    margin = min(extent * 0.05, 2_000.0)
+    centers = rng.uniform(margin, extent - margin, size=(config.n_clusters, 2))
+    sigmas = np.exp(
+        rng.uniform(
+            np.log(config.cluster_sigma_min),
+            np.log(config.cluster_sigma_max),
+            size=config.n_clusters,
+        )
+    )
+    # Heavier clusters attract more types; a power-law weight keeps a few
+    # dominant "downtown" clusters, as in real cities.
+    cluster_weight = rng.pareto(1.5, size=config.n_clusters) + 1.0
+    cluster_weight /= cluster_weight.sum()
+
+    # Per-type affinity over clusters: the Dirichlet concentration shrinks
+    # with rarity so rare types occupy few clusters.
+    popularity = counts / counts.max()
+    type_ids = np.empty(config.n_pois, dtype=np.intp)
+    xy = np.empty((config.n_pois, 2), dtype=float)
+    cursor = 0
+    for t in range(config.n_types):
+        n_t = int(counts[t])
+        conc = config.affinity_rare + (config.affinity_common - config.affinity_rare) * float(
+            popularity[t]
+        )
+        affinity = rng.dirichlet(conc * config.n_clusters * cluster_weight)
+        is_background = rng.uniform(size=n_t) < config.background_fraction
+        n_bg = int(is_background.sum())
+        placed = np.empty((n_t, 2), dtype=float)
+        if n_bg:
+            placed[is_background] = rng.uniform(0.0, extent, size=(n_bg, 2))
+        n_cl = n_t - n_bg
+        if n_cl:
+            which = rng.choice(config.n_clusters, size=n_cl, p=affinity)
+            offsets = rng.normal(0.0, 1.0, size=(n_cl, 2)) * sigmas[which, None]
+            placed[~is_background] = centers[which] + offsets
+        xy[cursor : cursor + n_t] = placed
+        type_ids[cursor : cursor + n_t] = t
+        cursor += n_t
+
+    np.clip(xy[:, 0], 0.0, extent, out=xy[:, 0])
+    np.clip(xy[:, 1], 0.0, extent, out=xy[:, 1])
+
+    # Shuffle so POI indices carry no type information.
+    perm = rng.permutation(config.n_pois)
+    xy = xy[perm]
+    type_ids = type_ids[perm]
+
+    vocab = TypeVocabulary.synthetic(config.n_types, prefix=f"{config.name}_type")
+    return POIDatabase(xy, type_ids, vocab, bounds=bounds)

@@ -1,0 +1,32 @@
+"""POI data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.point import Point
+
+__all__ = ["POI"]
+
+
+@dataclass(frozen=True, slots=True)
+class POI:
+    """A point of interest.
+
+    Attributes
+    ----------
+    poi_id:
+        Stable integer identifier, unique within a database.
+    location:
+        Planar position in the city's local frame, in meters.
+    type_id:
+        Index into the city's :class:`~repro.poi.vocabulary.TypeVocabulary`.
+    """
+
+    poi_id: int
+    location: Point
+    type_id: int
+
+    def __post_init__(self) -> None:
+        if self.type_id < 0:
+            raise ValueError(f"type_id must be non-negative, got {self.type_id}")

@@ -1,0 +1,62 @@
+"""POI type vocabulary.
+
+OSM tags POIs with category strings ("restaurant", "pharmacy", ...).  The
+algorithms only ever use the *index* of a type in a fixed vocabulary, so the
+vocabulary maps names to dense integer ids and back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import DatasetError
+
+__all__ = ["TypeVocabulary"]
+
+
+class TypeVocabulary:
+    """An ordered, immutable set of POI type names with dense integer ids."""
+
+    def __init__(self, names: Sequence[str]):
+        names = list(names)
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise DatasetError(f"duplicate type names: {dupes}")
+        if not names:
+            raise DatasetError("a vocabulary needs at least one type")
+        self._names: tuple[str, ...] = tuple(names)
+        self._ids: dict[str, int] = {name: i for i, name in enumerate(names)}
+
+    @classmethod
+    def synthetic(cls, n_types: int, prefix: str = "type") -> "TypeVocabulary":
+        """Build a vocabulary of *n_types* generated names (``type_000``...)."""
+        if n_types <= 0:
+            raise DatasetError(f"n_types must be positive, got {n_types}")
+        width = len(str(n_types - 1))
+        return cls([f"{prefix}_{i:0{width}d}" for i in range(n_types)])
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def name_of(self, type_id: int) -> str:
+        """Name of a type id; raises :class:`DatasetError` if out of range."""
+        if not 0 <= type_id < len(self._names):
+            raise DatasetError(f"type id {type_id} out of range [0, {len(self._names)})")
+        return self._names[type_id]
+
+    def id_of(self, name: str) -> int:
+        """Id of a type name; raises :class:`DatasetError` if unknown."""
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise DatasetError(f"unknown type name: {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names

@@ -1,0 +1,72 @@
+"""Tests for the adversary map-degradation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.map_noise import attack_with_degraded_map, degrade_map
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+
+
+class TestDegradeMap:
+    def test_no_degradation_is_equivalent(self, db):
+        copy = degrade_map(db, rng=derive_rng(1, "mn"))
+        assert len(copy) == len(db)
+        np.testing.assert_array_equal(copy.positions, db.positions)
+        np.testing.assert_array_equal(copy.type_ids, db.type_ids)
+
+    def test_drop_fraction(self, db):
+        copy = degrade_map(db, drop_fraction=0.5, rng=derive_rng(2, "mn"))
+        assert 0.35 * len(db) < len(copy) < 0.65 * len(db)
+
+    def test_move_sigma_displaces(self, db):
+        copy = degrade_map(db, move_sigma_m=100.0, rng=derive_rng(3, "mn"))
+        assert len(copy) == len(db)
+        displacement = np.hypot(
+            *(copy.positions - db.positions).T
+        )
+        assert displacement.mean() == pytest.approx(100.0 * np.sqrt(np.pi / 2), rel=0.1)
+
+    def test_positions_stay_in_bounds(self, db):
+        copy = degrade_map(db, move_sigma_m=5_000.0, rng=derive_rng(4, "mn"))
+        b = db.bounds
+        assert copy.positions[:, 0].min() >= b.min_x
+        assert copy.positions[:, 0].max() <= b.max_x
+
+    def test_vocabulary_shared(self, db):
+        copy = degrade_map(db, drop_fraction=0.2, rng=derive_rng(5, "mn"))
+        assert copy.vocabulary is db.vocabulary
+
+    def test_validation(self, db):
+        with pytest.raises(ConfigError):
+            degrade_map(db, drop_fraction=1.0)
+        with pytest.raises(ConfigError):
+            degrade_map(db, move_sigma_m=-1.0)
+
+
+class TestAttackWithDegradedMap:
+    @pytest.fixture(scope="class")
+    def targets(self, city):
+        rng = derive_rng(6, "mn-targets")
+        return [city.interior(900.0).sample_point(rng) for _ in range(80)]
+
+    def test_perfect_map_matches_direct_attack(self, db, targets):
+        from repro.attacks.metrics import evaluate_region_attack
+
+        result = attack_with_degraded_map(db, targets, 900.0, rng=derive_rng(7, "mn"))
+        direct = evaluate_region_attack(db, targets, 900.0)
+        assert result.n_success == direct.n_success
+        assert result.n_correct == direct.n_correct
+
+    def test_degradation_reduces_correct_rate(self, db, targets):
+        clean = attack_with_degraded_map(db, targets, 900.0, rng=derive_rng(8, "a"))
+        noisy = attack_with_degraded_map(
+            db, targets, 900.0, drop_fraction=0.4, rng=derive_rng(8, "b")
+        )
+        assert noisy.n_correct <= clean.n_correct
+
+    def test_rates_well_formed(self, db, targets):
+        result = attack_with_degraded_map(
+            db, targets, 900.0, drop_fraction=0.2, move_sigma_m=50.0, rng=derive_rng(9, "mn")
+        )
+        assert 0.0 <= result.correct_rate <= result.success_rate <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for the uniqueness-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uniqueness import (
+    anchor_statistics,
+    uniqueness_map,
+    uniqueness_rate,
+)
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+
+
+class TestUniquenessRate:
+    def test_rate_in_unit_interval(self, db):
+        rate = uniqueness_rate(db, radius=700.0, n_samples=60, rng=derive_rng(1, "u"))
+        assert 0.0 <= rate <= 1.0
+
+    def test_rate_grows_with_radius(self, db):
+        low = uniqueness_rate(db, radius=300.0, n_samples=120, rng=derive_rng(2, "u"))
+        high = uniqueness_rate(db, radius=1_500.0, n_samples=120, rng=derive_rng(2, "u"))
+        assert high >= low
+
+    def test_deterministic(self, db):
+        a = uniqueness_rate(db, 600.0, n_samples=50, rng=derive_rng(3, "u"))
+        b = uniqueness_rate(db, 600.0, n_samples=50, rng=derive_rng(3, "u"))
+        assert a == b
+
+    def test_invalid_samples(self, db):
+        with pytest.raises(ConfigError):
+            uniqueness_rate(db, 500.0, n_samples=0)
+
+
+class TestUniquenessMap:
+    def test_grid_shape_covers_city(self, db):
+        m = uniqueness_map(db, radius=800.0, cell_m=1_000.0)
+        assert m.grid.shape == (10, 10)  # 10 km city, 1 km cells
+        assert 0.0 <= m.rate <= 1.0
+
+    def test_ascii_render(self, db):
+        m = uniqueness_map(db, radius=800.0, cell_m=2_500.0)
+        text = m.to_ascii()
+        lines = text.splitlines()
+        assert len(lines) == m.grid.shape[0]
+        assert all(set(line) <= {"#", "."} for line in lines)
+
+    def test_map_rate_matches_grid(self, db):
+        m = uniqueness_map(db, radius=800.0, cell_m=2_500.0)
+        assert m.rate == pytest.approx(float(np.mean(m.grid)))
+
+    def test_invalid_cell(self, db):
+        with pytest.raises(ConfigError):
+            uniqueness_map(db, 500.0, cell_m=0.0)
+
+
+class TestAnchorStatistics:
+    def test_anchors_are_rare_types(self, db):
+        stats = anchor_statistics(db, radius=900.0, n_samples=200, rng=derive_rng(4, "a"))
+        assert stats.n_success > 0
+        # Anchors concentrate on the infrequent tail of the vocabulary.
+        median_rank_fraction = stats.median_anchor_rank / db.n_types
+        assert median_rank_fraction < 0.5
+        assert stats.median_anchor_city_count <= np.median(db.city_frequency)
+
+    def test_counts_sum_to_successes(self, db):
+        stats = anchor_statistics(db, radius=900.0, n_samples=150, rng=derive_rng(5, "a"))
+        assert sum(stats.anchor_counts.values()) == stats.n_success
+
+    def test_top_anchor_types_sorted(self, db):
+        stats = anchor_statistics(db, radius=900.0, n_samples=150, rng=derive_rng(6, "a"))
+        top = stats.top_anchor_types(3)
+        uses = [u for _, u in top]
+        assert uses == sorted(uses, reverse=True)
+
+    def test_invalid_samples(self, db):
+        with pytest.raises(ConfigError):
+            anchor_statistics(db, 500.0, n_samples=-1)

@@ -1,0 +1,85 @@
+"""Tests for the attack evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackOutcome, ReIdentifiedRegion
+from repro.attacks.metrics import AttackEvaluation, evaluate_region_attack
+from repro.core.rng import derive_rng
+from repro.defense.base import NoDefense
+from repro.geo.disk import Disk
+from repro.geo.point import Point
+
+
+class TestAttackEvaluation:
+    def test_rates(self):
+        ev = AttackEvaluation(n_targets=10, n_success=4, n_correct=3, areas_km2=(1.0, 2.0, 3.0, 4.0))
+        assert ev.success_rate == 0.4
+        assert ev.correct_rate == 0.3
+        assert ev.mean_area_km2 == 2.5
+
+    def test_empty(self):
+        ev = AttackEvaluation(0, 0, 0, ())
+        assert ev.success_rate == 0.0
+        assert np.isnan(ev.mean_area_km2)
+
+    def test_mitigation(self):
+        base = AttackEvaluation(10, 8, 8, ())
+        defended = AttackEvaluation(10, 3, 2, ())
+        assert defended.mitigation_vs(base) == pytest.approx(6 / 8)
+
+    def test_mitigation_zero_baseline(self):
+        base = AttackEvaluation(10, 0, 0, ())
+        assert AttackEvaluation(10, 0, 0, ()).mitigation_vs(base) == 0.0
+
+    def test_mitigation_never_negative(self):
+        base = AttackEvaluation(10, 2, 2, ())
+        worse = AttackEvaluation(10, 5, 5, ())
+        assert worse.mitigation_vs(base) == 0.0
+
+
+class TestAttackOutcome:
+    def test_success_semantics(self):
+        region = ReIdentifiedRegion(Disk(Point(0, 0), 100.0), anchor_poi=3)
+        unique = AttackOutcome(candidates=(3,), regions=(region,))
+        assert unique.success and unique.region is region
+        assert unique.locates(Point(50, 0))
+        assert not unique.locates(Point(500, 0))
+
+    def test_ambiguous_is_failure(self):
+        outcome = AttackOutcome(candidates=(1, 2))
+        assert not outcome.success
+        assert outcome.region is None
+        assert not outcome.locates(Point(0, 0))
+
+
+class TestEvaluateRegionAttack:
+    def test_consistency_with_direct_attack(self, city, db):
+        from repro.attacks.region import RegionAttack
+
+        rng = derive_rng(1, "eval")
+        r = 700.0
+        targets = [city.interior(r).sample_point(rng) for _ in range(40)]
+        ev = evaluate_region_attack(db, targets, r)
+        attack = RegionAttack(db)
+        expected = sum(attack.run(db.freq(t, r), r).success for t in targets)
+        assert ev.n_success == expected
+
+    def test_no_defense_success_equals_correct(self, city, db):
+        rng = derive_rng(2, "eval2")
+        r = 700.0
+        targets = [city.interior(r).sample_point(rng) for _ in range(40)]
+        ev = evaluate_region_attack(db, targets, r, defense=NoDefense())
+        assert ev.n_success == ev.n_correct
+
+    def test_areas_are_baseline_disks(self, city, db):
+        rng = derive_rng(3, "eval3")
+        r = 1_000.0
+        targets = [city.interior(r).sample_point(rng) for _ in range(30)]
+        ev = evaluate_region_attack(db, targets, r)
+        for area in ev.areas_km2:
+            assert area == pytest.approx(np.pi, rel=1e-6)
+
+    def test_empty_targets(self, db):
+        ev = evaluate_region_attack(db, [], 500.0)
+        assert ev.n_targets == 0 and ev.success_rate == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the fine-grained attack (Algorithm 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.fine_grained import FineGrainedAttack
+from repro.core.errors import AttackError
+from repro.core.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def setting(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    return city, city.database
+
+
+class TestHarvesting:
+    def test_failure_produces_no_anchors(self, db):
+        attack = FineGrainedAttack(db)
+        outcome = attack.run(np.zeros(db.n_types, dtype=int), 500.0)
+        assert not outcome.success
+        assert outcome.anchors == ()
+        assert outcome.region() is None
+        assert math.isnan(outcome.search_area_m2())
+
+    def test_max_aux_respected(self, city, db):
+        rng = derive_rng(4, "maxaux")
+        r = 800.0
+        box = city.interior(r)
+        for cap in (1, 3, 10):
+            attack = FineGrainedAttack(db, max_aux=cap)
+            for _ in range(30):
+                target = box.sample_point(rng)
+                outcome = attack.run(db.freq(target, r), r)
+                assert len(outcome.anchors) <= cap
+
+    def test_major_anchor_not_in_aux(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=20)
+        rng = derive_rng(5, "noself")
+        r = 800.0
+        box = city.interior(r)
+        for _ in range(40):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if outcome.success:
+                assert outcome.major_anchor not in outcome.anchors
+
+    def test_anchors_within_2r_of_major(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=20)
+        rng = derive_rng(6, "within2r")
+        r = 700.0
+        box = city.interior(r)
+        for _ in range(40):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if not outcome.success:
+                continue
+            major_loc = db.location_of(outcome.major_anchor)
+            for a in outcome.anchors:
+                assert major_loc.distance_to(db.location_of(a)) <= 2 * r + 1e-6
+
+    def test_negative_max_aux_raises(self, db):
+        with pytest.raises(AttackError):
+            FineGrainedAttack(db, max_aux=-1)
+
+
+class TestSearchArea:
+    def test_area_never_exceeds_baseline(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=20)
+        rng = derive_rng(7, "area")
+        r = 700.0
+        box = city.interior(r)
+        baseline = math.pi * r * r
+        for _ in range(30):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if outcome.success:
+                area = outcome.search_area_m2(n_samples=4_000, rng=rng)
+                assert area <= baseline + 1e-6
+
+    def test_more_anchors_never_grow_area(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=20)
+        rng = derive_rng(8, "mono")
+        r = 700.0
+        box = city.interior(r)
+        for _ in range(20):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if not outcome.success or len(outcome.anchors) < 4:
+                continue
+            # Same sample stream per comparison for a fair MC estimate.
+            few = outcome.search_area_m2(n_aux=2, n_samples=6_000, rng=derive_rng(9, "mc"))
+            many = outcome.search_area_m2(n_aux=None, n_samples=6_000, rng=derive_rng(9, "mc"))
+            assert many <= few + 1e-6
+
+    def test_zero_anchors_is_baseline_area(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=0)
+        rng = derive_rng(10, "zero")
+        r = 700.0
+        box = city.interior(r)
+        for _ in range(20):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if outcome.success:
+                assert outcome.search_area_m2(rng=rng) == pytest.approx(math.pi * r * r)
+                break
+        else:
+            pytest.skip("no unique target found")
+
+
+class TestSoundOnlyVariant:
+    def test_sound_only_always_contains_target(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=20, sound_only=True)
+        rng = derive_rng(11, "sound")
+        r = 700.0
+        box = city.interior(r)
+        n_checked = 0
+        for _ in range(60):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if outcome.success:
+                n_checked += 1
+                assert outcome.contains(target)
+        assert n_checked > 0
+
+    def test_sound_only_harvests_subset(self, city, db):
+        full = FineGrainedAttack(db, max_aux=50)
+        sound = FineGrainedAttack(db, max_aux=50, sound_only=True)
+        rng = derive_rng(12, "subset")
+        r = 700.0
+        box = city.interior(r)
+        for _ in range(30):
+            target = box.sample_point(rng)
+            freq = db.freq(target, r)
+            a = full.run(freq, r)
+            b = sound.run(freq, r)
+            if a.success:
+                assert set(b.anchors) <= set(a.anchors)
+
+
+class TestPointEstimate:
+    def test_point_estimate_inside_region(self, city, db):
+        attack = FineGrainedAttack(db, max_aux=10, sound_only=True)
+        rng = derive_rng(13, "pt")
+        r = 700.0
+        box = city.interior(r)
+        for _ in range(40):
+            target = box.sample_point(rng)
+            outcome = attack.run(db.freq(target, r), r)
+            if outcome.success:
+                estimate = outcome.point_estimate(n_samples=4_000, rng=rng)
+                assert estimate is not None
+                region = outcome.region()
+                assert region.contains(estimate)
+                return
+        pytest.skip("no unique target found")

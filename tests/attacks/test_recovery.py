@@ -1,0 +1,115 @@
+"""Tests for the anti-sanitization recovery attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.recovery import SanitizationRecoveryAttack
+from repro.core.errors import AttackError, NotFittedError
+from repro.core.rng import derive_rng
+from repro.defense.sanitization import Sanitizer
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    db = city.database
+    sanitizer = Sanitizer(db, threshold=10)
+    attack = SanitizationRecoveryAttack(db, sanitizer)
+    report = attack.fit(
+        radius=900.0,
+        n_train=250,
+        n_validation=70,
+        rng=derive_rng(1, "recfit"),
+        bounds=city.interior(900.0),
+    )
+    return city, db, sanitizer, attack, report
+
+
+class TestTraining:
+    def test_one_model_per_sanitized_type(self, fitted):
+        _, _, sanitizer, attack, report = fitted
+        assert len(report.type_ids) == sanitizer.n_sanitized
+
+    def test_validation_accuracy_is_high(self, fitted):
+        """The paper reports > 0.95 mean accuracy (Fig. 2)."""
+        *_, report = fitted
+        assert report.mean_accuracy > 0.9
+
+    def test_report_stats(self, fitted):
+        *_, report = fitted
+        assert 0.0 <= report.std_accuracy <= 0.5
+        assert all(0.0 <= a <= 1.0 for a in report.accuracies)
+
+    def test_unfitted_recover_raises(self, db):
+        attack = SanitizationRecoveryAttack(db, Sanitizer(db, 10))
+        with pytest.raises(NotFittedError):
+            attack.recover(np.zeros(db.n_types))
+
+    def test_bad_sizes_raise(self, db):
+        attack = SanitizationRecoveryAttack(db, Sanitizer(db, 10))
+        with pytest.raises(AttackError):
+            attack.fit(radius=500.0, n_train=0, n_validation=10)
+
+
+class TestRecovery:
+    def test_recovers_nonsanitized_part_verbatim(self, fitted):
+        city, db, sanitizer, attack, _ = fitted
+        rng = derive_rng(2, "recv")
+        target = city.interior(900.0).sample_point(rng)
+        original = db.freq(target, 900.0)
+        sanitized = sanitizer.sanitize_vector(original)
+        recovered = attack.recover(sanitized)
+        keep = np.ones(db.n_types, dtype=bool)
+        keep[sanitizer.sanitized_types] = False
+        np.testing.assert_array_equal(recovered[keep], original[keep])
+
+    def test_recovered_values_nonnegative_ints(self, fitted):
+        city, db, sanitizer, attack, _ = fitted
+        rng = derive_rng(3, "recv2")
+        targets = [city.interior(900.0).sample_point(rng) for _ in range(10)]
+        sanitized = np.stack(
+            [sanitizer.sanitize_vector(db.freq(t, 900.0)) for t in targets]
+        )
+        recovered = attack.recover_many(sanitized)
+        assert recovered.dtype == np.int64
+        assert (recovered >= 0).all()
+
+    def test_recovery_beats_sanitized_vector(self, fitted):
+        """Recovered vectors are closer to the truth than sanitized ones."""
+        city, db, sanitizer, attack, _ = fitted
+        rng = derive_rng(4, "recv3")
+        targets = [city.interior(900.0).sample_point(rng) for _ in range(60)]
+        originals = np.stack([db.freq(t, 900.0) for t in targets])
+        sanitized = np.stack([sanitizer.sanitize_vector(v) for v in originals])
+        recovered = attack.recover_many(sanitized)
+        err_sanitized = np.abs(sanitized - originals).sum()
+        err_recovered = np.abs(recovered - originals).sum()
+        assert err_recovered < err_sanitized
+
+    def test_shape_mismatch_raises(self, fitted):
+        attack = fitted[3]
+        with pytest.raises(AttackError):
+            attack.recover_many(np.zeros((2, 3)))
+
+
+class TestLimitTypes:
+    def test_limit_restricts_models(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        attack = SanitizationRecoveryAttack(db, sanitizer, limit_types=5)
+        assert len(attack.modeled_types) == 5
+        # And they are the city-rarest sanitized types.
+        ranks = db.infrequent_ranks
+        modeled_ranks = ranks[attack.modeled_types]
+        other = np.setdiff1d(sanitizer.sanitized_types, attack.modeled_types)
+        assert modeled_ranks.max() <= ranks[other].min()
+
+    def test_limit_larger_than_count_is_all(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        attack = SanitizationRecoveryAttack(db, sanitizer, limit_types=10_000)
+        np.testing.assert_array_equal(attack.modeled_types, sanitizer.sanitized_types)
+
+    def test_invalid_limit_raises(self, db):
+        with pytest.raises(AttackError):
+            SanitizationRecoveryAttack(db, Sanitizer(db, 10), limit_types=0)

@@ -1,0 +1,111 @@
+"""Tests for the continuous tracking attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.region import RegionAttack
+from repro.attacks.tracker import ContinuousTracker, TimedRelease
+from repro.core.errors import AttackError
+from repro.core.rng import derive_rng
+from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories
+
+
+@pytest.fixture(scope="module")
+def trace_releases(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    db = city.database
+    radius = 600.0
+    config = TaxiFleetConfig(
+        n_taxis=12, trips_per_taxi=4, speed_max_mps=15.0, gps_noise_m=5.0
+    )
+    trajectories = synthesize_taxi_trajectories(db, config, derive_rng(1, "trk"))
+    traces = []
+    for traj in trajectories:
+        releases = [
+            TimedRelease(db.freq(p.location, radius), p.timestamp) for p in traj.points
+        ]
+        traces.append((traj, releases))
+    return city, db, radius, traces
+
+
+class TestContinuousTracker:
+    def test_validation(self, db):
+        with pytest.raises(AttackError):
+            ContinuousTracker(db, max_speed_mps=0.0)
+        tracker = ContinuousTracker(db)
+        with pytest.raises(AttackError):
+            tracker.track([], 500.0)
+
+    def test_rejects_unordered_releases(self, db):
+        tracker = ContinuousTracker(db)
+        releases = [
+            TimedRelease(np.zeros(db.n_types, dtype=int), 10.0),
+            TimedRelease(np.zeros(db.n_types, dtype=int), 5.0),
+        ]
+        with pytest.raises(AttackError, match="time-ordered"):
+            tracker.track(releases, 500.0)
+
+    def test_no_false_negative_chain(self, trace_releases):
+        """With a sound speed bound, every unique step is correct."""
+        _, db, radius, traces = trace_releases
+        tracker = ContinuousTracker(db, max_speed_mps=30.0)
+        checked = 0
+        for traj, releases in traces:
+            result = tracker.track(releases, radius)
+            for step in result.unique_steps:
+                anchor = result.candidate_at(step)
+                true_loc = traj.points[step].location
+                dist = db.location_of(anchor).distance_to(true_loc)
+                assert dist <= radius + 1e-6
+                checked += 1
+        assert checked > 0
+
+    def test_tracking_beats_independent_attacks(self, trace_releases):
+        """Filtering across steps yields at least as many unique steps."""
+        _, db, radius, traces = trace_releases
+        tracker = ContinuousTracker(db, max_speed_mps=30.0)
+        attack = RegionAttack(db)
+        total_tracked = total_indep = 0
+        n_steps = 0
+        for traj, releases in traces:
+            result = tracker.track(releases, radius)
+            total_tracked += len(result.unique_steps)
+            for release in releases:
+                total_indep += attack.run(
+                    np.asarray(release.frequency_vector), radius
+                ).success
+            n_steps += len(releases)
+        assert total_tracked >= total_indep
+        assert result.n_steps == len(releases)
+
+    def test_smoothing_never_hurts(self, trace_releases):
+        _, db, radius, traces = trace_releases
+        plain = ContinuousTracker(db, max_speed_mps=30.0, smooth=False)
+        smoothed = ContinuousTracker(db, max_speed_mps=30.0, smooth=True)
+        for traj, releases in traces[:4]:
+            a = plain.track(releases, radius)
+            b = smoothed.track(releases, radius)
+            assert len(b.unique_steps) >= len(a.unique_steps)
+            # Smoothed candidate sets are subsets of the forward-only sets.
+            for sa, sb in zip(a.candidates_per_step, b.candidates_per_step):
+                assert set(sb) <= set(sa)
+
+    def test_unique_rate_bounds(self, trace_releases):
+        _, db, radius, traces = trace_releases
+        tracker = ContinuousTracker(db)
+        _, releases = traces[0]
+        result = tracker.track(releases, radius)
+        assert 0.0 <= result.unique_rate <= 1.0
+
+    def test_huge_speed_bound_degenerates_to_independent(self, trace_releases):
+        """An uninformative bound (~infinite speed) prunes nothing."""
+        _, db, radius, traces = trace_releases
+        tracker = ContinuousTracker(db, max_speed_mps=1e9, smooth=False)
+        attack = RegionAttack(db)
+        _, releases = traces[0]
+        result = tracker.track(releases, radius)
+        for release, cands in zip(releases, result.candidates_per_step):
+            _, raw = attack.candidate_set(np.asarray(release.frequency_vector), radius)
+            assert set(cands) == set(raw.tolist())

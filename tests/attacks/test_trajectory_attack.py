@@ -1,0 +1,136 @@
+"""Tests for the trajectory-uniqueness attack and its distance regressor."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.trajectory import (
+    DistanceRegressor,
+    PairRelease,
+    TrajectoryAttack,
+)
+from repro.core.errors import AttackError, NotFittedError
+from repro.core.rng import derive_rng
+from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories
+from repro.datasets.trajectory import extract_release_pairs
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    db = city.database
+    config = TaxiFleetConfig(n_taxis=60, trips_per_taxi=4)
+    trajs = synthesize_taxi_trajectories(db, config, rng=derive_rng(1, "fleet"))
+    pairs = extract_release_pairs(trajs, max_gap_s=600.0)
+    radius = 600.0
+    usable = []
+    for p in pairs:
+        f1 = db.freq(p.first.location, radius)
+        f2 = db.freq(p.second.location, radius)
+        usable.append(
+            (
+                p,
+                PairRelease(f1, f2, p.first.timestamp, p.second.timestamp),
+            )
+        )
+    return city, db, radius, usable
+
+
+class TestPairRelease:
+    def test_metadata_fields(self):
+        rel = PairRelease(np.zeros(3), np.zeros(3), 3_600.0 * 30, 3_600.0 * 30 + 300)
+        assert rel.duration == 300.0
+        assert rel.hour_of_day == 6
+        assert rel.day_of_week == 1
+
+
+class TestDistanceRegressor:
+    def test_learns_duration_distance_relation(self, training_data):
+        _, _, _, usable = training_data
+        releases = [rel for _, rel in usable]
+        distances = np.array([p.distance for p, _ in usable])
+        split = len(usable) // 2
+        reg = DistanceRegressor().fit(releases[:split], distances[:split])
+        pred = reg.predict(releases[split:])
+        truth = distances[split:]
+        # Predicting with the model must beat predicting the mean.
+        baseline = np.abs(truth - distances[:split].mean()).mean()
+        model_err = np.abs(truth - pred).mean()
+        assert model_err < baseline
+
+    def test_tolerance_reflects_band_quantile(self, training_data):
+        _, _, _, usable = training_data
+        releases = [rel for _, rel in usable][:200]
+        distances = np.array([p.distance for p, _ in usable])[:200]
+        tight = DistanceRegressor().fit(releases, distances, band_quantile=0.5)
+        loose = DistanceRegressor().fit(releases, distances, band_quantile=0.95)
+        assert tight.tolerance_m < loose.tolerance_m
+
+    def test_too_few_pairs_raise(self):
+        with pytest.raises(AttackError):
+            DistanceRegressor().fit([], np.array([]))
+
+    def test_length_mismatch_raises(self, training_data):
+        _, _, _, usable = training_data
+        releases = [rel for _, rel in usable][:20]
+        with pytest.raises(AttackError):
+            DistanceRegressor().fit(releases, np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        reg = DistanceRegressor()
+        with pytest.raises(NotFittedError):
+            reg.predict([PairRelease(np.zeros(2), np.zeros(2), 0.0, 60.0)])
+        with pytest.raises(NotFittedError):
+            _ = reg.tolerance_m
+
+
+class TestTrajectoryAttack:
+    @pytest.fixture(scope="class")
+    def attack(self, training_data):
+        _, db, _, usable = training_data
+        releases = [rel for _, rel in usable]
+        distances = np.array([p.distance for p, _ in usable])
+        split = len(usable) // 2
+        reg = DistanceRegressor().fit(releases[:split], distances[:split])
+        return TrajectoryAttack(db, reg), usable[split:]
+
+    def test_enhanced_never_worse_when_single_succeeds(self, training_data, attack):
+        _, db, radius, _ = training_data
+        atk, test_pairs = attack
+        for _, rel in test_pairs[:60]:
+            outcome = atk.run(rel, radius)
+            if outcome.single.success:
+                assert outcome.enhanced.success
+                assert outcome.enhanced.candidates == outcome.single.candidates
+
+    def test_enhanced_candidates_subset_of_single(self, training_data, attack):
+        _, db, radius, _ = training_data
+        atk, test_pairs = attack
+        from repro.attacks.region import RegionAttack
+
+        region = RegionAttack(db)
+        for _, rel in test_pairs[:60]:
+            outcome = atk.run(rel, radius)
+            _, base_candidates = region.candidate_set(rel.freq_first, radius)
+            assert set(outcome.enhanced.candidates) <= set(base_candidates.tolist()) | set(
+                outcome.single.candidates
+            )
+
+    def test_gain_flag_consistency(self, training_data, attack):
+        _, _, radius, _ = training_data
+        atk, test_pairs = attack
+        for _, rel in test_pairs[:60]:
+            outcome = atk.run(rel, radius)
+            assert outcome.gain == (outcome.enhanced.success and not outcome.single.success)
+
+    def test_attack_improves_success_rate(self, training_data, attack):
+        """The headline of Fig. 8: pairs raise the overall success rate."""
+        _, _, radius, _ = training_data
+        atk, test_pairs = attack
+        n_single = n_enhanced = 0
+        for _, rel in test_pairs:
+            outcome = atk.run(rel, radius)
+            n_single += outcome.single.success
+            n_enhanced += outcome.enhanced.success
+        assert n_enhanced >= n_single

@@ -1,0 +1,75 @@
+"""Edge-path tests for the trajectory attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
+from repro.core.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def regressor(db):
+    """A minimal fitted regressor over synthetic pairs."""
+    rng = derive_rng(1, "edge-reg")
+    releases = []
+    distances = []
+    for _ in range(30):
+        a = db.bounds.sample_point(rng)
+        b = db.bounds.sample_point(rng)
+        t0 = float(rng.uniform(0, 86_400))
+        releases.append(
+            PairRelease(db.freq(a, 600.0), db.freq(b, 600.0), t0, t0 + 300.0)
+        )
+        distances.append(a.distance_to(b))
+    return DistanceRegressor().fit(releases, np.array(distances))
+
+
+class TestTrajectoryAttackEdges:
+    def test_empty_first_release_fails_gracefully(self, db, regressor):
+        attack = TrajectoryAttack(db, regressor)
+        zero = np.zeros(db.n_types, dtype=int)
+        some = db.freq(db.location_of(0), 600.0)
+        outcome = attack.run(PairRelease(zero, some, 0.0, 100.0), 600.0)
+        assert not outcome.enhanced.success
+        assert outcome.predicted_distance_m is None
+
+    def test_empty_second_release_keeps_single_result(self, db, regressor):
+        attack = TrajectoryAttack(db, regressor)
+        some = db.freq(db.location_of(0), 600.0)
+        zero = np.zeros(db.n_types, dtype=int)
+        outcome = attack.run(PairRelease(some, zero, 0.0, 100.0), 600.0)
+        # With no second candidates the pair adds nothing; the enhanced
+        # result equals the single-release one.
+        assert outcome.enhanced.candidates == outcome.single.candidates
+
+    def test_unique_single_short_circuits(self, db, city, regressor):
+        from repro.attacks.region import RegionAttack
+
+        attack = TrajectoryAttack(db, regressor)
+        base = RegionAttack(db)
+        rng = derive_rng(2, "edge")
+        for _ in range(60):
+            loc = city.interior(600.0).sample_point(rng)
+            f1 = db.freq(loc, 600.0)
+            if not base.run(f1, 600.0).success:
+                continue
+            outcome = attack.run(PairRelease(f1, f1, 0.0, 60.0), 600.0)
+            assert outcome.single.success
+            assert outcome.predicted_distance_m is None  # never consulted
+            return
+        pytest.skip("no unique location sampled")
+
+    def test_min_tolerance_floor_applies(self, db, regressor):
+        attack = TrajectoryAttack(db, regressor, min_tolerance_m=1e7)
+        some = db.freq(db.location_of(0), 600.0)
+        other = db.freq(db.location_of(1), 600.0)
+        outcome = attack.run(PairRelease(some, other, 0.0, 100.0), 600.0)
+        # A huge floor accepts every pair: the enhanced set equals the raw
+        # first-release candidate set (filtering removes nothing).
+        from repro.attacks.region import RegionAttack
+
+        _, raw = RegionAttack(db).candidate_set(some, 600.0)
+        if not outcome.single.success and len(raw) and len(
+            RegionAttack(db).candidate_set(other, 600.0)[1]
+        ):
+            assert set(outcome.enhanced.candidates) == set(raw.tolist())

@@ -1,0 +1,50 @@
+"""Shared fixtures: a small deterministic city and common RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.poi.cities import small_city
+from repro.poi.database import POIDatabase
+from repro.poi.vocabulary import TypeVocabulary
+
+
+@pytest.fixture(scope="session")
+def city():
+    """The 1,500-POI test city (cached across the whole session)."""
+    return small_city(seed=7)
+
+
+@pytest.fixture(scope="session")
+def db(city):
+    return city.database
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A hand-built 6-POI database with known geometry.
+
+    Layout (meters), vocabulary (a, b, c)::
+
+        a@(100,100)  a@(900,100)  b@(500,500)  b@(520,520)  c@(500,900)  a@(480,480)
+    """
+    vocab = TypeVocabulary(["a", "b", "c"])
+    xy = np.array(
+        [
+            [100.0, 100.0],
+            [900.0, 100.0],
+            [500.0, 500.0],
+            [520.0, 520.0],
+            [500.0, 900.0],
+            [480.0, 480.0],
+        ]
+    )
+    types = np.array([0, 0, 1, 1, 2, 0])
+    return POIDatabase(xy, types, vocab, bounds=BBox(0, 0, 1000, 1000), cell_size=100)

@@ -1,0 +1,130 @@
+"""Tests for the road-network substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.core.rng import derive_rng
+from repro.datasets.roads import (
+    RoadFleetConfig,
+    RoadNetwork,
+    synthesize_road_trajectories,
+)
+from repro.geo.point import Point
+
+
+@pytest.fixture(scope="module")
+def network(db):
+    return RoadNetwork.synthesize(db, n_intersections=120, rng=derive_rng(1, "roads"))
+
+
+class TestRoadNetwork:
+    def test_node_and_edge_counts(self, network):
+        assert network.n_nodes == 120
+        assert network.n_edges >= 120  # kNN with k=3 gives >= n edges
+
+    def test_graph_is_connected(self, network):
+        assert nx.is_connected(network.graph)
+
+    def test_nodes_inside_city(self, db, network):
+        for node in range(network.n_nodes):
+            assert db.bounds.contains(network.node_position(node))
+
+    def test_nearest_node(self, network):
+        node = network.nearest_node(Point(5_000, 5_000))
+        pos = network.node_position(node)
+        # No other node can be closer.
+        best = min(
+            network.node_position(n).distance_to(Point(5_000, 5_000))
+            for n in range(network.n_nodes)
+        )
+        assert pos.distance_to(Point(5_000, 5_000)) == pytest.approx(best)
+
+    def test_route_endpoints_snap(self, network):
+        origin, destination = Point(1_000, 1_000), Point(9_000, 9_000)
+        path = network.route(origin, destination)
+        assert path[0] == network.node_position(network.nearest_node(origin))
+        assert path[-1] == network.node_position(network.nearest_node(destination))
+
+    def test_route_follows_edges(self, network):
+        path = network.route(Point(500, 500), Point(9_500, 9_500))
+        nodes = [network.nearest_node(p) for p in path]
+        for a, b in zip(nodes, nodes[1:]):
+            assert network.graph.has_edge(a, b)
+
+    def test_total_length_positive(self, network):
+        assert network.total_length_m() > 0
+
+    def test_validation(self, db):
+        with pytest.raises(DatasetError):
+            RoadNetwork.synthesize(db, n_intersections=1)
+        with pytest.raises(DatasetError):
+            RoadNetwork.synthesize(db, k_neighbours=0)
+        with pytest.raises(DatasetError):
+            RoadNetwork.synthesize(db, poi_bias=2.0)
+
+    def test_deterministic(self, db):
+        a = RoadNetwork.synthesize(db, n_intersections=40, rng=derive_rng(2, "r"))
+        b = RoadNetwork.synthesize(db, n_intersections=40, rng=derive_rng(2, "r"))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+
+class TestRoadTrajectories:
+    @pytest.fixture(scope="class")
+    def trajectories(self, db, network):
+        config = RoadFleetConfig(n_taxis=8, trips_per_taxi=3, gps_noise_m=0.0)
+        return synthesize_road_trajectories(
+            db, network, config, derive_rng(3, "fleet")
+        )
+
+    def test_counts_and_ordering(self, trajectories):
+        assert len(trajectories) == 8
+        for traj in trajectories:
+            times = [p.timestamp for p in traj.points]
+            assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_points_stay_near_roads(self, db, network, trajectories):
+        """Every noise-free sample lies on some road segment."""
+        positions = np.array(
+            [[network.node_position(n).x, network.node_position(n).y] for n in network.graph]
+        )
+        edges = list(network.graph.edges)
+        for traj in trajectories[:3]:
+            for p in traj.points[::5]:
+                dist = min(
+                    _point_segment_distance(
+                        p.location,
+                        network.node_position(a),
+                        network.node_position(b),
+                    )
+                    for a, b in edges
+                )
+                assert dist < 1.0
+
+    def test_speed_bounded(self, trajectories):
+        config_speed = 10.0
+        for traj in trajectories:
+            for a, b in zip(traj.points, traj.points[1:]):
+                dt = b.timestamp - a.timestamp
+                if dt <= 0:
+                    continue
+                speed = a.location.distance_to(b.location) / dt
+                assert speed <= config_speed + 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(DatasetError):
+            RoadFleetConfig(n_taxis=0)
+        with pytest.raises(DatasetError):
+            RoadFleetConfig(speed_mps=0.0)
+
+
+def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    vx, vy = bx - ax, by - ay
+    length2 = vx * vx + vy * vy
+    if length2 == 0:
+        return p.distance_to(a)
+    t = max(0.0, min(1.0, ((p.x - ax) * vx + (p.y - ay) * vy) / length2))
+    proj = Point(ax + t * vx, ay + t * vy)
+    return p.distance_to(proj)

@@ -1,0 +1,94 @@
+"""Tests for the T-drive and Foursquare synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.foursquare import CheckinConfig, checkin_locations, synthesize_checkins
+from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories, taxi_locations
+from repro.geo.distance import euclidean
+
+
+class TestTaxiSynthesis:
+    def test_counts(self, db):
+        trajs = synthesize_taxi_trajectories(db, TaxiFleetConfig(n_taxis=5), rng=1)
+        assert len(trajs) == 5
+        assert all(len(t) >= 2 for t in trajs)
+
+    def test_deterministic(self, db):
+        a = synthesize_taxi_trajectories(db, TaxiFleetConfig(n_taxis=3), rng=2)
+        b = synthesize_taxi_trajectories(db, TaxiFleetConfig(n_taxis=3), rng=2)
+        assert [p.location for t in a for p in t.points] == [
+            p.location for t in b for p in t.points
+        ]
+
+    def test_points_inside_city(self, db):
+        trajs = synthesize_taxi_trajectories(db, TaxiFleetConfig(n_taxis=4), rng=3)
+        margin = 100.0  # GPS noise can step just past the clipped path
+        for t in trajs:
+            for p in t.points:
+                assert db.bounds.expanded(margin).contains(p.location)
+
+    def test_speeds_are_plausible(self, db):
+        config = TaxiFleetConfig(n_taxis=6, gps_noise_m=0.0)
+        trajs = synthesize_taxi_trajectories(db, config, rng=4)
+        for t in trajs:
+            for a, b in zip(t.points, t.points[1:]):
+                dt = b.timestamp - a.timestamp
+                if dt <= 0:
+                    continue
+                speed = euclidean(a.location, b.location) / dt
+                assert speed <= config.speed_max_mps + 1.0
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(DatasetError):
+            TaxiFleetConfig(n_taxis=0)
+        with pytest.raises(DatasetError):
+            TaxiFleetConfig(speed_min_mps=20.0, speed_max_mps=10.0)
+
+    def test_taxi_locations_sampler(self, db):
+        locs = taxi_locations(db, 50, TaxiFleetConfig(n_taxis=5), rng=5)
+        assert len(locs) == 50
+
+
+class TestCheckinSynthesis:
+    def test_counts(self, db):
+        users = synthesize_checkins(db, CheckinConfig(n_users=4, checkins_per_user=10), rng=1)
+        assert len(users) == 4
+        assert all(len(u) == 10 for u in users)
+
+    def test_checkins_near_pois(self, db):
+        config = CheckinConfig(n_users=5, checkins_per_user=20, position_jitter_m=25.0)
+        users = synthesize_checkins(db, config, rng=2)
+        from repro.geo.kdtree import KDTree
+
+        tree = KDTree(db.positions)
+        dists = [
+            tree.nearest(p.location)[1] for u in users for p in u.points
+        ]
+        # Check-ins sit within a few jitter radii of some POI.
+        assert np.median(dists) < 4 * config.position_jitter_m
+
+    def test_favourite_revisits(self, db):
+        config = CheckinConfig(
+            n_users=1,
+            checkins_per_user=60,
+            favourite_probability=1.0,
+            position_jitter_m=0.0,
+        )
+        users = synthesize_checkins(db, config, rng=3)
+        # With jitter off and only favourites, check-ins land on at most
+        # favourites_per_user distinct venues.
+        venues = {p.location.as_tuple() for p in users[0].points}
+        assert len(venues) <= config.favourites_per_user
+
+    def test_deterministic(self, db):
+        a = checkin_locations(db, 20, CheckinConfig(n_users=3), rng=7)
+        b = checkin_locations(db, 20, CheckinConfig(n_users=3), rng=7)
+        assert a == b
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(DatasetError):
+            CheckinConfig(n_users=0)
+        with pytest.raises(DatasetError):
+            CheckinConfig(favourite_probability=1.5)

@@ -1,0 +1,76 @@
+"""Tests for the trajectory model and pair extraction."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.trajectory import (
+    ReleasePair,
+    Trajectory,
+    TrajectoryPoint,
+    extract_release_pairs,
+)
+from repro.geo.point import Point
+
+
+def tp(x, y, t):
+    return TrajectoryPoint(Point(x, y), t)
+
+
+class TestTrajectoryPoint:
+    def test_hour_of_day(self):
+        assert tp(0, 0, 0.0).hour_of_day == 0
+        assert tp(0, 0, 3 * 3600 + 100).hour_of_day == 3
+        assert tp(0, 0, 25 * 3600).hour_of_day == 1
+
+    def test_day_of_week(self):
+        assert tp(0, 0, 0.0).day_of_week == 0
+        assert tp(0, 0, 86400.0 * 8).day_of_week == 1
+
+
+class TestTrajectory:
+    def test_requires_time_order(self):
+        with pytest.raises(DatasetError, match="time-ordered"):
+            Trajectory(0, (tp(0, 0, 10.0), tp(1, 1, 5.0)))
+
+    def test_duration(self):
+        traj = Trajectory(0, (tp(0, 0, 100.0), tp(1, 1, 160.0), tp(2, 2, 400.0)))
+        assert traj.duration == 300.0
+        assert len(traj) == 3
+
+    def test_single_point_duration_zero(self):
+        assert Trajectory(0, (tp(0, 0, 5.0),)).duration == 0.0
+
+
+class TestReleasePair:
+    def test_duration_and_distance(self):
+        pair = ReleasePair(tp(0, 0, 100.0), tp(30, 40, 160.0))
+        assert pair.duration == 60.0
+        assert pair.distance == pytest.approx(50.0)
+
+
+class TestExtractReleasePairs:
+    def test_respects_max_gap(self):
+        traj = Trajectory(
+            0, (tp(0, 0, 0.0), tp(100, 0, 300.0), tp(200, 0, 2_000.0))
+        )
+        pairs = extract_release_pairs([traj], max_gap_s=600.0)
+        assert len(pairs) == 1
+        assert pairs[0].duration == 300.0
+
+    def test_skips_stationary_pairs(self):
+        traj = Trajectory(0, (tp(0, 0, 0.0), tp(0, 0, 100.0), tp(50, 0, 200.0)))
+        pairs = extract_release_pairs([traj], min_distance_m=1.0)
+        assert len(pairs) == 1
+        assert pairs[0].distance == pytest.approx(50.0)
+
+    def test_multiple_trajectories(self):
+        t1 = Trajectory(0, (tp(0, 0, 0.0), tp(10, 0, 60.0)))
+        t2 = Trajectory(1, (tp(5, 5, 0.0), tp(5, 25, 120.0)))
+        assert len(extract_release_pairs([t1, t2])) == 2
+
+    def test_invalid_gap_raises(self):
+        with pytest.raises(DatasetError):
+            extract_release_pairs([], max_gap_s=0.0)
+
+    def test_empty_input(self):
+        assert extract_release_pairs([]) == []

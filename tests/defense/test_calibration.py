@@ -1,0 +1,81 @@
+"""Tests for the DP release calibrator."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+from repro.defense.calibration import calibrate_dp_release
+from repro.defense.cloaking import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def setting(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    db = city.database
+    population = UserPopulation.uniform(800, db.bounds, derive_rng(1, "cal-pop"))
+    rng = derive_rng(2, "cal-targets")
+    targets = [city.interior(900.0).sample_point(rng) for _ in range(40)]
+    return db, population, targets
+
+
+class TestCalibrateDpRelease:
+    def test_grid_is_fully_evaluated(self, setting):
+        db, population, targets = setting
+        result = calibrate_dp_release(
+            db,
+            population,
+            targets,
+            radius=900.0,
+            epsilons=(0.5, 2.0),
+            betas=(0.0, 0.03),
+            rng=derive_rng(3, "cal"),
+        )
+        assert len(result.candidates) == 4
+        for c in result.candidates:
+            assert 0.0 <= c.risk <= 1.0
+            assert 0.0 <= c.utility <= 1.0
+
+    def test_selected_meets_budget_and_maximises_utility(self, setting):
+        db, population, targets = setting
+        result = calibrate_dp_release(
+            db,
+            population,
+            targets,
+            radius=900.0,
+            risk_budget=0.5,
+            epsilons=(0.5, 2.0),
+            betas=(0.0, 0.03),
+            rng=derive_rng(4, "cal"),
+        )
+        feasible = result.candidates_meeting()
+        assert feasible, "a 0.5 budget should always be satisfiable"
+        assert result.selected in feasible
+        assert result.selected.utility == max(c.utility for c in feasible)
+
+    def test_impossible_budget_selects_none(self, setting):
+        db, population, targets = setting
+        result = calibrate_dp_release(
+            db,
+            population,
+            targets,
+            radius=900.0,
+            risk_budget=-0.0,  # zero tolerance
+            epsilons=(2.0,),
+            betas=(0.0,),
+            rng=derive_rng(5, "cal"),
+        )
+        if result.candidates[0].risk > 0:
+            assert result.selected is None
+        else:
+            assert result.selected is not None
+
+    def test_validation(self, setting):
+        db, population, _ = setting
+        with pytest.raises(ConfigError):
+            calibrate_dp_release(db, population, [], radius=900.0)
+        with pytest.raises(ConfigError):
+            calibrate_dp_release(
+                db, population, [db.location_of(0)], radius=900.0, risk_budget=1.5
+            )

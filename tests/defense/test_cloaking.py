@@ -1,0 +1,117 @@
+"""Tests for adaptive-interval spatial k-cloaking."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DefenseError
+from repro.core.rng import derive_rng
+from repro.defense.cloaking import AdaptiveIntervalCloak, CloakingDefense, UserPopulation
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+
+
+@pytest.fixture(scope="module")
+def population():
+    bounds = BBox(0, 0, 10_000, 10_000)
+    return UserPopulation.uniform(2_000, bounds, rng=derive_rng(1, "pop"))
+
+
+class TestUserPopulation:
+    def test_uniform_count(self, population):
+        assert len(population) == 2_000
+
+    def test_count_in_box(self, population):
+        full = population.count_in(population.bounds)
+        assert full == 2_000
+        half = population.count_in(BBox(0, 0, 10_000, 5_000))
+        assert 800 < half < 1_200  # roughly half, statistically
+
+    def test_users_in_matches_count(self, population):
+        box = BBox(2_000, 2_000, 4_000, 5_000)
+        users = population.users_in(box)
+        assert len(users) == population.count_in(box)
+        assert box.contains_many(users[:, 0], users[:, 1]).all()
+
+    def test_invalid_construction(self):
+        with pytest.raises(DefenseError):
+            UserPopulation.uniform(0, BBox(0, 0, 1, 1))
+        with pytest.raises(DefenseError):
+            UserPopulation(np.zeros((2, 3)), BBox(0, 0, 1, 1))
+
+
+class TestAdaptiveIntervalCloak:
+    def test_cloak_contains_location(self, population):
+        cloak = AdaptiveIntervalCloak(population, k=20)
+        rng = derive_rng(2, "cloak")
+        for _ in range(30):
+            p = population.bounds.sample_point(rng)
+            area = cloak.cloak(p)
+            assert area.contains(p)
+
+    def test_cloak_satisfies_k_anonymity(self, population):
+        cloak = AdaptiveIntervalCloak(population, k=25)
+        rng = derive_rng(3, "cloak2")
+        for _ in range(30):
+            p = population.bounds.sample_point(rng)
+            area = cloak.cloak(p)
+            assert population.count_in(area) >= 25
+
+    def test_larger_k_larger_area(self, population):
+        rng = derive_rng(4, "cloak3")
+        small = AdaptiveIntervalCloak(population, k=5)
+        large = AdaptiveIntervalCloak(population, k=200)
+        for _ in range(20):
+            p = population.bounds.sample_point(rng)
+            assert large.cloak(p).area >= small.cloak(p).area
+
+    def test_k_above_population_returns_whole_city(self, population):
+        cloak = AdaptiveIntervalCloak(population, k=5_000)
+        area = cloak.cloak(Point(5_000, 5_000))
+        assert area.area == pytest.approx(population.bounds.area)
+
+    def test_location_outside_city_is_clamped(self, population):
+        cloak = AdaptiveIntervalCloak(population, k=10)
+        area = cloak.cloak(Point(-500, -500))
+        assert area.min_x == population.bounds.min_x
+
+    def test_invalid_k_raises(self, population):
+        with pytest.raises(DefenseError):
+            AdaptiveIntervalCloak(population, k=0)
+
+
+class TestCloakingDefense:
+    def test_release_uses_cloak_center(self, city, db):
+        population = UserPopulation.uniform(500, db.bounds, rng=derive_rng(5, "p"))
+        defense = CloakingDefense(population, k=20)
+        rng = derive_rng(6, "rel")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        area = defense.cloak_area(target)
+        np.testing.assert_array_equal(released, db.freq(area.center, 700.0))
+
+    def test_release_is_deterministic_given_population(self, city, db):
+        population = UserPopulation.uniform(500, db.bounds, rng=derive_rng(7, "p2"))
+        defense = CloakingDefense(population, k=10)
+        rng = derive_rng(8, "rel2")
+        target = city.interior(700.0).sample_point(rng)
+        a = defense.release(db, target, 700.0, rng)
+        b = defense.release(db, target, 700.0, rng)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_release_point_stays_in_cloak(self, city, db):
+        population = UserPopulation.uniform(500, db.bounds, rng=derive_rng(9, "p3"))
+        defense = CloakingDefense(population, k=10, release_point="random")
+        rng = derive_rng(10, "rel3")
+        target = city.interior(700.0).sample_point(rng)
+        area = defense.cloak_area(target)
+        # The random point's aggregate must match some point in the area;
+        # check indirectly by evaluating many releases without error and
+        # confirming variation across draws (center would be constant).
+        draws = {tuple(defense.release(db, target, 700.0, rng)) for _ in range(6)}
+        assert len(draws) >= 2
+        assert area.contains(target)
+
+    def test_unknown_release_point_rejected(self, db):
+        population = UserPopulation.uniform(50, db.bounds, rng=derive_rng(11, "p4"))
+        with pytest.raises(DefenseError):
+            CloakingDefense(population, k=5, release_point="corner")

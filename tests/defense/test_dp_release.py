@@ -1,0 +1,132 @@
+"""Tests for the differentially private release mechanism (paper §V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DefenseError, PrivacyError
+from repro.core.rng import derive_rng
+from repro.defense.cloaking import UserPopulation
+from repro.defense.dp_release import DPReleaseMechanism
+from repro.defense.nonprivate import NonPrivateOptimizationDefense
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    return UserPopulation.uniform(800, city.bounds, rng=derive_rng(1, "dp-pop"))
+
+
+class TestConstruction:
+    def test_invalid_k(self, population):
+        with pytest.raises(DefenseError):
+            DPReleaseMechanism(population, k=1)
+
+    def test_invalid_beta(self, population):
+        with pytest.raises(DefenseError):
+            DPReleaseMechanism(population, beta=-0.1)
+
+    def test_invalid_privacy_params(self, population):
+        with pytest.raises(PrivacyError):
+            DPReleaseMechanism(population, epsilon=0.0)
+        with pytest.raises(PrivacyError):
+            DPReleaseMechanism(population, delta=0.0)
+
+    def test_name_reports_params(self, population):
+        name = DPReleaseMechanism(population, k=20, epsilon=0.5, delta=0.2, beta=0.03).name
+        assert "k=20" in name and "0.5" in name
+
+
+class TestDummyGroup:
+    def test_group_size_is_k(self, city, db, population):
+        defense = DPReleaseMechanism(population, k=15)
+        rng = derive_rng(2, "grp")
+        for _ in range(10):
+            target = city.interior(700.0).sample_point(rng)
+            group = defense.dummy_group(target, rng)
+            assert len(group) == 15
+            assert group[0] == target
+
+    def test_group_inside_cloak_area(self, city, db, population):
+        defense = DPReleaseMechanism(population, k=10)
+        rng = derive_rng(3, "grp2")
+        target = city.interior(700.0).sample_point(rng)
+        area = defense._cloak.cloak(target)
+        group = defense.dummy_group(target, rng)
+        for p in group:
+            assert area.contains(p)
+
+    def test_group_padding_when_k_exceeds_population(self, city, db):
+        tiny_pop = UserPopulation.uniform(5, db.bounds, rng=derive_rng(4, "tiny"))
+        defense = DPReleaseMechanism(tiny_pop, k=30)
+        rng = derive_rng(5, "grp3")
+        target = city.interior(700.0).sample_point(rng)
+        assert len(defense.dummy_group(target, rng)) == 30
+
+
+class TestNoisyMean:
+    def test_more_epsilon_less_noise(self, city, db, population):
+        rng_targets = derive_rng(6, "nm")
+        target = city.interior(900.0).sample_point(rng_targets)
+        group_defense = DPReleaseMechanism(population, k=10, epsilon=1.0)
+        group = group_defense.dummy_group(target, derive_rng(7, "g"))
+        exact_mean = np.stack([db.freq(p, 900.0) for p in group]).mean(axis=0)
+
+        def mean_error(epsilon):
+            defense = DPReleaseMechanism(population, k=10, epsilon=epsilon)
+            errs = []
+            for i in range(30):
+                noisy = defense.noisy_mean(db, group, 900.0, derive_rng(8, "n", epsilon, i))
+                errs.append(np.abs(noisy - exact_mean).mean())
+            return np.mean(errs)
+
+        assert mean_error(2.0) < mean_error(0.2)
+
+    def test_noise_scale_matches_calibration(self, city, db, population):
+        """Eq. (8): per-dim sigma = sqrt(2 ln(1.25/delta)) * max_d F_d[i] / (eps * k)."""
+        rng = derive_rng(9, "cal")
+        target = city.interior(900.0).sample_point(rng)
+        defense = DPReleaseMechanism(population, k=10, epsilon=1.0, delta=0.2)
+        group = defense.dummy_group(target, rng)
+        freqs = np.stack([db.freq(p, 900.0) for p in group]).astype(float)
+        dim = int(freqs.max(axis=0).argmax())  # most sensitive dimension
+        expected_sigma = (
+            np.sqrt(2 * np.log(1.25 / 0.2)) * freqs.max(axis=0)[dim] / (1.0 * 10)
+        )
+        samples = [
+            defense.noisy_mean(db, group, 900.0, derive_rng(10, "s", i))[dim]
+            for i in range(400)
+        ]
+        assert np.std(samples) == pytest.approx(expected_sigma, rel=0.2)
+
+
+class TestRelease:
+    def test_release_shape_and_domain(self, city, db, population):
+        defense = DPReleaseMechanism(population, k=10, epsilon=1.0, beta=0.02)
+        rng = derive_rng(11, "rel")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        assert released.shape == (db.n_types,)
+        assert released.dtype == np.int64
+        assert (released >= 0).all()
+
+    def test_seeded_release_is_reproducible(self, city, db, population):
+        defense = DPReleaseMechanism(population, k=10, epsilon=1.0, beta=0.02)
+        target = city.interior(700.0).sample_point(derive_rng(12, "t"))
+        a = defense.release(db, target, 700.0, derive_rng(13, "r"))
+        b = defense.release(db, target, 700.0, derive_rng(13, "r"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_defends_better_than_nothing(self, city, db, population):
+        from repro.attacks.metrics import evaluate_region_attack
+
+        r = 900.0
+        rng = derive_rng(14, "ev")
+        targets = [city.interior(r).sample_point(rng) for _ in range(50)]
+        plain = evaluate_region_attack(db, targets, r)
+        defense = DPReleaseMechanism(population, k=10, epsilon=0.5, beta=0.03)
+        protected = evaluate_region_attack(
+            db, targets, r, defense=defense, rng=derive_rng(15, "d")
+        )
+        assert protected.n_correct <= plain.n_correct

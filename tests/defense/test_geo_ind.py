@@ -1,0 +1,72 @@
+"""Tests for the geo-indistinguishability defense."""
+
+import numpy as np
+
+from repro.attacks.metrics import evaluate_region_attack
+from repro.core.rng import derive_rng
+from repro.defense.geo_ind import GeoIndDefense
+
+
+class TestGeoIndDefense:
+    def test_release_is_frequency_of_perturbed_location(self, city, db):
+        defense = GeoIndDefense(epsilon=10.0)  # tiny noise
+        rng = derive_rng(1, "geo")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        assert released.shape == (db.n_types,)
+        assert released.dtype == np.int64
+
+    def test_strong_epsilon_reproduces_truth(self, city, db):
+        """With epsilon huge, the perturbation is negligible."""
+        defense = GeoIndDefense(epsilon=10_000.0)
+        rng = derive_rng(2, "geo2")
+        r = 700.0
+        for _ in range(10):
+            target = city.interior(r).sample_point(rng)
+            released = defense.release(db, target, r, rng)
+            np.testing.assert_array_equal(released, db.freq(target, r))
+
+    def test_clamping_keeps_queries_in_city(self, city, db):
+        defense = GeoIndDefense(epsilon=0.001)  # mean displacement 200 km
+        rng = derive_rng(3, "geo3")
+        target = city.interior(500.0).sample_point(rng)
+        released = defense.release(db, target, 500.0, rng)  # must not crash
+        assert released.shape == (db.n_types,)
+
+    def test_small_epsilon_mitigates_more(self, city, db):
+        r = 500.0
+        rng = derive_rng(4, "geo4")
+        targets = [city.interior(r).sample_point(rng) for _ in range(80)]
+        base = evaluate_region_attack(db, targets, r)
+        weak = evaluate_region_attack(
+            db, targets, r, defense=GeoIndDefense(1.0), rng=derive_rng(5, "a")
+        )
+        strong = evaluate_region_attack(
+            db, targets, r, defense=GeoIndDefense(0.1), rng=derive_rng(5, "b")
+        )
+        assert strong.n_correct <= weak.n_correct <= base.n_correct
+
+    def test_name_mentions_epsilon(self):
+        assert "0.1" in GeoIndDefense(0.1).name
+
+    def test_unclamped_queries_outside_city_are_empty(self, city, db):
+        defense = GeoIndDefense(epsilon=0.0001, clamp_to_city=False)
+        rng = derive_rng(6, "geo5")
+        target = city.interior(500.0).sample_point(rng)
+        # Mean displacement ~2000 km: virtually every perturbed location
+        # is far outside the mapped city, so releases are empty vectors.
+        released = [defense.release(db, target, 500.0, rng) for _ in range(5)]
+        assert sum(int(v.sum()) for v in released) == 0
+
+    def test_clamped_queries_stay_populated_more_often(self, city, db):
+        rng_a, rng_b = derive_rng(7, "a"), derive_rng(7, "a")
+        clamped = GeoIndDefense(epsilon=0.001, clamp_to_city=True)
+        unclamped = GeoIndDefense(epsilon=0.001, clamp_to_city=False)
+        target = city.interior(500.0).sample_point(derive_rng(8, "t"))
+        n_clamped = sum(
+            int(clamped.release(db, target, 2_000.0, rng_a).sum() > 0) for _ in range(20)
+        )
+        n_unclamped = sum(
+            int(unclamped.release(db, target, 2_000.0, rng_b).sum() > 0) for _ in range(20)
+        )
+        assert n_clamped >= n_unclamped

@@ -1,0 +1,62 @@
+"""Tests for the Laplace-histogram baseline defense."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DefenseError
+from repro.core.rng import derive_rng
+from repro.defense.laplace_release import LaplaceHistogramDefense
+
+
+class TestLaplaceHistogramDefense:
+    def test_release_domain(self, city, db):
+        defense = LaplaceHistogramDefense(epsilon=1.0)
+        rng = derive_rng(1, "lap")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        assert released.shape == (db.n_types,)
+        assert released.dtype == np.int64
+        assert (released >= 0).all()
+
+    def test_huge_epsilon_approximates_truth(self, city, db):
+        defense = LaplaceHistogramDefense(epsilon=1e6)
+        rng = derive_rng(2, "lap")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        np.testing.assert_array_equal(released, db.freq(target, 700.0))
+
+    def test_noise_scales_with_epsilon(self, city, db):
+        rng_t = derive_rng(3, "lap")
+        target = city.interior(700.0).sample_point(rng_t)
+        truth = db.freq(target, 700.0)
+
+        def mean_error(epsilon, n=40):
+            defense = LaplaceHistogramDefense(epsilon=epsilon)
+            errs = []
+            for i in range(n):
+                released = defense.release(db, target, 700.0, derive_rng(4, epsilon, i))
+                errs.append(np.abs(released - truth).mean())
+            return np.mean(errs)
+
+        assert mean_error(0.1) > mean_error(10.0)
+
+    def test_defends_against_region_attack(self, city, db):
+        from repro.attacks.metrics import evaluate_region_attack
+
+        r = 900.0
+        rng = derive_rng(5, "lap")
+        targets = [city.interior(r).sample_point(rng) for _ in range(60)]
+        plain = evaluate_region_attack(db, targets, r)
+        noisy = evaluate_region_attack(
+            db, targets, r, defense=LaplaceHistogramDefense(0.5), rng=derive_rng(6, "d")
+        )
+        assert noisy.n_correct <= plain.n_correct
+
+    def test_invalid_params(self):
+        with pytest.raises(DefenseError):
+            LaplaceHistogramDefense(0.0)
+        with pytest.raises(DefenseError):
+            LaplaceHistogramDefense(1.0, sensitivity=0.0)
+
+    def test_name(self):
+        assert "0.5" in LaplaceHistogramDefense(0.5).name

@@ -1,0 +1,60 @@
+"""Tests for the non-private optimization defense."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DefenseError
+from repro.core.rng import derive_rng
+from repro.defense.nonprivate import NonPrivateOptimizationDefense
+from repro.defense.utility import top_k_jaccard
+
+
+class TestNonPrivateOptimizationDefense:
+    def test_beta_zero_is_identity(self, city, db):
+        defense = NonPrivateOptimizationDefense(0.0)
+        rng = derive_rng(1, "np")
+        target = city.interior(700.0).sample_point(rng)
+        released = defense.release(db, target, 700.0, rng)
+        np.testing.assert_array_equal(released, db.freq(target, 700.0))
+
+    def test_deterministic(self, city, db):
+        defense = NonPrivateOptimizationDefense(0.03)
+        target = city.interior(700.0).sample_point(derive_rng(2, "t"))
+        a = defense.release(db, target, 700.0, derive_rng(3, "r"))
+        b = defense.release(db, target, 700.0, derive_rng(4, "r"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_beta(self):
+        with pytest.raises(DefenseError):
+            NonPrivateOptimizationDefense(-0.01)
+
+    def test_defense_improves_with_beta(self, city, db):
+        """Fig. 9 direction: larger beta, fewer successful attacks."""
+        from repro.attacks.metrics import evaluate_region_attack
+
+        r = 900.0
+        rng = derive_rng(5, "ev")
+        targets = [city.interior(r).sample_point(rng) for _ in range(60)]
+        small = evaluate_region_attack(
+            db, targets, r, defense=NonPrivateOptimizationDefense(0.005)
+        )
+        large = evaluate_region_attack(
+            db, targets, r, defense=NonPrivateOptimizationDefense(0.05)
+        )
+        assert large.n_success <= small.n_success
+
+    def test_utility_stays_high_for_small_beta(self, city, db):
+        """Fig. 10 direction: Top-10 Jaccard degrades slowly with beta."""
+        r = 900.0
+        rng = derive_rng(6, "ut")
+        defense = NonPrivateOptimizationDefense(0.01)
+        scores = []
+        for _ in range(40):
+            target = city.interior(r).sample_point(rng)
+            original = db.freq(target, r)
+            released = defense.release(db, target, r, rng)
+            scores.append(top_k_jaccard(original, released, k=10))
+        assert np.mean(scores) > 0.6
+
+    def test_name(self):
+        assert "0.02" in NonPrivateOptimizationDefense(0.02).name

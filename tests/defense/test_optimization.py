@@ -1,0 +1,121 @@
+"""Tests for the Eq. (7) perturbation optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import OptimizationError
+from repro.defense.optimization import optimize_release
+
+
+def ranks_for(freq_like):
+    """Infrequent ranks for a standalone count vector (rarest ranks 1)."""
+    freq_like = np.asarray(freq_like)
+    order = np.lexsort((np.arange(len(freq_like)), freq_like))
+    ranks = np.empty(len(freq_like), dtype=np.int64)
+    ranks[order] = np.arange(1, len(freq_like) + 1)
+    return ranks
+
+
+class TestBasics:
+    def test_beta_zero_releases_input(self):
+        freq = np.array([3, 0, 7, 1])
+        plan = optimize_release(freq, ranks_for([10, 1, 100, 3]), beta=0.0)
+        np.testing.assert_array_equal(plan.released, freq)
+        assert plan.objective == 0.0 and plan.distortion == 0.0
+
+    def test_released_nonnegative_integers(self):
+        freq = np.array([5, 2, 0, 9])
+        plan = optimize_release(freq, ranks_for([50, 4, 1, 200]), beta=0.1)
+        assert plan.released.dtype == np.int64
+        assert (plan.released >= 0).all()
+
+    def test_constraint_respected(self):
+        freq = np.array([5, 2, 1, 9, 0, 3])
+        ranks = ranks_for([50, 4, 1, 200, 2, 9])
+        for beta in (0.01, 0.05, 0.2, 1.0):
+            plan = optimize_release(freq, ranks, beta=beta)
+            m = len(freq)
+            distortion = np.abs(plan.released - freq) / (freq + 1.0)
+            assert distortion.sum() / m <= beta + 1e-9
+
+    def test_erasure_only(self):
+        """Released counts never exceed the input (no phantom types)."""
+        freq = np.array([5, 2, 1, 9, 0, 3])
+        plan = optimize_release(freq, ranks_for([50, 4, 1, 200, 2, 9]), beta=0.5)
+        assert (plan.released <= freq).all()
+
+    def test_rarest_present_type_erased_first(self):
+        # Type 2 is the city-rarest present type; a small beta should zero it.
+        freq = np.array([10, 0, 1, 8])
+        ranks = np.array([4, 1, 2, 3])
+        plan = optimize_release(freq, ranks, beta=0.2)
+        assert plan.released[2] == 0
+
+    def test_zero_types_cannot_be_perturbed(self):
+        freq = np.array([0, 0, 5])
+        ranks = np.array([1, 2, 3])
+        plan = optimize_release(freq, ranks, beta=10.0)
+        assert plan.released[0] == 0 and plan.released[1] == 0
+
+    def test_larger_beta_more_distortion(self):
+        freq = np.array([4, 2, 7, 1, 0, 12])
+        ranks = ranks_for([9, 3, 80, 1, 2, 300])
+        d_small = np.abs(
+            optimize_release(freq, ranks, beta=0.02).released - freq
+        ).sum()
+        d_big = np.abs(optimize_release(freq, ranks, beta=0.3).released - freq).sum()
+        assert d_big >= d_small
+
+
+class TestValidation:
+    def test_negative_beta_raises(self):
+        with pytest.raises(OptimizationError):
+            optimize_release(np.array([1]), np.array([1]), beta=-0.1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(OptimizationError):
+            optimize_release(np.array([1, 2]), np.array([1]), beta=0.1)
+
+    def test_bad_ranks_raise(self):
+        with pytest.raises(OptimizationError):
+            optimize_release(np.array([1, 2]), np.array([0, 1]), beta=0.1)
+
+    def test_real_valued_input_rounded(self):
+        freq = np.array([2.6, 0.2, -0.5])
+        plan = optimize_release(freq, np.array([3, 2, 1]), beta=0.0)
+        np.testing.assert_array_equal(plan.released, [3, 0, 0])
+
+
+class TestOptimality:
+    def brute_force(self, freq, ranks, beta):
+        """Exhaustive search over all feasible erasure vectors (tiny inputs)."""
+        m = len(freq)
+        weights = 1.0 / (ranks * (freq + 1.0))
+        costs = 1.0 / (m * (freq + 1.0))
+        best = 0.0
+        grids = [range(int(f) + 1) for f in freq]
+        import itertools
+
+        for units in itertools.product(*grids):
+            units = np.array(units)
+            if (costs * units).sum() <= beta + 1e-12:
+                best = max(best, float((weights * units).sum()))
+        return best
+
+    @pytest.mark.parametrize("beta", [0.05, 0.15, 0.4])
+    def test_greedy_matches_brute_force_on_small_instances(self, beta):
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            freq = rng.integers(0, 4, size=4)
+            ranks = np.array(
+                rng.permutation(np.arange(1, 5)), dtype=np.int64
+            )
+            plan = optimize_release(freq, ranks, beta=beta)
+            best = self.brute_force(freq, ranks, beta)
+            assert plan.objective == pytest.approx(best, abs=1e-9)
+
+    def test_plan_diagnostics(self):
+        freq = np.array([3, 1, 0])
+        plan = optimize_release(freq, np.array([3, 1, 2]), beta=0.5)
+        assert plan.n_perturbed_types == int((plan.units > 0).sum())
+        assert plan.distortion <= 0.5 + 1e-12

@@ -1,0 +1,70 @@
+"""Tests for the sanitization defense."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DefenseError
+from repro.core.rng import derive_rng
+from repro.defense.sanitization import Sanitizer
+
+
+class TestSanitizer:
+    def test_sanitized_types_match_threshold(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        freq = db.city_frequency
+        expected = set(np.flatnonzero(freq <= 10).tolist())
+        assert set(sanitizer.sanitized_types.tolist()) == expected
+        assert sanitizer.n_sanitized == len(expected)
+
+    def test_sanitize_vector_zeroes_only_rare_types(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        vector = np.arange(db.n_types)
+        out = sanitizer.sanitize_vector(vector)
+        assert (out[sanitizer.sanitized_types] == 0).all()
+        keep = np.ones(db.n_types, dtype=bool)
+        keep[sanitizer.sanitized_types] = False
+        np.testing.assert_array_equal(out[keep], vector[keep])
+
+    def test_input_not_mutated(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        vector = np.ones(db.n_types, dtype=int)
+        _ = sanitizer.sanitize_vector(vector)
+        assert (vector == 1).all()
+
+    def test_release_pipeline(self, city, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        rng = derive_rng(1, "san")
+        target = city.interior(700.0).sample_point(rng)
+        released = sanitizer.release(db, target, 700.0, rng)
+        direct = sanitizer.sanitize_vector(db.freq(target, 700.0))
+        np.testing.assert_array_equal(released, direct)
+
+    def test_threshold_zero_only_removes_absent_types(self, db):
+        sanitizer = Sanitizer(db, threshold=0)
+        # Every type in the generated city occurs at least once.
+        assert sanitizer.n_sanitized == 0
+
+    def test_huge_threshold_sanitizes_everything(self, db):
+        sanitizer = Sanitizer(db, threshold=10**9)
+        vector = np.ones(db.n_types, dtype=int)
+        assert sanitizer.sanitize_vector(vector).sum() == 0
+
+    def test_negative_threshold_raises(self, db):
+        with pytest.raises(DefenseError):
+            Sanitizer(db, threshold=-1)
+
+    def test_wrong_width_raises(self, db):
+        sanitizer = Sanitizer(db, threshold=10)
+        with pytest.raises(DefenseError):
+            sanitizer.sanitize_vector(np.zeros(3))
+
+    def test_sanitization_reduces_attack_success(self, city, db):
+        """The Fig. 3 direction: sanitized releases are harder to re-identify."""
+        from repro.attacks.metrics import evaluate_region_attack
+
+        rng = derive_rng(2, "san-eval")
+        r = 900.0
+        targets = [city.interior(r).sample_point(rng) for _ in range(60)]
+        plain = evaluate_region_attack(db, targets, r)
+        defended = evaluate_region_attack(db, targets, r, defense=Sanitizer(db, 10))
+        assert defended.n_success <= plain.n_success

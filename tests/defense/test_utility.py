@@ -1,0 +1,84 @@
+"""Tests for the Top-K Jaccard utility metric."""
+
+import numpy as np
+import pytest
+
+from repro.defense.utility import jaccard_index, top_k_jaccard
+
+
+class TestJaccardIndex:
+    def test_identical_sets(self):
+        assert jaccard_index({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_index({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_index({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert jaccard_index(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_index({1}, set()) == 0.0
+
+    def test_symmetric(self):
+        a, b = {1, 5, 9}, {5, 7}
+        assert jaccard_index(a, b) == jaccard_index(b, a)
+
+
+class TestTopKJaccard:
+    def test_unchanged_vector_scores_one(self):
+        v = np.array([5, 3, 8, 1, 0])
+        assert top_k_jaccard(v, v, k=3) == 1.0
+
+    def test_perturbing_rare_types_keeps_topk(self):
+        original = np.array([100, 90, 80, 2, 1])
+        released = np.array([100, 90, 80, 0, 0])
+        assert top_k_jaccard(original, released, k=3) == 1.0
+
+    def test_erasing_top_type_hurts(self):
+        original = np.array([100, 90, 80, 2, 1])
+        released = original.copy()
+        released[0] = 0
+        assert top_k_jaccard(original, released, k=3) < 1.0
+
+    def test_k_default_is_ten(self):
+        v = np.arange(20)
+        assert top_k_jaccard(v, v) == 1.0
+
+
+class TestL1Utilities:
+    def test_l1_error_basic(self):
+        from repro.defense.utility import l1_error
+
+        assert l1_error(np.array([3, 0, 5]), np.array([1, 2, 5])) == 4.0
+
+    def test_l1_error_shape_mismatch(self):
+        from repro.defense.utility import l1_error
+
+        with pytest.raises(ValueError):
+            l1_error(np.array([1]), np.array([1, 2]))
+
+    def test_normalized_utility_bounds(self):
+        from repro.defense.utility import normalized_utility
+
+        original = np.array([4, 4, 2])
+        assert normalized_utility(original, original) == 1.0
+        assert normalized_utility(original, np.zeros(3)) == 0.0
+        half = normalized_utility(original, np.array([4, 4, 0]))
+        assert 0.0 < half < 1.0
+
+    def test_normalized_utility_zero_vector(self):
+        from repro.defense.utility import normalized_utility
+
+        zero = np.zeros(3)
+        assert normalized_utility(zero, zero) == 1.0
+        assert normalized_utility(zero, np.array([1, 0, 0])) == 0.0
+
+    def test_overshoot_clamped(self):
+        from repro.defense.utility import normalized_utility
+
+        original = np.array([1, 1])
+        wild = np.array([100, 100])
+        assert normalized_utility(original, wild) == 0.0

@@ -1,0 +1,47 @@
+"""Tests for the privacy accountant."""
+
+import pytest
+
+from repro.core.errors import PrivacyError
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import PrivacyParams
+
+
+class TestPrivacyAccountant:
+    def test_sequential_composition_sums(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.5, 0.01)
+        acc.spend(0.3, 0.02)
+        assert acc.total_epsilon == pytest.approx(0.8)
+        assert acc.total_delta == pytest.approx(0.03)
+        assert acc.n_invocations == 2
+
+    def test_budget_enforced(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(1.0, 0.1))
+        acc.spend(0.7)
+        with pytest.raises(PrivacyError, match="budget exceeded"):
+            acc.spend(0.5)
+
+    def test_delta_budget_enforced(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(10.0, 0.05))
+        with pytest.raises(PrivacyError):
+            acc.spend(0.1, 0.06)
+
+    def test_remaining_epsilon(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(2.0, 0.5))
+        acc.spend(0.5)
+        assert acc.remaining_epsilon() == pytest.approx(1.5)
+
+    def test_remaining_infinite_without_budget(self):
+        assert PrivacyAccountant().remaining_epsilon() == float("inf")
+
+    def test_post_processing_is_free(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(1.0, 0.0))
+        acc.spend(1.0)
+        acc.post_process()  # must not raise or consume anything
+        assert acc.total_epsilon == pytest.approx(1.0)
+
+    def test_invalid_spend_rejected(self):
+        acc = PrivacyAccountant()
+        with pytest.raises(PrivacyError):
+            acc.spend(-0.1)

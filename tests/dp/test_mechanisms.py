@@ -1,0 +1,103 @@
+"""Tests for the scalar/vector DP mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PrivacyError
+from repro.dp.mechanisms import (
+    PrivacyParams,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+)
+
+
+class TestPrivacyParams:
+    def test_valid(self):
+        p = PrivacyParams(1.0, 0.1)
+        assert p.epsilon == 1.0 and p.delta == 0.1
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_invalid_epsilon(self, eps):
+        with pytest.raises(PrivacyError):
+            PrivacyParams(eps)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 2.0])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(PrivacyError):
+            PrivacyParams(1.0, delta)
+
+
+class TestGaussianSigma:
+    def test_definition_2_formula(self):
+        sigma = gaussian_sigma(sensitivity=2.0, epsilon=0.5, delta=0.1)
+        assert sigma == pytest.approx(math.sqrt(2 * math.log(12.5)) * 2.0 / 0.5)
+
+    def test_scales_inversely_with_epsilon(self):
+        s1 = gaussian_sigma(1.0, 1.0, 0.1)
+        s2 = gaussian_sigma(1.0, 2.0, 0.1)
+        assert s1 == pytest.approx(2 * s2)
+
+    def test_scales_with_sensitivity(self):
+        assert gaussian_sigma(3.0, 1.0, 0.1) == pytest.approx(
+            3 * gaussian_sigma(1.0, 1.0, 0.1)
+        )
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_delta_bounds(self, delta):
+        with pytest.raises(PrivacyError):
+            gaussian_sigma(1.0, 1.0, delta)
+
+    def test_negative_sensitivity_raises(self):
+        with pytest.raises(PrivacyError):
+            gaussian_sigma(-1.0, 1.0, 0.1)
+
+
+class TestGaussianMechanism:
+    def test_noise_scale_matches_calibration(self):
+        value = np.zeros(200_000)
+        out = gaussian_mechanism(value, sensitivity=1.0, epsilon=1.0, delta=0.1, rng=0)
+        expected_sigma = gaussian_sigma(1.0, 1.0, 0.1)
+        assert out.std() == pytest.approx(expected_sigma, rel=0.02)
+        assert out.mean() == pytest.approx(0.0, abs=expected_sigma * 0.02)
+
+    def test_per_dimension_sensitivity(self):
+        value = np.zeros((100_000, 2))
+        sens = np.array([1.0, 10.0])
+        out = gaussian_mechanism(value, sens, epsilon=1.0, delta=0.1, rng=1)
+        ratio = out[:, 1].std() / out[:, 0].std()
+        assert ratio == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_sensitivity_dimension_gets_no_noise(self):
+        value = np.array([5.0, 7.0])
+        out = gaussian_mechanism(value, np.array([0.0, 1.0]), 1.0, 0.1, rng=2)
+        assert out[0] == 5.0
+
+    def test_deterministic_given_rng(self):
+        value = np.arange(5.0)
+        a = gaussian_mechanism(value, 1.0, 1.0, 0.1, rng=3)
+        b = gaussian_mechanism(value, 1.0, 1.0, 0.1, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(PrivacyError):
+            gaussian_mechanism(np.zeros(2), 1.0, 0.0, 0.1)
+        with pytest.raises(PrivacyError):
+            gaussian_mechanism(np.zeros(2), 1.0, 1.0, 0.0)
+        with pytest.raises(PrivacyError):
+            gaussian_mechanism(np.zeros(2), np.array([-1.0, 1.0]), 1.0, 0.1)
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale(self):
+        out = laplace_mechanism(np.zeros(200_000), sensitivity=2.0, epsilon=0.5, rng=0)
+        # Laplace(b) has std b * sqrt(2); b = 2 / 0.5 = 4.
+        assert out.std() == pytest.approx(4 * math.sqrt(2), rel=0.02)
+
+    def test_invalid_params(self):
+        with pytest.raises(PrivacyError):
+            laplace_mechanism(np.zeros(2), -1.0, 1.0)
+        with pytest.raises(PrivacyError):
+            laplace_mechanism(np.zeros(2), 1.0, 0.0)

@@ -1,0 +1,58 @@
+"""Tests for the planar Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PrivacyError
+from repro.dp.planar_laplace import PlanarLaplace
+from repro.geo.point import Point
+
+
+class TestPlanarLaplace:
+    def test_epsilon_per_meter(self):
+        mech = PlanarLaplace(0.1, unit_m=100.0)
+        assert mech.epsilon_per_meter == pytest.approx(0.001)
+
+    def test_expected_displacement(self):
+        # Paper setting: eps=0.1 per 100 m -> mean displacement 2 km.
+        mech = PlanarLaplace(0.1, unit_m=100.0)
+        assert mech.expected_displacement_m == pytest.approx(2_000.0)
+
+    def test_empirical_mean_displacement(self):
+        mech = PlanarLaplace(1.0, unit_m=100.0)
+        rng = np.random.default_rng(0)
+        radii = [mech.sample_radius(rng) for _ in range(20_000)]
+        assert np.mean(radii) == pytest.approx(mech.expected_displacement_m, rel=0.03)
+
+    def test_angles_are_uniform(self):
+        mech = PlanarLaplace(1.0, unit_m=100.0)
+        rng = np.random.default_rng(1)
+        origin = Point(0.0, 0.0)
+        points = [mech.perturb(origin, rng) for _ in range(8_000)]
+        angles = np.arctan2([p.y for p in points], [p.x for p in points])
+        # Mean direction vector should vanish for a uniform angle.
+        assert abs(np.mean(np.cos(angles))) < 0.03
+        assert abs(np.mean(np.sin(angles))) < 0.03
+
+    def test_radial_density_is_gamma2(self):
+        """Radius ~ Gamma(2, 1/eps): var = 2/eps^2."""
+        mech = PlanarLaplace(2.0, unit_m=1.0)  # eps = 2 per meter
+        rng = np.random.default_rng(2)
+        radii = np.array([mech.sample_radius(rng) for _ in range(30_000)])
+        assert radii.mean() == pytest.approx(1.0, rel=0.03)
+        assert radii.var() == pytest.approx(0.5, rel=0.06)
+
+    def test_larger_epsilon_means_smaller_noise(self):
+        rng = np.random.default_rng(3)
+        weak = PlanarLaplace(0.1)
+        strong = PlanarLaplace(10.0)
+        origin = Point(0, 0)
+        d_weak = np.mean([origin.distance_to(weak.perturb(origin, rng)) for _ in range(500)])
+        d_strong = np.mean([origin.distance_to(strong.perturb(origin, rng)) for _ in range(500)])
+        assert d_weak > 10 * d_strong
+
+    def test_invalid_params(self):
+        with pytest.raises(PrivacyError):
+            PlanarLaplace(0.0)
+        with pytest.raises(PrivacyError):
+            PlanarLaplace(1.0, unit_m=0.0)

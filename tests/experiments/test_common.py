@@ -1,0 +1,46 @@
+"""Tests for the shared experiment helpers."""
+
+import numpy as np
+
+from repro.experiments.common import KM, RADII_M, freq_matrix, targets_for
+from repro.experiments.scale import ExperimentScale
+
+
+MICRO = ExperimentScale(
+    name="ci",
+    n_targets=10,
+    n_train=50,
+    n_validation=20,
+    n_area_samples=1_000,
+    n_taxis=10,
+    n_users=8,
+    seed=3,
+)
+
+
+class TestConstants:
+    def test_paper_radii(self):
+        assert RADII_M == (500.0, 1_000.0, 2_000.0, 4_000.0)
+        assert KM == 1_000.0
+
+
+class TestTargetsFor:
+    def test_returns_scaled_target_count(self):
+        city, targets = targets_for("bj_random", 1_000.0, MICRO)
+        assert city.name == "beijing"
+        assert len(targets) == MICRO.n_targets
+
+    def test_deterministic_per_scale(self):
+        _, a = targets_for("bj_random", 1_000.0, MICRO)
+        _, b = targets_for("bj_random", 1_000.0, MICRO)
+        assert a == b
+
+
+class TestFreqMatrix:
+    def test_shape_and_rows(self):
+        city, targets = targets_for("bj_random", 1_000.0, MICRO)
+        matrix = freq_matrix(city, targets, 1_000.0)
+        assert matrix.shape == (len(targets), city.database.n_types)
+        np.testing.assert_array_equal(
+            matrix[0], city.database.freq(targets[0], 1_000.0)
+        )

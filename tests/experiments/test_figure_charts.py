@@ -1,0 +1,78 @@
+"""Tests for the per-figure chart renderers."""
+
+import pytest
+
+from repro.experiments.figure_charts import FIGURE_CHARTS, render_chart
+from repro.experiments.results import ExperimentResult
+
+
+def result_with(exp_id, rows):
+    result = ExperimentResult(exp_id, "t")
+    for row in rows:
+        result.add_row(**row)
+    return result
+
+
+class TestRenderChart:
+    def test_unknown_experiment_returns_none(self):
+        assert render_chart(result_with("datasets", [{"a": 1}])) is None
+
+    def test_every_registered_chart_renders(self):
+        samples = {
+            "fig2": [{"city": "beijing", "r_km": 1.0, "mean_accuracy": 0.99}],
+            "fig3": [
+                {"city": "beijing", "r_km": 1.0, "variant": "sanitized", "success_rate": 0.2},
+                {"city": "beijing", "r_km": 2.0, "variant": "sanitized", "success_rate": 0.1},
+            ],
+            "fig4": [
+                {"dataset": "bj_random", "r_km": 1.0, "epsilon": 0.1, "correct_rate": 0.2},
+                {"dataset": "bj_random", "r_km": 2.0, "epsilon": 0.1, "correct_rate": 0.4},
+            ],
+            "fig5": [
+                {"dataset": "bj_random", "r_km": 1.0, "k": 10, "correct_rate": 0.3},
+                {"dataset": "bj_random", "r_km": 1.0, "k": 50, "correct_rate": 0.1},
+            ],
+            "fig6": [
+                {"dataset": "bj_random", "r_km": 1.0, "n_success": 5, "d50_km2": 0.2},
+                {"dataset": "bj_random", "r_km": 2.0, "n_success": 8, "d50_km2": 0.5},
+            ],
+            "fig7": [
+                {"dataset": "bj_random", "n_aux": 5, "mean_area_km2": 2.0},
+                {"dataset": "bj_random", "n_aux": 20, "mean_area_km2": 0.5},
+            ],
+            "fig8": [
+                {"r_km": 0.5, "single_success": 0.2, "enhanced_success": 0.3},
+                {"r_km": 1.0, "single_success": 0.4, "enhanced_success": 0.5},
+            ],
+            "fig9_10": [
+                {"dataset": "bj_tdrive", "r_km": 2.0, "beta": 0.01, "success_rate": 0.3, "jaccard": 0.9},
+                {"dataset": "bj_tdrive", "r_km": 2.0, "beta": 0.05, "success_rate": 0.1, "jaccard": 0.7},
+            ],
+            "fig11_12": [
+                {"dataset": "bj_tdrive", "beta": 0.01, "epsilon": 0.2, "success_rate": 0.1, "jaccard": 0.5},
+                {"dataset": "bj_tdrive", "beta": 0.01, "epsilon": 2.0, "success_rate": 0.4, "jaccard": 0.7},
+            ],
+        }
+        assert set(samples) == set(FIGURE_CHARTS)
+        for exp_id, rows in samples.items():
+            chart = render_chart(result_with(exp_id, rows))
+            assert chart is not None and chart.strip(), exp_id
+
+    def test_fig4_labels_baseline_rows(self):
+        result = result_with(
+            "fig4",
+            [
+                {"dataset": "d", "r_km": 1.0, "epsilon": None, "correct_rate": 0.5},
+                {"dataset": "d", "r_km": 1.0, "epsilon": 0.1, "correct_rate": 0.2},
+                {"dataset": "d", "r_km": 2.0, "epsilon": 0.1, "correct_rate": 0.3},
+            ],
+        )
+        chart = render_chart(result)
+        assert "epsilon=0.1" in chart
+        assert "epsilon=off" in chart
+        assert "epsilon=None" not in chart
+
+    def test_fig8_handles_missing_rows(self):
+        result = result_with("fig8", [{"r_km": 0.5, "n_pairs": 3}])
+        chart = render_chart(result)
+        assert chart is not None  # degrades to "(no data)" rather than crash

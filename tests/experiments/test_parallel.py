@@ -1,0 +1,54 @@
+"""Tests for sharded (multi-process) experiment execution."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.fig4_geoind import run_fig4
+from repro.experiments.parallel import SHARD_AXES, run_sharded
+from repro.experiments.scale import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="ci",
+    n_targets=12,
+    n_train=50,
+    n_validation=20,
+    n_area_samples=1_000,
+    n_taxis=10,
+    n_users=8,
+    seed=5,
+)
+
+
+class TestRunSharded:
+    def test_matches_serial_run_exactly(self):
+        """Label-derived RNGs make sharded == serial, row for row."""
+        shards = ("bj_random", "nyc_random")
+        kwargs = dict(radii=(1_000.0,), epsilons=(0.1,))
+        serial = run_fig4(MICRO, datasets=shards, **kwargs)
+        sharded = run_sharded(
+            "fig4", MICRO, shards=shards, max_workers=2, **kwargs
+        )
+        assert sharded.rows == serial.rows
+
+    def test_merged_config_records_shards(self):
+        sharded = run_sharded(
+            "fig4",
+            MICRO,
+            shards=("bj_random",),
+            max_workers=1,
+            radii=(1_000.0,),
+            epsilons=(0.1,),
+        )
+        assert sharded.config["datasets"] == ["bj_random"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_sharded("fig4", MICRO, shards=())
+        with pytest.raises(ConfigError):
+            run_sharded("datasets", MICRO, shards=("x",))  # no shard axis
+        with pytest.raises(ConfigError):
+            run_sharded("fig99", MICRO, shards=("x",), shard_param="datasets")
+
+    def test_shard_axes_cover_dataset_experiments(self):
+        assert SHARD_AXES["fig4"] == "datasets"
+        assert SHARD_AXES["fig2"] == "city_names"

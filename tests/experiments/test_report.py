@@ -1,0 +1,63 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.report import collect_results, render_markdown_report, write_report
+from repro.experiments.results import ExperimentResult
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    for exp_id, value in (("fig4", 0.5), ("fig2", 0.99), ("datasets", 1.0)):
+        result = ExperimentResult(exp_id, f"title of {exp_id}", config={"scale": "ci"})
+        result.add_row(metric=value, label=exp_id)
+        result.save(tmp_path / f"{exp_id}_ci.json")
+    return tmp_path
+
+
+class TestCollectResults:
+    def test_loads_all(self, results_dir):
+        results = collect_results(results_dir)
+        assert len(results) == 3
+
+    def test_preferred_order(self, results_dir):
+        ids = [r.experiment_id for r in collect_results(results_dir)]
+        assert ids == ["datasets", "fig2", "fig4"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigError):
+            collect_results(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ConfigError, match="no experiment results"):
+            collect_results(tmp_path)
+
+    def test_garbage_json_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text('{"rows": "not-a-list-of-results"}')
+        with pytest.raises(ConfigError):
+            collect_results(tmp_path)
+
+
+class TestRenderAndWrite:
+    def test_report_contains_tables_and_titles(self, results_dir):
+        text = render_markdown_report(collect_results(results_dir))
+        assert "## fig4 — title of fig4" in text
+        assert "| metric | label |" in text
+        assert "`scale=ci`" in text
+
+    def test_write_report_default_path(self, results_dir):
+        path = write_report(results_dir)
+        assert path.name == "REPORT.md"
+        assert "fig2" in path.read_text()
+
+    def test_write_report_custom_output(self, results_dir, tmp_path):
+        out = tmp_path / "custom.md"
+        path = write_report(results_dir, out)
+        assert path == out and out.exists()
+
+    def test_cli_report_command(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(results_dir)]) == 0
+        assert "REPORT.md" in capsys.readouterr().out

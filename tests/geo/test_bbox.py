@@ -1,0 +1,82 @@
+"""Tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+
+
+class TestBBoxBasics:
+    def test_dimensions(self):
+        b = BBox(0, 0, 4, 3)
+        assert b.width == 4 and b.height == 3 and b.area == 12
+
+    def test_center(self):
+        assert BBox(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            BBox(5, 0, 4, 10)
+        with pytest.raises(GeometryError):
+            BBox(0, 5, 10, 4)
+
+    def test_zero_area_box_is_allowed(self):
+        b = BBox(1, 1, 1, 1)
+        assert b.area == 0 and b.contains(Point(1, 1))
+
+
+class TestContains:
+    def test_inside_and_boundary(self):
+        b = BBox(0, 0, 10, 10)
+        assert b.contains(Point(5, 5))
+        assert b.contains(Point(0, 0))
+        assert b.contains(Point(10, 10))
+        assert not b.contains(Point(10.001, 5))
+
+    def test_contains_many_matches_scalar(self):
+        b = BBox(0, 0, 10, 10)
+        xs = np.array([-1.0, 0.0, 5.0, 10.0, 11.0])
+        ys = np.array([5.0, 5.0, 5.0, 5.0, 5.0])
+        result = b.contains_many(xs, ys)
+        expected = [b.contains(Point(x, y)) for x, y in zip(xs, ys)]
+        assert list(result) == expected
+
+
+class TestOperations:
+    def test_intersects(self):
+        a = BBox(0, 0, 10, 10)
+        assert a.intersects(BBox(5, 5, 15, 15))
+        assert a.intersects(BBox(10, 10, 20, 20))  # touching counts
+        assert not a.intersects(BBox(11, 11, 20, 20))
+
+    def test_clamp(self):
+        b = BBox(0, 0, 10, 10)
+        assert b.clamp(Point(-5, 5)) == Point(0, 5)
+        assert b.clamp(Point(15, 12)) == Point(10, 10)
+        assert b.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_quadrants_partition_area(self):
+        b = BBox(0, 0, 8, 4)
+        quads = b.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(b.area)
+        # Each quadrant has half the width and height.
+        for q in quads:
+            assert q.width == pytest.approx(4) and q.height == pytest.approx(2)
+
+    def test_quadrants_cover_every_point(self, rng):
+        b = BBox(-3, 2, 9, 14)
+        for _ in range(50):
+            p = b.sample_point(rng)
+            assert any(q.contains(p) for q in b.quadrants())
+
+    def test_sample_point_inside(self, rng):
+        b = BBox(100, 200, 110, 260)
+        for _ in range(100):
+            assert b.contains(b.sample_point(rng))
+
+    def test_expanded(self):
+        b = BBox(0, 0, 10, 10).expanded(5)
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (-5, -5, 15, 15)

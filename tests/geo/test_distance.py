@@ -1,0 +1,65 @@
+"""Tests for distance computations."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import (
+    euclidean,
+    euclidean_many,
+    haversine,
+    l1_distance,
+    pairwise_euclidean,
+)
+from repro.geo.point import GeoPoint, Point
+
+
+class TestEuclidean:
+    def test_scalar(self):
+        assert euclidean(Point(0, 0), Point(6, 8)) == pytest.approx(10.0)
+
+    def test_many_matches_scalar(self):
+        center = Point(2.0, -1.0)
+        xs = np.array([0.0, 5.0, -3.0])
+        ys = np.array([4.0, -1.0, 2.5])
+        result = euclidean_many(center, xs, ys)
+        expected = [euclidean(center, Point(x, y)) for x, y in zip(xs, ys)]
+        np.testing.assert_allclose(result, expected)
+
+    def test_pairwise_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [0.0, 3.0], [4.0, 0.0]])
+        d = pairwise_euclidean(a, b)
+        assert d.shape == (2, 3)
+        np.testing.assert_allclose(d[0], [0.0, 3.0, 4.0])
+        np.testing.assert_allclose(d[1], [1.0, np.sqrt(10.0), 3.0])
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(40.0, 116.0)
+        assert haversine(p, p) == 0.0
+
+    def test_equator_degree(self):
+        d = haversine(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0))
+        assert d == pytest.approx(111_195, rel=1e-3)
+
+    def test_symmetric(self):
+        a, b = GeoPoint(39.9, 116.4), GeoPoint(40.7, -74.0)
+        assert haversine(a, b) == pytest.approx(haversine(b, a))
+
+    def test_beijing_to_nyc_magnitude(self):
+        d = haversine(GeoPoint(39.9, 116.4), GeoPoint(40.71, -74.01))
+        assert 10_900_000 < d < 11_100_000
+
+
+class TestL1Distance:
+    def test_basic(self):
+        assert l1_distance(np.array([1, 2, 3]), np.array([3, 2, 0])) == 5.0
+
+    def test_zero_for_identical(self):
+        v = np.array([5, 0, 7])
+        assert l1_distance(v, v) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            l1_distance(np.array([1, 2]), np.array([1, 2, 3]))

@@ -1,0 +1,92 @@
+"""Tests for the uniform grid spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geo.bbox import BBox
+from repro.geo.grid_index import GridIndex
+from repro.geo.point import Point
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0, 1000, size=(800, 2))
+
+
+@pytest.fixture(scope="module")
+def index(points):
+    return GridIndex(points, cell_size=50.0)
+
+
+def brute_radius(points, center, radius):
+    d = np.hypot(points[:, 0] - center.x, points[:, 1] - center.y)
+    return set(np.flatnonzero(d <= radius).tolist())
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(GeometryError):
+            GridIndex(np.zeros((3, 3)), cell_size=10.0)
+
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(GeometryError):
+            GridIndex(np.zeros((3, 2)), cell_size=0.0)
+
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)), cell_size=10.0)
+        assert idx.n_points == 0
+        assert len(idx.query_radius(Point(0, 0), 100.0)) == 0
+
+    def test_n_points(self, index, points):
+        assert index.n_points == len(points)
+
+
+class TestQueryRadius:
+    @pytest.mark.parametrize("radius", [0.0, 10.0, 75.0, 300.0, 2000.0])
+    def test_matches_brute_force(self, index, points, radius, rng):
+        for _ in range(10):
+            center = Point(float(rng.uniform(-100, 1100)), float(rng.uniform(-100, 1100)))
+            got = set(index.query_radius(center, radius).tolist())
+            assert got == brute_radius(points, center, radius)
+
+    def test_negative_radius_raises(self, index):
+        with pytest.raises(GeometryError):
+            index.query_radius(Point(0, 0), -1.0)
+
+    def test_radius_zero_finds_exact_point(self, points):
+        idx = GridIndex(points, cell_size=50.0)
+        p = Point(float(points[17, 0]), float(points[17, 1]))
+        got = idx.query_radius(p, 0.0)
+        assert 17 in got
+
+    def test_count_radius(self, index, points):
+        center = Point(500, 500)
+        assert index.count_radius(center, 120.0) == len(brute_radius(points, center, 120.0))
+
+
+class TestQueryBox:
+    def test_matches_brute_force(self, index, points, rng):
+        for _ in range(10):
+            x0, y0 = rng.uniform(0, 800, size=2)
+            box = BBox(float(x0), float(y0), float(x0 + 150), float(y0 + 250))
+            got = set(index.query_box(box).tolist())
+            expected = set(
+                np.flatnonzero(box.contains_many(points[:, 0], points[:, 1])).tolist()
+            )
+            assert got == expected
+
+    def test_box_outside_bounds_is_empty(self, index):
+        assert len(index.query_box(BBox(5000, 5000, 6000, 6000))) == 0
+
+
+class TestCellSizeIndependence:
+    @pytest.mark.parametrize("cell", [10.0, 100.0, 400.0])
+    def test_results_identical_across_cell_sizes(self, points, cell):
+        idx = GridIndex(points, cell_size=cell)
+        reference = GridIndex(points, cell_size=50.0)
+        center = Point(321.0, 654.0)
+        got = set(idx.query_radius(center, 130.0).tolist())
+        expected = set(reference.query_radius(center, 130.0).tolist())
+        assert got == expected

@@ -1,0 +1,69 @@
+"""Tests for the from-scratch kd-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geo.kdtree import KDTree
+from repro.geo.point import Point
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(9)
+    return rng.normal(0, 100, size=(500, 2))
+
+
+@pytest.fixture(scope="module")
+def tree(points):
+    return KDTree(points)
+
+
+def brute_knn(points, query, k):
+    d = np.hypot(points[:, 0] - query.x, points[:, 1] - query.y)
+    order = np.argsort(d, kind="stable")[:k]
+    return order, d[order]
+
+
+class TestKDTree:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            KDTree(np.zeros((4, 3)))
+
+    def test_nearest_matches_brute_force(self, tree, points, rng):
+        for _ in range(25):
+            q = Point(float(rng.normal(0, 120)), float(rng.normal(0, 120)))
+            idx, dist = tree.nearest(q)
+            b_idx, b_dist = brute_knn(points, q, 1)
+            assert dist == pytest.approx(float(b_dist[0]))
+            # Index may differ only under exact distance ties.
+            assert dist == pytest.approx(
+                float(np.hypot(points[idx, 0] - q.x, points[idx, 1] - q.y))
+            )
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_k_nearest_distances_match(self, tree, points, k, rng):
+        q = Point(float(rng.normal()), float(rng.normal()))
+        idx, dist = tree.k_nearest(q, k)
+        _, b_dist = brute_knn(points, q, k)
+        np.testing.assert_allclose(dist, b_dist)
+        # Sorted by increasing distance.
+        assert (np.diff(dist) >= -1e-9).all()
+
+    def test_k_larger_than_n(self, points):
+        tree = KDTree(points[:5])
+        idx, dist = tree.k_nearest(Point(0, 0), 20)
+        assert len(idx) == 5
+
+    def test_query_at_existing_point(self, tree, points):
+        idx, dist = tree.nearest(Point(float(points[3, 0]), float(points[3, 1])))
+        assert dist == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        idx, dist = tree.k_nearest(Point(0, 0), 3)
+        assert len(idx) == 0
+
+    def test_invalid_k_raises(self, tree):
+        with pytest.raises(GeometryError):
+            tree.k_nearest(Point(0, 0), 0)

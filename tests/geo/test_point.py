@@ -1,0 +1,58 @@
+"""Tests for planar and geographic points."""
+
+import math
+
+import pytest
+
+from repro.geo.point import GeoPoint, Point
+
+
+class TestPoint:
+    def test_distance_to_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(10.0, 20.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_is_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert hash(p) == hash(Point(1, 2))
+        with pytest.raises(AttributeError):
+            p.x = 5  # type: ignore[misc]
+
+
+class TestGeoPoint:
+    def test_valid_coordinates(self):
+        g = GeoPoint(39.9, 116.4)
+        assert g.lat == 39.9 and g.lon == 116.4
+
+    @pytest.mark.parametrize("lat", [-90.01, 90.01, 180.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.01, 180.01, 360.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+    def test_boundary_values_are_allowed(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+
+def test_point_distance_matches_hypot():
+    a = Point(-7.5, 2.25)
+    b = Point(4.0, -9.75)
+    assert a.distance_to(b) == pytest.approx(math.hypot(11.5, 12.0))

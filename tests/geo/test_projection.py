@@ -1,0 +1,49 @@
+"""Tests for the equirectangular local projection."""
+
+import pytest
+
+from repro.geo.distance import haversine
+from repro.geo.point import GeoPoint, Point
+from repro.geo.projection import LocalProjection
+
+BEIJING = GeoPoint(39.9042, 116.4074)
+
+
+class TestLocalProjection:
+    def test_anchor_maps_to_origin(self):
+        proj = LocalProjection(BEIJING)
+        p = proj.to_plane(BEIJING)
+        assert p.x == pytest.approx(0.0, abs=1e-9)
+        assert p.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_roundtrip(self):
+        proj = LocalProjection(BEIJING)
+        geo = GeoPoint(39.95, 116.30)
+        back = proj.to_geo(proj.to_plane(geo))
+        assert back.lat == pytest.approx(geo.lat, abs=1e-9)
+        assert back.lon == pytest.approx(geo.lon, abs=1e-9)
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(BEIJING)
+        north = proj.to_plane(GeoPoint(BEIJING.lat + 0.01, BEIJING.lon))
+        assert north.y > 0 and north.x == pytest.approx(0.0, abs=1e-6)
+
+    def test_east_is_positive_x(self):
+        proj = LocalProjection(BEIJING)
+        east = proj.to_plane(GeoPoint(BEIJING.lat, BEIJING.lon + 0.01))
+        assert east.x > 0 and east.y == pytest.approx(0.0, abs=1e-6)
+
+    def test_planar_distance_matches_haversine_at_city_scale(self):
+        proj = LocalProjection(BEIJING)
+        a = GeoPoint(39.95, 116.30)
+        b = GeoPoint(39.85, 116.50)
+        pa, pb = proj.to_plane(a), proj.to_plane(b)
+        planar = pa.distance_to(pb)
+        geodesic = haversine(a, b)
+        # Within 0.5% at ~20 km separations.
+        assert planar == pytest.approx(geodesic, rel=5e-3)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        proj = LocalProjection(GeoPoint(0.0, 0.0))
+        p = proj.to_plane(GeoPoint(1.0, 0.0))
+        assert p.y == pytest.approx(111_195, rel=1e-3)

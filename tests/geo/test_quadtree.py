@@ -1,0 +1,122 @@
+"""Tests for the point-region quadtree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geo.bbox import BBox
+from repro.geo.grid_index import GridIndex
+from repro.geo.point import Point
+from repro.geo.quadtree import QuadTree
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(4)
+    return rng.uniform(0, 1_000, size=(600, 2))
+
+
+@pytest.fixture(scope="module")
+def tree(points):
+    return QuadTree(points, bounds=BBox(0, 0, 1_000, 1_000), leaf_size=16)
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(GeometryError):
+            QuadTree(np.zeros((3, 3)))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(GeometryError):
+            QuadTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_empty_tree(self):
+        tree = QuadTree(np.empty((0, 2)))
+        assert tree.n_points == 0
+        assert len(tree.query_radius(Point(0, 0), 100.0)) == 0
+
+    def test_root_holds_everything(self, tree, points):
+        assert tree.root.count == len(points)
+
+    def test_duplicated_points_terminate(self):
+        xy = np.tile([[5.0, 5.0]], (100, 1))
+        tree = QuadTree(xy, leaf_size=2, max_depth=6)
+        assert tree.root.count == 100  # built without infinite recursion
+
+    def test_children_partition_parent(self, tree):
+        node = tree.root
+        assert not node.is_leaf
+        child_total = sum(c.count for c in node.children)
+        assert child_total == node.count
+
+
+class TestQueries:
+    def test_radius_matches_grid_index(self, tree, points, rng):
+        grid = GridIndex(points, cell_size=50.0)
+        for _ in range(20):
+            center = Point(float(rng.uniform(0, 1_000)), float(rng.uniform(0, 1_000)))
+            radius = float(rng.uniform(0, 400))
+            a = set(tree.query_radius(center, radius).tolist())
+            b = set(grid.query_radius(center, radius).tolist())
+            assert a == b
+
+    def test_box_matches_brute_force(self, tree, points, rng):
+        for _ in range(15):
+            x0, y0 = rng.uniform(0, 800, size=2)
+            box = BBox(float(x0), float(y0), float(x0 + 150), float(y0 + 200))
+            got = set(tree.query_box(box).tolist())
+            expected = set(
+                np.flatnonzero(box.contains_many(points[:, 0], points[:, 1])).tolist()
+            )
+            assert got == expected
+
+    def test_count_in(self, tree):
+        box = BBox(0, 0, 1_000, 1_000)
+        assert tree.count_in(box) == tree.n_points
+
+    def test_negative_radius_raises(self, tree):
+        with pytest.raises(GeometryError):
+            tree.query_radius(Point(0, 0), -1.0)
+
+
+class TestDescend:
+    def test_descend_contains_location(self, points):
+        tree = QuadTree(points, bounds=BBox(0, 0, 1_000, 1_000), leaf_size=1)
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            p = Point(float(rng.uniform(0, 1_000)), float(rng.uniform(0, 1_000)))
+            cell = tree.descend(p, min_count=10)
+            assert cell.contains(p)
+
+    def test_descend_satisfies_min_count(self, points):
+        tree = QuadTree(points, bounds=BBox(0, 0, 1_000, 1_000), leaf_size=1)
+        rng = np.random.default_rng(6)
+        for _ in range(25):
+            p = Point(float(rng.uniform(0, 1_000)), float(rng.uniform(0, 1_000)))
+            cell = tree.descend(p, min_count=15)
+            assert tree.count_in(cell) >= 15
+
+    def test_descend_matches_cloaking_semantics(self, points):
+        """descend() agrees with the from-scratch quadrant recursion."""
+        from repro.defense.cloaking import AdaptiveIntervalCloak, UserPopulation
+
+        bounds = BBox(0, 0, 1_000, 1_000)
+        tree = QuadTree(points, bounds=bounds, leaf_size=1, max_depth=30)
+        population = UserPopulation(points, bounds)
+        cloak = AdaptiveIntervalCloak(population, k=12)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            p = Point(float(rng.uniform(0, 1_000)), float(rng.uniform(0, 1_000)))
+            a = tree.descend(p, min_count=12)
+            b = cloak.cloak(p)
+            assert (a.min_x, a.min_y, a.max_x, a.max_y) == pytest.approx(
+                (b.min_x, b.min_y, b.max_x, b.max_y)
+            )
+
+    def test_descend_invalid_count(self, tree):
+        with pytest.raises(GeometryError):
+            tree.descend(Point(0, 0), min_count=0)
+
+    def test_descend_whole_city_when_sparse(self, tree):
+        cell = tree.descend(Point(500, 500), min_count=10_000)
+        assert cell.area == pytest.approx(tree.root.bounds.area)

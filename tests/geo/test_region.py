@@ -1,0 +1,64 @@
+"""Tests for disk-intersection feasible regions."""
+
+import math
+
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geo.disk import Disk, lens_area
+from repro.geo.point import Point
+from repro.geo.region import DiskIntersection
+
+
+class TestDiskIntersection:
+    def test_no_constraints_is_base_area(self):
+        region = DiskIntersection(Disk(Point(0, 0), 10.0))
+        assert region.area() == pytest.approx(100 * math.pi)
+
+    def test_contains_requires_all_disks(self):
+        region = DiskIntersection(
+            Disk(Point(0, 0), 10.0), (Disk(Point(15, 0), 10.0),)
+        )
+        assert region.contains(Point(7, 0))
+        assert not region.contains(Point(-7, 0))  # outside constraint
+        assert not region.contains(Point(16, 0))  # outside base
+
+    def test_monte_carlo_matches_lens_area(self):
+        base = Disk(Point(0, 0), 100.0)
+        other = Disk(Point(120, 0), 100.0)
+        region = DiskIntersection(base, (other,))
+        exact = lens_area(base, other)
+        estimate = region.area(n_samples=60_000, rng=3)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_empty_intersection_has_zero_area(self):
+        region = DiskIntersection(
+            Disk(Point(0, 0), 10.0), (Disk(Point(100, 0), 10.0),)
+        )
+        assert region.area(n_samples=5_000, rng=1) == 0.0
+
+    def test_area_decreases_with_more_constraints(self):
+        base = Disk(Point(0, 0), 100.0)
+        r1 = DiskIntersection(base, (Disk(Point(50, 0), 100.0),))
+        r2 = r1.with_constraint(Disk(Point(0, 80), 100.0))
+        a1 = r1.area(n_samples=30_000, rng=5)
+        a2 = r2.area(n_samples=30_000, rng=5)
+        assert a2 <= a1
+
+    def test_centroid_inside_region(self):
+        base = Disk(Point(0, 0), 100.0)
+        region = DiskIntersection(base, (Disk(Point(120, 0), 100.0),))
+        c = region.centroid(n_samples=20_000, rng=2)
+        assert c is not None
+        assert region.contains(c)
+
+    def test_centroid_none_for_empty_region(self):
+        region = DiskIntersection(
+            Disk(Point(0, 0), 1.0), (Disk(Point(100, 0), 1.0),)
+        )
+        assert region.centroid(n_samples=2_000, rng=2) is None
+
+    def test_invalid_sample_count_raises(self):
+        region = DiskIntersection(Disk(Point(0, 0), 1.0))
+        with pytest.raises(GeometryError):
+            region.area(n_samples=0)

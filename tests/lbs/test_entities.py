@@ -1,0 +1,103 @@
+"""Tests for the LBS architecture entities."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+from repro.defense.sanitization import Sanitizer
+from repro.geo.point import Point
+from repro.lbs.entities import GeoServiceProvider, MobileUser, POIService
+from repro.lbs.messages import AggregateRelease, GeoQuery
+
+
+class TestGeoServiceProvider:
+    def test_handle_returns_pois_in_range(self, tiny_db):
+        gsp = GeoServiceProvider(tiny_db)
+        query = GeoQuery(user_id=1, location=Point(500, 500), radius=60.0, timestamp=0.0)
+        response = gsp.handle(query)
+        assert set(response.poi_indices) == {2, 3, 5}
+        assert response.query is query
+
+    def test_counts_queries(self, tiny_db):
+        gsp = GeoServiceProvider(tiny_db)
+        for i in range(3):
+            gsp.handle(GeoQuery(1, Point(0, 0), 10.0, float(i)))
+        assert gsp.n_queries_served == 3
+
+    def test_rejects_bad_radius(self, tiny_db):
+        gsp = GeoServiceProvider(tiny_db)
+        with pytest.raises(ConfigError):
+            gsp.handle(GeoQuery(1, Point(0, 0), 0.0, 0.0))
+
+
+class TestMobileUser:
+    def test_undefended_release_is_true_frequency(self, tiny_db):
+        gsp = GeoServiceProvider(tiny_db)
+        user = MobileUser(7, gsp, rng=derive_rng(1, "u"))
+        release = user.release_at(Point(500, 500), 60.0, timestamp=12.0)
+        np.testing.assert_array_equal(
+            release.frequency_vector, tiny_db.freq(Point(500, 500), 60.0)
+        )
+        assert release.user_id == 7
+        assert release.radius == 60.0
+        assert release.timestamp == 12.0
+
+    def test_defense_is_applied(self, tiny_db):
+        gsp = GeoServiceProvider(tiny_db)
+        sanitizer = Sanitizer(tiny_db, threshold=1)  # sanitizes type c
+        user = MobileUser(7, gsp, defense=sanitizer, rng=derive_rng(2, "u"))
+        release = user.release_at(Point(500, 800), 150.0, timestamp=0.0)
+        assert release.frequency_vector[2] == 0  # type c removed
+
+    def test_walk_releases_per_sample(self, tiny_db):
+        from repro.datasets.trajectory import Trajectory, TrajectoryPoint
+
+        gsp = GeoServiceProvider(tiny_db)
+        user = MobileUser(1, gsp, rng=derive_rng(3, "u"))
+        traj = Trajectory(
+            1,
+            (
+                TrajectoryPoint(Point(500, 500), 0.0),
+                TrajectoryPoint(Point(510, 500), 60.0),
+            ),
+        )
+        releases = user.walk(traj, 100.0)
+        assert len(releases) == 2
+        assert releases[0].timestamp == 0.0 and releases[1].timestamp == 60.0
+
+
+class TestPOIService:
+    def _release(self, vector, user_id=1, t=0.0):
+        return AggregateRelease(user_id, np.asarray(vector), 100.0, t)
+
+    def test_recommend_returns_topk(self):
+        service = POIService(top_k=2)
+        result = service.recommend(self._release([5, 1, 9]))
+        assert result == frozenset({0, 2})
+
+    def test_honest_service_logs_nothing(self):
+        service = POIService(curious=False)
+        service.recommend(self._release([1, 2, 3]))
+        assert service.observed_releases == ()
+
+    def test_curious_service_logs_everything(self):
+        service = POIService(curious=True)
+        service.recommend(self._release([1, 2, 3], user_id=1, t=5.0))
+        service.recommend(self._release([3, 2, 1], user_id=2, t=1.0))
+        assert len(service.observed_releases) == 2
+
+    def test_releases_of_sorted_by_time(self):
+        service = POIService(curious=True)
+        service.recommend(self._release([1], user_id=1, t=9.0))
+        service.recommend(self._release([2], user_id=1, t=3.0))
+        service.recommend(self._release([3], user_id=2, t=1.0))
+        times = [r.timestamp for r in service.releases_of(1)]
+        assert times == [3.0, 9.0]
+
+    def test_logged_release_is_immutable(self):
+        service = POIService(curious=True)
+        service.recommend(self._release([1, 2, 3]))
+        logged = service.observed_releases[0]
+        with pytest.raises(ValueError):
+            logged.frequency_vector[0] = 99

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end LBS simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import derive_rng
+from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories
+from repro.defense.nonprivate import NonPrivateOptimizationDefense
+from repro.lbs.simulation import simulate_sessions
+
+
+@pytest.fixture(scope="module")
+def fleet(request):
+    from repro.poi.cities import small_city
+
+    city = small_city(seed=7)
+    db = city.database
+    config = TaxiFleetConfig(n_taxis=25, trips_per_taxi=3)
+    trajectories = synthesize_taxi_trajectories(db, config, derive_rng(1, "sim-fleet"))
+    return city, db, trajectories
+
+
+class TestSimulateSessions:
+    def test_report_counts(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(2, "s"))
+        assert report.n_users == len(trajectories)
+        assert report.n_releases == sum(len(t) for t in trajectories)
+        assert 0 <= report.n_users_exposed_single <= report.n_users
+        assert report.defense_name == "NoDefense"
+
+    def test_exposure_rates_consistent(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(3, "s"))
+        assert report.single_exposure_rate == pytest.approx(
+            report.n_users_exposed_single / report.n_users
+        )
+        # Without a regressor, the linked stage adds nothing beyond single.
+        assert report.n_users_exposed_linked == report.n_users_exposed_single
+
+    def test_undefended_exposure_is_substantial(self, fleet):
+        """Trajectory-long observation exposes many users (the paper's point)."""
+        _, db, trajectories = fleet
+        report = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(4, "s"))
+        assert report.single_exposure_rate > 0.3
+
+    def test_defense_reduces_exposure(self, fleet):
+        _, db, trajectories = fleet
+        plain = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(5, "s"))
+        defended = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            defense=NonPrivateOptimizationDefense(0.05),
+            rng=derive_rng(5, "s"),
+        )
+        assert defended.n_users_exposed_single <= plain.n_users_exposed_single
+        assert "NonPrivateOpt" in defended.defense_name
+
+    def test_linked_stage_never_reduces_exposure(self, fleet):
+        _, db, trajectories = fleet
+        from repro.attacks.trajectory import DistanceRegressor, PairRelease
+        from repro.datasets.trajectory import extract_release_pairs
+
+        pairs = extract_release_pairs(trajectories, max_gap_s=600.0)[:120]
+        releases = [
+            PairRelease(
+                db.freq(p.first.location, 600.0),
+                db.freq(p.second.location, 600.0),
+                p.first.timestamp,
+                p.second.timestamp,
+            )
+            for p in pairs
+        ]
+        regressor = DistanceRegressor().fit(
+            releases, np.array([p.distance for p in pairs])
+        )
+        report = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            distance_regressor=regressor,
+            rng=derive_rng(6, "s"),
+        )
+        assert report.n_users_exposed_linked >= report.n_users_exposed_single
+
+    def test_deterministic_given_rng(self, fleet):
+        _, db, trajectories = fleet
+        a = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(7, "s"))
+        b = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(7, "s"))
+        assert a == b

@@ -1,0 +1,59 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import gamma_scale, linear_kernel, rbf_kernel
+
+
+class TestLinearKernel:
+    def test_matches_dot_products(self, rng):
+        A = rng.normal(size=(5, 3))
+        B = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(linear_kernel(A, B), A @ B.T)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, rng):
+        A = rng.normal(size=(6, 4))
+        K = rbf_kernel(A, A, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetric(self, rng):
+        A = rng.normal(size=(6, 4))
+        K = rbf_kernel(A, A, gamma=0.3)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_values_in_unit_interval(self, rng):
+        A = rng.normal(size=(10, 3))
+        B = rng.normal(size=(7, 3))
+        K = rbf_kernel(A, B, gamma=1.0)
+        assert (K >= 0).all() and (K <= 1).all()
+
+    def test_known_value(self):
+        A = np.array([[0.0, 0.0]])
+        B = np.array([[1.0, 0.0]])
+        K = rbf_kernel(A, B, gamma=2.0)
+        assert K[0, 0] == pytest.approx(np.exp(-2.0))
+
+    def test_decreases_with_distance(self):
+        A = np.array([[0.0]])
+        B = np.array([[1.0], [2.0], [3.0]])
+        K = rbf_kernel(A, B, gamma=1.0)[0]
+        assert (np.diff(K) < 0).all()
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), gamma=0.0)
+
+
+class TestGammaScale:
+    def test_positive(self, rng):
+        assert gamma_scale(rng.normal(size=(50, 4))) > 0
+
+    def test_constant_data_fallback(self):
+        assert gamma_scale(np.ones((10, 3))) == 1.0
+
+    def test_heuristic_value(self, rng):
+        X = rng.normal(0, 2.0, size=(2_000, 5))
+        assert gamma_scale(X) == pytest.approx(1.0 / (5 * X.var()), rel=1e-12)

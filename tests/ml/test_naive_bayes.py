@@ -1,0 +1,104 @@
+"""Tests for the Gaussian naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.ml.metrics import accuracy_score
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    X = np.vstack([rng.normal(c, 1.0, size=(80, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 80)
+    return X, y
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs(self, blobs):
+        X, y = blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_generalises(self, blobs):
+        X, y = blobs
+        perm = np.random.default_rng(1).permutation(len(X))
+        X, y = X[perm], y[perm]
+        model = GaussianNaiveBayes().fit(X[:180], y[:180])
+        assert accuracy_score(y[180:], model.predict(X[180:])) > 0.9
+
+    def test_predict_log_proba_normalised(self, blobs):
+        X, y = blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        log_proba = model.predict_log_proba(X[:10])
+        np.testing.assert_allclose(np.exp(log_proba).sum(axis=1), 1.0, atol=1e-9)
+
+    def test_priors_matter_for_ambiguous_points(self):
+        rng = np.random.default_rng(2)
+        # Identical class-conditional distributions, 9:1 priors.
+        X = rng.normal(0, 1, size=(200, 2))
+        y = np.array([0] * 180 + [1] * 20)
+        model = GaussianNaiveBayes().fit(X, y)
+        preds = model.predict(rng.normal(0, 1, size=(100, 2)))
+        assert (preds == 0).mean() > 0.9
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.column_stack([np.ones(40), np.arange(40.0)])
+        y = (np.arange(40) >= 20).astype(int)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_single_class(self):
+        X = np.random.default_rng(3).normal(size=(10, 2))
+        y = np.full(10, 7)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == 7).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1.0)
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_imbalanced_frequency_task(self):
+        """The recovery-attack shape: mostly-zero target with co-occurrence."""
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(400, 6))
+        y = np.where(X[:, 1] > 1.2, 1, 0)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+
+class TestRecoveryIntegration:
+    def test_naive_bayes_recovery_model(self, city, db):
+        from repro.attacks.recovery import SanitizationRecoveryAttack
+        from repro.core.rng import derive_rng
+        from repro.defense.sanitization import Sanitizer
+
+        sanitizer = Sanitizer(db, threshold=10)
+        attack = SanitizationRecoveryAttack(db, sanitizer, model="naive_bayes")
+        report = attack.fit(
+            radius=900.0,
+            n_train=200,
+            n_validation=60,
+            rng=derive_rng(1, "nbfit"),
+            bounds=city.interior(900.0),
+        )
+        assert report.mean_accuracy > 0.8
+
+    def test_unknown_model_rejected(self, db):
+        from repro.attacks.recovery import SanitizationRecoveryAttack
+        from repro.core.errors import AttackError
+        from repro.defense.sanitization import Sanitizer
+
+        with pytest.raises(AttackError):
+            SanitizationRecoveryAttack(db, Sanitizer(db, 10), model="forest")

@@ -1,0 +1,70 @@
+"""Tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0], [1.0, 9.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    def test_transform_uses_training_stats(self, rng):
+        train = rng.normal(0, 1, size=(100, 2))
+        scaler = StandardScaler().fit(train)
+        test = np.array([[100.0, 100.0]])
+        Z = scaler.transform(test)
+        assert (Z > 10).all()  # far outside the training distribution
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        enc = OneHotEncoder(4)
+        out = enc.transform(np.array([0, 2, 3]))
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]], dtype=float
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_each_row_sums_to_one(self, rng):
+        enc = OneHotEncoder(7)
+        out = enc.transform(rng.integers(0, 7, size=30))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_out_of_range_raises(self):
+        enc = OneHotEncoder(3)
+        with pytest.raises(ValueError):
+            enc.transform(np.array([3]))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([-1]))
+
+    def test_empty_input(self):
+        assert OneHotEncoder(3).transform(np.array([], dtype=int)).shape == (0, 3)
+
+    def test_invalid_category_count(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(0)

@@ -1,0 +1,115 @@
+"""Tests for the SMO-trained support vector classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import NotFittedError
+from repro.ml.metrics import accuracy_score
+from repro.ml.svc import BinarySVC, OneVsRestSVC
+
+
+@pytest.fixture(scope="module")
+def linear_task():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 2))
+    y = np.where(X[:, 0] + X[:, 1] > 0, 1.0, -1.0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def circle_task():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(400, 2))
+    y = np.where((X**2).sum(axis=1) < 1.5, 1.0, -1.0)
+    return X, y
+
+
+class TestBinarySVC:
+    def test_separable_linear(self, linear_task):
+        X, y = linear_task
+        model = BinarySVC(C=10.0, kernel="linear", rng=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_rbf_on_nonlinear_task(self, circle_task):
+        X, y = circle_task
+        model = BinarySVC(C=5.0, kernel="rbf", rng=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_linear_kernel_fails_on_circle(self, circle_task):
+        """The nonlinear task should separate RBF from linear decision power."""
+        X, y = circle_task
+        linear = BinarySVC(C=5.0, kernel="linear", rng=0).fit(X, y)
+        rbf = BinarySVC(C=5.0, kernel="rbf", rng=0).fit(X, y)
+        assert accuracy_score(y, rbf.predict(X)) > accuracy_score(y, linear.predict(X))
+
+    def test_generalisation(self, circle_task):
+        X, y = circle_task
+        model = BinarySVC(C=5.0, rng=0).fit(X[:300], y[:300])
+        assert accuracy_score(y[300:], model.predict(X[300:])) > 0.85
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BinarySVC().predict(np.zeros((1, 2)))
+
+    def test_bad_labels_raise(self):
+        with pytest.raises(ValueError, match="labels"):
+            BinarySVC().fit(np.zeros((3, 2)), np.array([0.0, 1.0, 2.0]))
+
+    def test_one_class_degenerate(self):
+        X = np.zeros((5, 2))
+        y = np.ones(5)
+        model = BinarySVC().fit(X, y)
+        assert (model.predict(np.random.default_rng(0).normal(size=(4, 2))) == 1.0).all()
+
+    def test_support_vectors_subset(self, linear_task):
+        X, y = linear_task
+        model = BinarySVC(C=1.0, rng=0).fit(X, y)
+        assert 0 < model.n_support <= len(X)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BinarySVC(C=0.0)
+        with pytest.raises(ValueError):
+            BinarySVC(kernel="poly")
+
+    def test_decision_function_sign_matches_predict(self, circle_task):
+        X, y = circle_task
+        model = BinarySVC(C=5.0, rng=0).fit(X, y)
+        scores = model.decision_function(X)
+        preds = model.predict(X)
+        np.testing.assert_array_equal(np.where(scores >= 0, 1.0, -1.0), preds)
+
+
+class TestOneVsRestSVC:
+    def test_multiclass_quadrants(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = (X[:, 0] > 0).astype(int) + 2 * (X[:, 1] > 0).astype(int)
+        model = OneVsRestSVC(C=5.0, rng=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    def test_predicts_known_classes_only(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 2))
+        y = rng.choice([3, 7, 11], size=100)
+        model = OneVsRestSVC(rng=0).fit(X, y)
+        assert set(model.predict(X)).issubset({3, 7, 11})
+
+    def test_single_class_training(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.full(20, 5)
+        model = OneVsRestSVC(rng=0).fit(X, y)
+        assert (model.predict(X) == 5).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OneVsRestSVC().predict(np.zeros((1, 2)))
+
+    def test_imbalanced_frequency_prediction_task(self):
+        """A sketch of the recovery task: mostly-zero counts with structure."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 5))
+        # Target is 0 unless feature 2 is large, then 1 or 2.
+        y = np.where(X[:, 2] > 1.0, np.where(X[:, 3] > 0, 2, 1), 0)
+        model = OneVsRestSVC(C=5.0, rng=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9

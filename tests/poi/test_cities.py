@@ -1,0 +1,56 @@
+"""Tests for the city presets."""
+
+import pytest
+
+from repro.poi.cities import CITY_BUILDERS, beijing, new_york, small_city
+
+
+class TestPresets:
+    def test_beijing_matches_paper_statistics(self):
+        city = beijing()
+        db = city.database
+        assert len(db) == 10_249
+        assert db.n_types == 177
+        rare = int((db.city_frequency <= 10).sum())
+        assert abs(rare - 90) <= 3
+
+    def test_new_york_matches_paper_statistics(self):
+        city = new_york()
+        db = city.database
+        assert len(db) == 30_056
+        assert db.n_types == 272
+        rare = int((db.city_frequency <= 10).sum())
+        assert abs(rare - 138) <= 3
+
+    def test_small_city_shape(self):
+        db = small_city().database
+        assert len(db) == 1_500 and db.n_types == 40
+
+    def test_cached_instances(self):
+        assert beijing() is beijing()
+        assert small_city(seed=3) is small_city(seed=3)
+        assert small_city(seed=3) is not small_city(seed=4)
+
+    def test_builders_map(self):
+        assert set(CITY_BUILDERS) == {"beijing", "nyc", "small"}
+
+
+class TestInterior:
+    def test_interior_shrinks_bounds(self):
+        city = small_city()
+        inner = city.interior(1_000.0)
+        outer = city.bounds
+        assert inner.min_x == outer.min_x + 1_000
+        assert inner.max_y == outer.max_y - 1_000
+
+    def test_huge_margin_is_capped(self):
+        city = small_city()
+        inner = city.interior(1e9)
+        assert inner.width > 0 and inner.height > 0
+
+    @pytest.mark.parametrize("margin", [0.0, 500.0, 4000.0])
+    def test_interior_always_inside(self, margin):
+        city = small_city()
+        inner = city.interior(margin)
+        assert inner.min_x >= city.bounds.min_x
+        assert inner.max_x <= city.bounds.max_x

@@ -1,0 +1,126 @@
+"""Tests for synthetic city generation and the type-count profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.poi.generator import (
+    SyntheticCityConfig,
+    calibrated_type_counts,
+    generate_city,
+    zipf_type_counts,
+)
+
+
+class TestZipfTypeCounts:
+    def test_sums_exactly(self):
+        counts = zipf_type_counts(10_000, 150, 1.1)
+        assert counts.sum() == 10_000
+
+    def test_every_type_has_at_least_one(self):
+        counts = zipf_type_counts(200, 150, 1.3)
+        assert counts.min() >= 1
+
+    def test_monotone_nonincreasing(self):
+        counts = zipf_type_counts(5_000, 80, 1.2)
+        assert (np.diff(counts) <= 0).all()
+
+    def test_too_few_pois_raises(self):
+        with pytest.raises(ConfigError):
+            zipf_type_counts(10, 20, 1.0)
+
+    def test_deterministic(self):
+        a = zipf_type_counts(1234, 40, 1.15)
+        b = zipf_type_counts(1234, 40, 1.15)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCalibratedTypeCounts:
+    @pytest.mark.parametrize(
+        "n_pois, n_types, n_rare",
+        [(10_249, 177, 90), (30_056, 272, 138), (1_500, 40, 18)],
+    )
+    def test_paper_calibrations(self, n_pois, n_types, n_rare):
+        counts = calibrated_type_counts(n_pois, n_types, n_rare)
+        assert counts.sum() == n_pois
+        rare = int((counts <= 10).sum())
+        assert abs(rare - n_rare) <= 3  # calibration tolerance
+        assert (counts >= 1).all()
+
+    def test_has_singleton_tail(self):
+        counts = calibrated_type_counts(10_249, 177, 90)
+        assert int((counts == 1).sum()) >= 5
+
+    def test_invalid_rare_count_raises(self):
+        with pytest.raises(ConfigError):
+            calibrated_type_counts(1000, 50, 0)
+        with pytest.raises(ConfigError):
+            calibrated_type_counts(1000, 50, 50)
+
+    def test_too_few_pois_raises(self):
+        with pytest.raises(ConfigError):
+            calibrated_type_counts(10, 20, 5)
+
+
+class TestSyntheticCityConfig:
+    def test_valid(self):
+        SyntheticCityConfig(name="x", n_pois=100, n_types=10)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"extent_m": -1.0},
+            {"n_pois": 5, "n_types": 10},
+            {"n_types": 1},
+            {"background_fraction": 1.5},
+            {"n_clusters": 0},
+            {"cluster_sigma_min": 0.0},
+            {"cluster_sigma_min": 500.0, "cluster_sigma_max": 100.0},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        base = dict(name="x", n_pois=100, n_types=10)
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            SyntheticCityConfig(**base)
+
+
+class TestGenerateCity:
+    CONFIG = SyntheticCityConfig(
+        name="t", extent_m=5_000.0, n_pois=400, n_types=20, n_clusters=8
+    )
+
+    def test_counts_and_bounds(self):
+        db = generate_city(self.CONFIG, seed=1)
+        assert len(db) == 400
+        assert db.n_types == 20
+        pos = db.positions
+        assert pos[:, 0].min() >= 0 and pos[:, 0].max() <= 5_000
+        assert pos[:, 1].min() >= 0 and pos[:, 1].max() <= 5_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_city(self.CONFIG, seed=5)
+        b = generate_city(self.CONFIG, seed=5)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.type_ids, b.type_ids)
+
+    def test_different_seeds_differ(self):
+        a = generate_city(self.CONFIG, seed=5)
+        b = generate_city(self.CONFIG, seed=6)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_every_type_occurs(self):
+        db = generate_city(self.CONFIG, seed=2)
+        assert (db.city_frequency >= 1).all()
+
+    def test_clustering_is_present(self):
+        """POIs should be substantially clustered, not uniform.
+
+        Compare the variance of local densities against a uniform layout:
+        clustered cities have many empty cells and a few dense ones.
+        """
+        db = generate_city(self.CONFIG, seed=3)
+        pos = db.positions
+        h, _, _ = np.histogram2d(pos[:, 0], pos[:, 1], bins=10, range=[[0, 5000], [0, 5000]])
+        # Uniform: variance ~ mean (Poisson).  Clustered: much larger.
+        assert h.var() > 3 * h.mean()

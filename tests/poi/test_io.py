@@ -1,0 +1,57 @@
+"""Tests for POI database persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.poi.io import load_database, save_database
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tiny_db, tmp_path):
+        path = tmp_path / "pois.csv"
+        save_database(tiny_db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(tiny_db)
+        assert loaded.vocabulary.names == tiny_db.vocabulary.names
+        np.testing.assert_allclose(loaded.positions, tiny_db.positions, atol=1e-3)
+        np.testing.assert_array_equal(loaded.type_ids, tiny_db.type_ids)
+
+    def test_bounds_preserved(self, tiny_db, tmp_path):
+        path = tmp_path / "pois.csv"
+        save_database(tiny_db, path)
+        loaded = load_database(path)
+        assert loaded.bounds.min_x == tiny_db.bounds.min_x
+        assert loaded.bounds.max_y == tiny_db.bounds.max_y
+
+    def test_queries_identical_after_roundtrip(self, tiny_db, tmp_path):
+        from repro.geo.point import Point
+
+        path = tmp_path / "pois.csv"
+        save_database(tiny_db, path)
+        loaded = load_database(path)
+        center = Point(500, 500)
+        np.testing.assert_array_equal(
+            loaded.freq(center, 300.0), tiny_db.freq(center, 300.0)
+        )
+
+
+class TestErrors:
+    def test_missing_csv(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_database(tmp_path / "nope.csv")
+
+    def test_missing_sidecar(self, tiny_db, tmp_path):
+        path = tmp_path / "pois.csv"
+        save_database(tiny_db, path)
+        path.with_suffix(".csv.meta.json").unlink()
+        with pytest.raises(DatasetError, match="sidecar"):
+            load_database(path)
+
+    def test_count_mismatch_detected(self, tiny_db, tmp_path):
+        path = tmp_path / "pois.csv"
+        save_database(tiny_db, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one POI row
+        with pytest.raises(DatasetError, match="mismatch"):
+            load_database(path)

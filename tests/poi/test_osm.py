@@ -1,0 +1,96 @@
+"""Tests for the OSM XML importer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.poi.osm import load_osm_xml
+
+SAMPLE = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="39.9000" lon="116.4000">
+    <tag k="amenity" v="pharmacy"/>
+  </node>
+  <node id="2" lat="39.9010" lon="116.4010">
+    <tag k="amenity" v="restaurant"/>
+    <tag k="name" v="Dumpling House"/>
+  </node>
+  <node id="3" lat="39.9020" lon="116.4020">
+    <tag k="shop" v="bakery"/>
+  </node>
+  <node id="4" lat="39.9030" lon="116.4030"/>
+  <node id="5" lat="39.9040" lon="116.4040">
+    <tag k="highway" v="crossing"/>
+  </node>
+  <node id="6" lat="39.9050" lon="116.4050">
+    <tag k="amenity" v="pharmacy"/>
+  </node>
+</osm>
+"""
+
+
+@pytest.fixture()
+def osm_file(tmp_path):
+    path = tmp_path / "extract.osm"
+    path.write_text(SAMPLE)
+    return path
+
+
+class TestLoadOsmXml:
+    def test_keeps_only_typed_nodes(self, osm_file):
+        db = load_osm_xml(osm_file)
+        assert len(db) == 4  # nodes 4 and 5 carry no POI tag
+
+    def test_vocabulary_and_counts(self, osm_file):
+        db = load_osm_xml(osm_file)
+        names = set(db.vocabulary.names)
+        assert names == {"amenity:pharmacy", "amenity:restaurant", "shop:bakery"}
+        pharmacy = db.vocabulary.id_of("amenity:pharmacy")
+        assert db.city_frequency[pharmacy] == 2
+
+    def test_projection_scale(self, osm_file):
+        """~0.005 degrees of latitude must project to ~555 m."""
+        db = load_osm_xml(osm_file)
+        pos = db.positions
+        spread = pos[:, 1].max() - pos[:, 1].min()
+        assert spread == pytest.approx(556, rel=0.02)
+
+    def test_type_key_priority(self, tmp_path):
+        path = tmp_path / "dual.osm"
+        path.write_text(
+            """<osm><node id="1" lat="0" lon="0">
+            <tag k="shop" v="bakery"/><tag k="amenity" v="cafe"/>
+            </node></osm>"""
+        )
+        db = load_osm_xml(path)
+        assert db.vocabulary.names == ("amenity:cafe",)
+
+    def test_custom_type_keys(self, osm_file):
+        db = load_osm_xml(osm_file, type_keys=("shop",))
+        assert len(db) == 1
+        assert db.vocabulary.names == ("shop:bakery",)
+
+    def test_attack_pipeline_runs_on_import(self, osm_file):
+        from repro.attacks.region import RegionAttack
+
+        db = load_osm_xml(osm_file)
+        attack = RegionAttack(db)
+        center = db.location_of(0)
+        outcome = attack.run(db.freq(center, 400.0), 400.0)
+        assert outcome.anchor_type is not None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_osm_xml(tmp_path / "nope.osm")
+
+    def test_malformed_xml(self, tmp_path):
+        path = tmp_path / "bad.osm"
+        path.write_text("<osm><node lat='1'")
+        with pytest.raises(DatasetError, match="malformed"):
+            load_osm_xml(path)
+
+    def test_no_pois_raises(self, tmp_path):
+        path = tmp_path / "empty.osm"
+        path.write_text("<osm><node id='1' lat='0' lon='0'/></osm>")
+        with pytest.raises(DatasetError, match="no POI nodes"):
+            load_osm_xml(path)

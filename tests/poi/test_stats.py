@@ -1,0 +1,74 @@
+"""Tests for city-level statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.geo.bbox import BBox
+from repro.poi.database import POIDatabase
+from repro.poi.stats import city_statistics, spatial_gini, type_entropy
+from repro.poi.vocabulary import TypeVocabulary
+
+
+def make_db(xy, types, n_types, extent=1_000.0):
+    vocab = TypeVocabulary.synthetic(n_types)
+    return POIDatabase(
+        np.asarray(xy, dtype=float),
+        np.asarray(types, dtype=np.intp),
+        vocab,
+        bounds=BBox(0, 0, extent, extent),
+    )
+
+
+class TestTypeEntropy:
+    def test_uniform_distribution_is_maximal(self):
+        xy = [[i, i] for i in range(8)]
+        types = [0, 1, 2, 3, 0, 1, 2, 3]
+        db = make_db(xy, types, 4)
+        assert type_entropy(db) == pytest.approx(2.0)
+
+    def test_single_type_is_zero(self):
+        db = make_db([[1, 1], [2, 2]], [0, 0], 3)
+        assert type_entropy(db) == pytest.approx(0.0)
+
+    def test_skew_reduces_entropy(self):
+        even = make_db([[i, i] for i in range(4)], [0, 1, 2, 3], 4)
+        skewed = make_db([[i, i] for i in range(4)], [0, 0, 0, 1], 4)
+        assert type_entropy(skewed) < type_entropy(even)
+
+
+class TestSpatialGini:
+    def test_single_cluster_is_high(self):
+        xy = [[500 + i * 0.1, 500] for i in range(50)]
+        db = make_db(xy, [0] * 50, 1)
+        assert spatial_gini(db, cell_m=100.0) > 0.9
+
+    def test_grid_spread_is_low(self):
+        xy = [[50 + 100 * i, 50 + 100 * j] for i in range(10) for j in range(10)]
+        db = make_db(xy, [0] * 100, 1)
+        assert spatial_gini(db, cell_m=100.0) < 0.05
+
+    def test_invalid_cell_raises(self, db):
+        with pytest.raises(ConfigError):
+            spatial_gini(db, cell_m=0.0)
+
+    def test_generated_city_is_clustered(self, db):
+        assert spatial_gini(db, cell_m=1_000.0) > 0.2
+
+
+class TestCityStatistics:
+    def test_summary_consistency(self, db):
+        stats = city_statistics(db)
+        assert stats.n_pois == len(db)
+        assert stats.n_types == db.n_types
+        assert 0.0 < stats.entropy_ratio <= 1.0
+        assert stats.rare_types_le10 >= stats.singleton_types
+
+    def test_beijing_profile(self):
+        from repro.poi.cities import beijing
+
+        stats = city_statistics(beijing().database)
+        assert stats.n_pois == 10_249
+        # Heavy tail: entropy well below maximal, singleton types present.
+        assert stats.entropy_ratio < 0.95
+        assert stats.singleton_types >= 5

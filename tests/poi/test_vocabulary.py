@@ -1,0 +1,48 @@
+"""Tests for the POI type vocabulary."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.poi.vocabulary import TypeVocabulary
+
+
+class TestTypeVocabulary:
+    def test_roundtrip(self):
+        vocab = TypeVocabulary(["restaurant", "bank", "pharmacy"])
+        assert len(vocab) == 3
+        assert vocab.id_of("bank") == 1
+        assert vocab.name_of(1) == "bank"
+
+    def test_iteration_preserves_order(self):
+        names = ["c", "a", "b"]
+        assert list(TypeVocabulary(names)) == names
+
+    def test_contains(self):
+        vocab = TypeVocabulary(["x", "y"])
+        assert "x" in vocab and "z" not in vocab
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(DatasetError, match="duplicate"):
+            TypeVocabulary(["a", "b", "a"])
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            TypeVocabulary([])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown"):
+            TypeVocabulary(["a"]).id_of("b")
+
+    @pytest.mark.parametrize("bad_id", [-1, 3, 100])
+    def test_out_of_range_id_raises(self, bad_id):
+        with pytest.raises(DatasetError):
+            TypeVocabulary(["a", "b", "c"]).name_of(bad_id)
+
+    def test_synthetic_names_unique_and_sized(self):
+        vocab = TypeVocabulary.synthetic(120)
+        assert len(vocab) == 120
+        assert len(set(vocab.names)) == 120
+
+    def test_synthetic_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            TypeVocabulary.synthetic(0)

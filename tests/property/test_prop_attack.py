@@ -1,0 +1,72 @@
+"""Property-based tests for attack/defense core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.poi.frequency import dominates, top_k_types
+from repro.defense.utility import jaccard_index, top_k_jaccard
+
+vectors = hnp.arrays(
+    dtype=np.int64, shape=st.integers(1, 20), elements=st.integers(0, 50)
+)
+
+
+class TestDominationProperties:
+    @given(vectors)
+    def test_reflexive(self, v):
+        assert dominates(v, v)
+
+    @given(vectors, vectors)
+    @settings(max_examples=100)
+    def test_antisymmetric_up_to_equality(self, a, b):
+        if a.shape != b.shape:
+            return
+        if dominates(a, b) and dominates(b, a):
+            np.testing.assert_array_equal(a, b)
+
+    @given(vectors, hnp.arrays(dtype=np.int64, shape=st.integers(1, 20), elements=st.integers(0, 5)))
+    @settings(max_examples=100)
+    def test_adding_counts_preserves_domination(self, v, extra):
+        if v.shape != extra.shape:
+            return
+        assert dominates(v + extra, v)
+
+
+class TestTopKProperties:
+    @given(vectors, st.integers(1, 25))
+    @settings(max_examples=100)
+    def test_size_is_min_k_width(self, v, k):
+        assert len(top_k_types(v, k)) == min(k, len(v))
+
+    @given(vectors, st.integers(1, 10))
+    @settings(max_examples=100)
+    def test_members_dominate_nonmembers(self, v, k):
+        chosen = top_k_types(v, k)
+        outside = set(range(len(v))) - set(chosen)
+        if not outside:
+            return
+        min_in = min(v[t] for t in chosen)
+        max_out = max(v[t] for t in outside)
+        assert min_in >= max_out
+
+    @given(vectors)
+    def test_jaccard_self_is_one(self, v):
+        assert top_k_jaccard(v, v, k=5) == 1.0
+
+
+class TestJaccardProperties:
+    sets = st.frozensets(st.integers(0, 30), max_size=15)
+
+    @given(sets, sets)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_index(a, b) <= 1.0
+
+    @given(sets, sets)
+    def test_symmetry(self, a, b):
+        assert jaccard_index(a, b) == jaccard_index(b, a)
+
+    @given(sets)
+    def test_identity(self, a):
+        assert jaccard_index(a, a) == 1.0

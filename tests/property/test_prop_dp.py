@@ -1,0 +1,92 @@
+"""Property-based tests for the DP substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import gaussian_mechanism, gaussian_sigma, laplace_mechanism
+from repro.dp.planar_laplace import PlanarLaplace
+from repro.geo.point import Point
+
+epsilons = st.floats(0.01, 10.0, allow_nan=False)
+deltas = st.floats(0.001, 0.999, allow_nan=False)
+sensitivities = st.floats(0.0, 100.0, allow_nan=False)
+
+
+class TestSigmaCalibrationProperties:
+    @given(sensitivities, epsilons, deltas)
+    @settings(max_examples=100)
+    def test_sigma_nonnegative(self, sens, eps, delta):
+        assert gaussian_sigma(sens, eps, delta) >= 0.0
+
+    @given(sensitivities, epsilons, epsilons, deltas)
+    @settings(max_examples=100)
+    def test_sigma_antitone_in_epsilon(self, sens, e1, e2, delta):
+        lo, hi = sorted([e1, e2])
+        assert gaussian_sigma(sens, hi, delta) <= gaussian_sigma(sens, lo, delta) + 1e-12
+
+    @given(sensitivities, epsilons, deltas, deltas)
+    @settings(max_examples=100)
+    def test_sigma_antitone_in_delta(self, sens, eps, d1, d2):
+        lo, hi = sorted([d1, d2])
+        assert gaussian_sigma(sens, eps, hi) <= gaussian_sigma(sens, eps, lo) + 1e-12
+
+    @given(sensitivities, sensitivities, epsilons, deltas)
+    @settings(max_examples=100)
+    def test_sigma_linear_in_sensitivity(self, s1, s2, eps, delta):
+        total = gaussian_sigma(s1 + s2, eps, delta)
+        parts = gaussian_sigma(s1, eps, delta) + gaussian_sigma(s2, eps, delta)
+        assert total == pytest.approx(parts, rel=1e-9, abs=1e-12)
+
+
+class TestMechanismDeterminism:
+    @given(st.integers(0, 10_000), epsilons, deltas)
+    @settings(max_examples=60)
+    def test_gaussian_reproducible_given_seed(self, seed, eps, delta):
+        value = np.arange(5.0)
+        a = gaussian_mechanism(value, 1.0, eps, delta, rng=seed)
+        b = gaussian_mechanism(value, 1.0, eps, delta, rng=seed)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(0, 10_000), epsilons)
+    @settings(max_examples=60)
+    def test_laplace_reproducible_given_seed(self, seed, eps):
+        value = np.arange(4.0)
+        a = laplace_mechanism(value, 1.0, eps, rng=seed)
+        b = laplace_mechanism(value, 1.0, eps, rng=seed)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPlanarLaplaceProperties:
+    @given(st.floats(0.01, 5.0), st.integers(0, 1_000))
+    @settings(max_examples=60)
+    def test_radius_positive(self, eps, seed):
+        mech = PlanarLaplace(eps)
+        assert mech.sample_radius(np.random.default_rng(seed)) >= 0.0
+
+    @given(
+        st.floats(0.01, 5.0),
+        st.floats(-1e5, 1e5),
+        st.floats(-1e5, 1e5),
+        st.integers(0, 1_000),
+    )
+    @settings(max_examples=60)
+    def test_perturb_is_translation_equivariant(self, eps, x, y, seed):
+        mech = PlanarLaplace(eps)
+        at_origin = mech.perturb(Point(0.0, 0.0), np.random.default_rng(seed))
+        at_xy = mech.perturb(Point(x, y), np.random.default_rng(seed))
+        assert at_xy.x - x == pytest.approx(at_origin.x, abs=1e-6)
+        assert at_xy.y - y == pytest.approx(at_origin.y, abs=1e-6)
+
+
+class TestAccountantProperties:
+    @given(st.lists(st.floats(0.01, 1.0), min_size=0, max_size=10))
+    @settings(max_examples=80)
+    def test_total_is_sum_of_spends(self, spends):
+        acc = PrivacyAccountant()
+        for eps in spends:
+            acc.spend(eps)
+        assert acc.total_epsilon == pytest.approx(sum(spends))
+        assert acc.n_invocations == len(spends)

@@ -1,0 +1,87 @@
+"""Property-based tests for the geometry substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.disk import Disk, covers, lens_area
+from repro.geo.point import Point
+
+coords = st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False)
+radii = st.floats(0.1, 1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def disks(draw):
+    return Disk(draw(points()), draw(radii))
+
+
+class TestDistanceProperties:
+    @given(points(), points())
+    def test_symmetry(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points(), points(), points())
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points())
+    def test_identity(self, p):
+        assert p.distance_to(p) == 0.0
+
+
+class TestDiskProperties:
+    @given(disks(), disks())
+    @settings(max_examples=60)
+    def test_lens_area_bounded_by_smaller_disk(self, a, b):
+        area = lens_area(a, b)
+        assert -1e-9 <= area <= min(a.area, b.area) + 1e-6
+
+    @given(disks(), disks())
+    @settings(max_examples=60)
+    def test_lens_area_symmetric(self, a, b):
+        assert lens_area(a, b) == lens_area(b, a)
+
+    @given(points(), points(), radii)
+    @settings(max_examples=60)
+    def test_coverage_property_of_region_attack(self, l, p, r):
+        """dist(p, l) <= r implies Disk(p, 2r) covers Disk(l, r)."""
+        if l.distance_to(p) <= r:
+            assert covers(Disk(p, 2 * r), Disk(l, r))
+
+    @given(disks())
+    @settings(max_examples=40)
+    def test_sampled_points_are_inside(self, d):
+        pts = d.sample_points(64, np.random.default_rng(0))
+        assert d.contains_many(pts[:, 0], pts[:, 1]).all()
+
+
+class TestBBoxProperties:
+    @given(coords, coords, st.floats(0.1, 1e4), st.floats(0.1, 1e4))
+    @settings(max_examples=60)
+    def test_quadrants_partition(self, x, y, w, h):
+        box = BBox(x, y, x + w, y + h)
+        quads = box.quadrants()
+        assert sum(q.area for q in quads) == pytest.approx(box.area, rel=1e-9)
+        assert all(box.intersects(q) for q in quads)
+
+    @given(coords, coords, st.floats(0.1, 1e4), st.floats(0.1, 1e4), points())
+    @settings(max_examples=60)
+    def test_clamp_result_inside(self, x, y, w, h, p):
+        box = BBox(x, y, x + w, y + h)
+        assert box.contains(box.clamp(p))
+
+    @given(coords, coords, st.floats(0.1, 1e4), st.floats(0.1, 1e4), points())
+    @settings(max_examples=60)
+    def test_clamp_is_idempotent(self, x, y, w, h, p):
+        box = BBox(x, y, x + w, y + h)
+        once = box.clamp(p)
+        assert box.clamp(once) == once

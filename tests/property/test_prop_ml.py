@@ -1,0 +1,86 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 40), st.integers(1, 6)),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestScalerProperties:
+    @given(matrices)
+    @settings(max_examples=80, deadline=None)
+    def test_transform_then_inverse_is_identity(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6
+        )
+
+    @given(matrices)
+    @settings(max_examples=80, deadline=None)
+    def test_transformed_training_data_is_standardised(self, X):
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-7)
+        stds = Z.std(axis=0)
+        # Unit variance, except (numerically) constant columns, which the
+        # scaler centers but leaves at zero spread.
+        tiny = 1e-12 * np.maximum(np.abs(X.mean(axis=0)), 1.0)
+        for j in range(X.shape[1]):
+            if X[:, j].std() > tiny[j]:
+                assert abs(stds[j] - 1.0) < 1e-7
+            else:
+                assert stds[j] <= 1e-7
+
+    @given(matrices, st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invariance(self, X, shift):
+        a = StandardScaler().fit_transform(X)
+        b = StandardScaler().fit_transform(X + shift)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestOneHotProperties:
+    @given(st.integers(1, 12), st.lists(st.integers(0, 11), min_size=0, max_size=50))
+    @settings(max_examples=80)
+    def test_rows_sum_to_one_and_decode(self, n_categories, raw):
+        values = np.array([v % n_categories for v in raw], dtype=int)
+        out = OneHotEncoder(n_categories).transform(values)
+        assert out.shape == (len(values), n_categories)
+        if len(values):
+            np.testing.assert_allclose(out.sum(axis=1), 1.0)
+            np.testing.assert_array_equal(np.argmax(out, axis=1), values)
+
+
+class TestNaiveBayesProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_feature_permutation_equivariance(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] + 0.5 * X[:, 2] > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        perm = rng.permutation(4)
+        a = GaussianNaiveBayes().fit(X, y).predict(X)
+        b = GaussianNaiveBayes().fit(X[:, perm], y).predict(X[:, perm])
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_training_points_prefer_their_cluster(self, seed):
+        rng = np.random.default_rng(seed)
+        offset = 30.0  # far-separated clusters: training accuracy must be 1
+        X = np.vstack(
+            [rng.normal(0, 1, size=(20, 2)), rng.normal(offset, 1, size=(20, 2))]
+        )
+        y = np.repeat([0, 1], 20)
+        model = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_array_equal(model.predict(X), y)

@@ -1,0 +1,80 @@
+"""Property-based tests for the Eq. (7) optimizer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.defense.optimization import optimize_release
+
+freq_vectors = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(2, 12),
+    elements=st.integers(0, 30),
+)
+betas = st.floats(0.0, 2.0, allow_nan=False)
+
+
+def ranks_of(length: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.permutation(np.arange(1, length + 1)).astype(np.int64)
+
+
+class TestOptimizerInvariants:
+    @given(freq_vectors, betas, st.integers(0, 1_000))
+    @settings(max_examples=150)
+    def test_constraint_always_satisfied(self, freq, beta, seed):
+        ranks = ranks_of(len(freq), seed)
+        plan = optimize_release(freq, ranks, beta)
+        m = len(freq)
+        distortion = (np.abs(plan.released - freq) / (freq + 1.0)).sum() / m
+        assert distortion <= beta + 1e-9
+
+    @given(freq_vectors, betas, st.integers(0, 1_000))
+    @settings(max_examples=150)
+    def test_release_is_valid_vector(self, freq, beta, seed):
+        ranks = ranks_of(len(freq), seed)
+        plan = optimize_release(freq, ranks, beta)
+        assert plan.released.dtype == np.int64
+        assert (plan.released >= 0).all()
+        assert (plan.released <= freq).all()  # erasure only
+
+    @given(freq_vectors, st.integers(0, 1_000))
+    @settings(max_examples=100)
+    def test_beta_zero_is_identity(self, freq, seed):
+        ranks = ranks_of(len(freq), seed)
+        plan = optimize_release(freq, ranks, 0.0)
+        np.testing.assert_array_equal(plan.released, freq)
+
+    @given(freq_vectors, st.integers(0, 1_000))
+    @settings(max_examples=100)
+    def test_objective_monotone_in_beta(self, freq, seed):
+        ranks = ranks_of(len(freq), seed)
+        objectives = [
+            optimize_release(freq, ranks, beta).objective
+            for beta in (0.01, 0.1, 0.5, 2.0)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(objectives, objectives[1:]))
+
+    @given(freq_vectors, betas, st.integers(0, 1_000))
+    @settings(max_examples=100)
+    def test_objective_matches_units(self, freq, beta, seed):
+        ranks = ranks_of(len(freq), seed)
+        plan = optimize_release(freq, ranks, beta)
+        weights = 1.0 / (ranks * (freq + 1.0))
+        assert plan.objective == float((weights * plan.units).sum())
+
+    @given(freq_vectors, betas, st.integers(0, 1_000))
+    @settings(max_examples=100)
+    def test_greedy_at_least_single_type_optimum(self, freq, beta, seed):
+        """The greedy solution dominates every all-in-one-type strategy."""
+        ranks = ranks_of(len(freq), seed)
+        plan = optimize_release(freq, ranks, beta)
+        m = len(freq)
+        weights = 1.0 / (ranks * (freq + 1.0))
+        costs = 1.0 / (m * (freq + 1.0))
+        for t in range(m):
+            if costs[t] <= 0:
+                continue
+            affordable = min(int(freq[t]), int(beta // costs[t]))
+            assert plan.objective >= weights[t] * affordable - 1e-9

@@ -1,0 +1,63 @@
+"""Property-based tests for the spatial indexes and frequency invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geo.grid_index import GridIndex
+from repro.geo.kdtree import KDTree
+from repro.geo.point import Point
+
+point_sets = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 80), st.just(2)),
+    elements=st.floats(-1_000, 1_000, allow_nan=False, allow_infinity=False),
+)
+queries = st.tuples(
+    st.floats(-1_200, 1_200, allow_nan=False),
+    st.floats(-1_200, 1_200, allow_nan=False),
+)
+
+
+class TestGridIndexProperties:
+    @given(point_sets, queries, st.floats(0.0, 500.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_query_radius_matches_brute_force(self, pts, q, radius):
+        index = GridIndex(pts, cell_size=75.0)
+        center = Point(*q)
+        got = set(index.query_radius(center, radius).tolist())
+        dist = np.hypot(pts[:, 0] - center.x, pts[:, 1] - center.y)
+        expected = set(np.flatnonzero(dist <= radius).tolist())
+        assert got == expected
+
+    @given(point_sets, queries, st.floats(1.0, 300.0), st.floats(1.0, 300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_radius_monotonicity(self, pts, q, r1, r2):
+        index = GridIndex(pts, cell_size=75.0)
+        center = Point(*q)
+        small, large = sorted([r1, r2])
+        inner = set(index.query_radius(center, small).tolist())
+        outer = set(index.query_radius(center, large).tolist())
+        assert inner <= outer
+
+
+class TestKDTreeProperties:
+    @given(point_sets, queries, st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_knn_matches_brute_force(self, pts, q, k):
+        tree = KDTree(pts)
+        query = Point(*q)
+        _, dist = tree.k_nearest(query, k)
+        brute = np.sort(np.hypot(pts[:, 0] - query.x, pts[:, 1] - query.y))
+        np.testing.assert_allclose(dist, brute[: len(dist)], rtol=1e-10, atol=1e-8)
+
+    @given(point_sets, queries)
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_is_min_distance(self, pts, q):
+        tree = KDTree(pts)
+        query = Point(*q)
+        _, d = tree.nearest(query)
+        brute = np.hypot(pts[:, 0] - query.x, pts[:, 1] - query.y).min()
+        assert d == np.float64(d)
+        np.testing.assert_allclose(d, brute, rtol=1e-10, atol=1e-8)

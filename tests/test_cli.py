@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.scale == "ci"
+        assert args.seed is None
+
+    def test_run_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig4", "--scale", "quick", "--seed", "5", "--out", str(tmp_path)]
+        )
+        assert args.scale == "quick" and args.seed == 5
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "ci" in out
+
+    def test_run_datasets_and_save(self, capsys, tmp_path):
+        assert main(["run", "datasets", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "beijing POIs" in out
+        saved = json.loads((tmp_path / "datasets_ci.json").read_text())
+        assert saved["experiment_id"] == "datasets"
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "fig99"])
+
+    def test_run_with_chart_flag(self, capsys):
+        # 'datasets' has no chart: the flag must not crash or change exit.
+        assert main(["run", "datasets", "--chart"]) == 0
+        assert "beijing POIs" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Tests for the attack/uniqueness CLI commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAttackCommand:
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["attack", "--city", "small", "--x", "5000", "--y", "5000"]
+        )
+        assert args.city == "small" and args.radius == 2_000.0
+
+    def test_runs_and_reports(self, capsys):
+        assert main(["attack", "--city", "small", "--x", "5000", "--y", "5000", "--radius", "900"]) == 0
+        out = capsys.readouterr().out
+        assert "small: target" in out
+        assert ("re-identified" in out) or ("attack failed" in out)
+
+    def test_fine_flag(self, capsys):
+        main(
+            [
+                "attack",
+                "--city",
+                "small",
+                "--x",
+                "5200",
+                "--y",
+                "4800",
+                "--radius",
+                "1500",
+                "--fine",
+            ]
+        )
+        out = capsys.readouterr().out
+        # Fine-grained output appears only when the base attack succeeds.
+        assert ("fine-grained" in out) or ("attack failed" in out)
+
+    def test_out_of_city_coordinates_clamped(self, capsys):
+        assert main(["attack", "--city", "small", "--x=-1e9", "--y", "1e9"]) == 0
+        assert "target (0," in capsys.readouterr().out
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--city", "gotham", "--x", "0", "--y", "0"])
+
+
+class TestUniquenessCommand:
+    def test_runs_and_prints_map(self, capsys):
+        assert main(["uniqueness", "--city", "small", "--radius", "800", "--cell", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "uniqueness map" in out
+        assert "map-level uniqueness" in out
+        assert "median anchor" in out
+
+    def test_map_dimensions_follow_cell(self, capsys):
+        main(["uniqueness", "--city", "small", "--radius", "800", "--cell", "5000"])
+        out = capsys.readouterr().out
+        grid_lines = [l for l in out.splitlines() if l and set(l) <= {"#", "."}]
+        assert len(grid_lines) == 2  # 10 km city / 5 km cells

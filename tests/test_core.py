@@ -1,0 +1,92 @@
+"""Tests for core errors and RNG discipline."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    AttackError,
+    ConfigError,
+    DatasetError,
+    DefenseError,
+    GeometryError,
+    NotFittedError,
+    OptimizationError,
+    PrivacyError,
+    ReproError,
+)
+from repro.core.rng import as_generator, derive_rng, spawn_rngs
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            GeometryError,
+            DatasetError,
+            AttackError,
+            DefenseError,
+            PrivacyError,
+            NotFittedError,
+            OptimizationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, 5)
+        b = as_generator(42).integers(0, 1_000_000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(7, "poi", "beijing").random(4)
+        b = derive_rng(7, "poi", "beijing").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_different_streams(self):
+        a = derive_rng(7, "poi", "beijing").random(4)
+        b = derive_rng(7, "poi", "nyc").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = derive_rng(7, "x").random(4)
+        b = derive_rng(8, "x").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_numeric_labels_supported(self):
+        derive_rng(1, 2.5, 3, "mixed")  # must not raise
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(3, 4)]
+        b = [g.random() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_spawn_children_independent(self):
+        children = spawn_rngs(3, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_is_empty(self):
+        assert spawn_rngs(0, 0) == []

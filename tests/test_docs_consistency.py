@@ -1,0 +1,58 @@
+"""Guard against documentation rot.
+
+DESIGN.md and the docs cite module paths and bench files; these tests
+check every citation still resolves, so renames cannot silently orphan
+the documentation.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+def _cited_modules(text: str) -> set[str]:
+    """Dotted ``repro.*`` module paths mentioned in backticks."""
+    found = set()
+    for match in re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", text):
+        found.add(match)
+    return found
+
+
+def _cited_files(text: str) -> set[str]:
+    """Repository-relative paths mentioned in the text."""
+    pattern = r"`((?:src|tests|benchmarks|examples|docs)/[\w./-]+\.(?:py|md))`"
+    return set(re.findall(pattern, text))
+
+
+class TestDocsConsistency:
+    @pytest.mark.parametrize(
+        "doc",
+        ["DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md", "docs/attacks.md", "docs/defenses.md"],
+    )
+    def test_cited_modules_import(self, doc):
+        text = (ROOT / doc).read_text()
+        for module in _cited_modules(text):
+            importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "doc",
+        ["DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md", "README.md", "docs/reproduction-notes.md"],
+    )
+    def test_cited_files_exist(self, doc):
+        text = (ROOT / doc).read_text()
+        for path in _cited_files(text):
+            assert (ROOT / path).exists(), f"{doc} cites missing file {path}"
+
+    def test_design_bench_targets_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for bench in re.findall(r"benchmarks/test_bench_\w+\.py", text):
+            assert (ROOT / bench).exists(), f"DESIGN.md cites missing bench {bench}"
+
+    def test_readme_example_scripts_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for script in re.findall(r"examples/\w+\.py", text):
+            assert (ROOT / script).exists(), f"README cites missing example {script}"

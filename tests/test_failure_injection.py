@@ -1,0 +1,118 @@
+"""Failure-injection tests: degenerate inputs and broken-component behaviour.
+
+A production library must fail loudly and predictably when a component
+misbehaves — a defense emitting garbage, a city with almost no POIs, an
+adversary fed empty logs.  These tests pin down those boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fine_grained import FineGrainedAttack
+from repro.attacks.metrics import evaluate_region_attack
+from repro.attacks.region import RegionAttack
+from repro.core.rng import derive_rng
+from repro.defense.base import Defense
+from repro.defense.optimization import optimize_release
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.poi.database import POIDatabase
+from repro.poi.vocabulary import TypeVocabulary
+
+
+class BrokenDefense(Defense):
+    """A defense that releases a wrong-width vector."""
+
+    def release(self, database, location, radius, rng):
+        return np.zeros(3, dtype=np.int64)
+
+
+class NegativeDefense(Defense):
+    """A defense that releases negative counts (a protocol violation)."""
+
+    def release(self, database, location, radius, rng):
+        vector = database.freq(location, radius).astype(np.int64)
+        vector -= 10
+        return vector
+
+
+@pytest.fixture(scope="module")
+def one_poi_db():
+    vocab = TypeVocabulary(["only"])
+    return POIDatabase(
+        np.array([[500.0, 500.0]]),
+        np.array([0]),
+        vocab,
+        bounds=BBox(0, 0, 1_000, 1_000),
+    )
+
+
+class TestDegenerateCities:
+    def test_single_poi_city_attack(self, one_poi_db):
+        attack = RegionAttack(one_poi_db)
+        freq = one_poi_db.freq(Point(500, 500), 100.0)
+        outcome = attack.run(freq, 100.0)
+        assert outcome.success
+        assert outcome.candidates == (0,)
+
+    def test_single_poi_fine_grained(self, one_poi_db):
+        attack = FineGrainedAttack(one_poi_db, max_aux=20)
+        freq = one_poi_db.freq(Point(500, 500), 100.0)
+        outcome = attack.run(freq, 100.0)
+        assert outcome.success
+        assert outcome.anchors == ()  # nothing else to harvest
+
+    def test_empty_region_query(self, one_poi_db):
+        freq = one_poi_db.freq(Point(0, 0), 10.0)
+        assert freq.sum() == 0
+        outcome = RegionAttack(one_poi_db).run(freq, 10.0)
+        assert not outcome.success
+
+
+class TestBrokenDefenses:
+    def test_wrong_width_release_raises(self, city, db):
+        rng = derive_rng(1, "fi")
+        targets = [city.interior(500.0).sample_point(rng)]
+        with pytest.raises(Exception):
+            evaluate_region_attack(db, targets, 500.0, defense=BrokenDefense())
+
+    def test_negative_counts_do_not_crash_the_attack(self, city, db):
+        """Negative entries can never be dominated, so the attack fails
+        closed (no candidates) instead of crashing or mislocating."""
+        rng = derive_rng(2, "fi")
+        targets = [city.interior(500.0).sample_point(rng) for _ in range(10)]
+        evaluation = evaluate_region_attack(
+            db, targets, 500.0, defense=NegativeDefense(), rng=rng
+        )
+        assert evaluation.n_correct == 0
+
+
+class TestOptimizerEdges:
+    def test_all_zero_vector_is_fixed_point(self):
+        freq = np.zeros(5, dtype=np.int64)
+        plan = optimize_release(freq, np.arange(1, 6), beta=1.0)
+        np.testing.assert_array_equal(plan.released, freq)
+        assert plan.objective == 0.0
+
+    def test_huge_beta_erases_everything(self):
+        freq = np.array([3, 1, 7])
+        plan = optimize_release(freq, np.array([1, 2, 3]), beta=100.0)
+        np.testing.assert_array_equal(plan.released, [0, 0, 0])
+
+    def test_single_type_vector(self):
+        plan = optimize_release(np.array([5]), np.array([1]), beta=0.5)
+        assert 0 <= plan.released[0] <= 5
+
+
+class TestAttackInputValidation:
+    def test_float_frequency_vector_accepted(self, db):
+        """DP releases are float before rounding; the attack must cope."""
+        attack = RegionAttack(db)
+        freq = db.freq(db.location_of(0), 500.0).astype(float)
+        outcome = attack.run(freq, 500.0)
+        assert outcome.anchor_type is not None or freq.sum() == 0
+
+    def test_wrong_width_vector_raises(self, db):
+        attack = RegionAttack(db)
+        with pytest.raises(Exception):
+            attack.run(np.ones(db.n_types + 1, dtype=int), 500.0)

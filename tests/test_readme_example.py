@@ -1,0 +1,15 @@
+"""The README quickstart snippet must actually run."""
+
+import re
+from pathlib import Path
+
+
+def test_readme_quickstart_executes():
+    readme = Path(__file__).parent.parent / "README.md"
+    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), flags=re.DOTALL)
+    assert blocks, "README has no python code block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)  # noqa: S102
+    # The snippet defines the core objects it demonstrates.
+    assert "db" in namespace and "released" in namespace
+    assert namespace["released"].shape == (namespace["db"].n_types,)
