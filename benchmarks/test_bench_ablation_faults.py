@@ -1,0 +1,60 @@
+"""Ablation bench: attack exposure vs release-stream fault rate.
+
+Extension beyond the paper (robustness testbed): the deployment
+simulation runs under seeded fault injection, sweeping release-drop and
+corruption rates.  The bench asserts the claims that make faults a
+*defense-relevant* phenomenon:
+
+* delivery decays as the fault rate rises (sanity);
+* linked exposure decreases monotonically (within tolerance) along the
+  drop sweep — fewer surviving releases mean fewer chances to be unique;
+* linkable-pair survival decays *faster* than release survival — a pair
+  needs two consecutive survivors, so the trajectory-linkage stage is
+  starved superlinearly (the quadratic-vs-linear gap).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_faults import run_ablation_faults
+
+#: Seed noise allowance on per-rate exposure comparisons (rates are over
+#: ~40 users, so one user is 0.025).
+_TOLERANCE = 0.06
+
+
+def test_bench_ablation_faults(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: run_ablation_faults(bench_scale))
+    print()
+    print(result.render())
+
+    drops = result.filter(mode="drop")
+    corrupts = result.filter(mode="corrupt")
+    assert len(drops) >= 3 and len(corrupts) >= 2
+
+    # Delivery decays with the fault rate (strictly: the fault sets nest).
+    for rows in (drops, corrupts):
+        deliveries = [row["delivery_rate"] for row in rows]
+        assert all(b < a for a, b in zip(deliveries, deliveries[1:]))
+
+    # Exposure starvation: linked exposure decreases monotonically
+    # (within tolerance) as the drop rate rises, and the extreme rates
+    # differ substantially.
+    linked = [row["linked_rate"] for row in drops]
+    assert all(b <= a + _TOLERANCE for a, b in zip(linked, linked[1:]))
+    assert linked[-1] < linked[0] - 0.2
+    singles = [row["single_rate"] for row in drops]
+    assert all(b <= a + _TOLERANCE for a, b in zip(singles, singles[1:]))
+
+    # Pair starvation is superlinear: surviving linkable pairs decay
+    # faster than surviving releases (a pair needs 2 consecutive hits).
+    base = drops[0]
+    assert base["n_linkable_pairs"] > 0
+    for row in drops[1:]:
+        release_survival = row["n_releases"] / base["n_releases"]
+        pair_survival = row["n_linkable_pairs"] / base["n_linkable_pairs"]
+        assert pair_survival <= release_survival + 1e-9
+
+    # Corrupted releases are rejected at ingest: they behave like drops
+    # for the adversary and never reach the log.
+    for row in corrupts[1:]:
+        assert row["n_rejected"] > 0
+        assert row["linked_rate"] <= corrupts[0]["linked_rate"] + _TOLERANCE

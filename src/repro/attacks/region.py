@@ -24,6 +24,7 @@ from repro.attacks.base import AttackOutcome, ReIdentifiedRegion
 from repro.core.errors import AttackError
 from repro.geo.disk import Disk
 from repro.poi.database import POIDatabase
+from repro.poi.frequency import validate_frequency_vector
 
 __all__ = ["RegionAttack"]
 
@@ -62,7 +63,9 @@ class RegionAttack:
         """
         if radius <= 0:
             raise AttackError(f"radius must be positive, got {radius}")
-        freq_vector = np.asarray(freq_vector)
+        freq_vector = validate_frequency_vector(
+            freq_vector, n_types=self._db.n_types, context="region attack input"
+        )
         anchor_type = self._db.rarest_present_type(freq_vector)
         if anchor_type is None:
             return None, np.empty(0, dtype=np.intp)

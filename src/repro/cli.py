@@ -4,17 +4,22 @@ Examples::
 
     poiagg list
     poiagg run fig6 --scale quick --out results/
-    poiagg run all --scale ci
+    poiagg run all --scale ci --out results/ --keep-going
+    poiagg run all --scale ci --out results/ --resume
+
+Exit codes (for ``run``): 0 — every experiment succeeded (or was skipped
+via a matching checkpoint); 1 — at least one experiment failed; 2 — the
+invocation was bad (unknown experiment id, ``--resume`` without
+``--out``, unparsable arguments).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.scale import SCALES, get_scale
 
 __all__ = ["main", "build_parser"]
@@ -32,10 +37,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments and scales")
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all')",
+        description=(
+            "Run one experiment, or 'all' for the whole registry. "
+            "Exit codes: 0 = all experiments ok, 1 = some experiments "
+            "failed, 2 = bad invocation."
+        ),
+    )
     run.add_argument("experiment", help="experiment id from 'poiagg list', or 'all'")
     run.add_argument(
         "--scale", default="ci", choices=sorted(SCALES), help="sample-size preset"
+    )
+    run.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "do not stop at the first failing experiment: run the rest, "
+            "print a failure summary, and exit 1 at the end"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip experiments already checkpointed under <out>/.checkpoints "
+            "for this scale and seed (requires --out); checkpoints are "
+            "written atomically after each successful experiment"
+        ),
     )
     run.add_argument("--seed", type=int, default=None, help="override the preset seed")
     run.add_argument(
@@ -89,43 +119,73 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(
-    experiment_id: str,
-    scale_name: str,
-    seed: "int | None",
-    out: "Path | None",
-    chart: bool = False,
-    jobs: int = 1,
-    svg: "Path | None" = None,
-) -> None:
+def _cmd_run(args) -> int:
     from repro.experiments.parallel import SHARD_AXES, run_sharded
+    from repro.experiments.registry import run_experiment
+    from repro.experiments.runner import EXIT_USAGE, run_many
 
-    scale = get_scale(scale_name)
-    if seed is not None:
-        scale = scale.with_seed(seed)
-    start = time.time()
-    if jobs > 1 and experiment_id in SHARD_AXES:
-        result = run_sharded(experiment_id, scale, max_workers=jobs)
-    else:
-        result = run_experiment(experiment_id, scale)
-    elapsed = time.time() - start
-    print(result.render())
-    if chart:
-        from repro.experiments.figure_charts import render_chart
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"poiagg run: unknown experiment {unknown[0]!r}; "
+            f"choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.resume and args.out is None:
+        print(
+            "poiagg run: --resume needs --out (checkpoints live in the "
+            "output directory)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
 
-        rendered = render_chart(result)
-        if rendered is not None:
-            print(rendered)
-    print(f"[{experiment_id} finished in {elapsed:.1f}s]")
-    if out is not None:
-        path = result.save(out / f"{experiment_id}_{scale.name}.json")
-        print(f"[saved {path}]")
-    if svg is not None:
-        from repro.experiments.svg import save_figure_svg
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        scale = scale.with_seed(args.seed)
 
-        svg_path = save_figure_svg(result, svg)
-        if svg_path is not None:
-            print(f"[figure written to {svg_path}]")
+    def run_fn(experiment_id, run_scale):
+        if args.jobs > 1 and experiment_id in SHARD_AXES:
+            return run_sharded(experiment_id, run_scale, max_workers=args.jobs)
+        return run_experiment(experiment_id, run_scale)
+
+    def after(run) -> None:
+        if run.status == "skipped":
+            print(f"[{run.experiment_id} skipped: already checkpointed]")
+            return
+        if run.status == "failed":
+            print(f"[{run.experiment_id} FAILED after {run.elapsed_s:.1f}s: {run.error}]")
+            return
+        print(run.result.render())
+        if args.chart:
+            from repro.experiments.figure_charts import render_chart
+
+            rendered = render_chart(run.result)
+            if rendered is not None:
+                print(rendered)
+        print(f"[{run.experiment_id} finished in {run.elapsed_s:.1f}s]")
+        if args.out is not None:
+            print(f"[saved {args.out / f'{run.experiment_id}_{scale.name}.json'}]")
+        if args.svg is not None:
+            from repro.experiments.svg import save_figure_svg
+
+            svg_path = save_figure_svg(run.result, args.svg)
+            if svg_path is not None:
+                print(f"[figure written to {svg_path}]")
+
+    summary = run_many(
+        ids,
+        scale,
+        out=args.out,
+        keep_going=args.keep_going,
+        resume=args.resume,
+        run_fn=run_fn,
+        after=after,
+    )
+    if len(ids) > 1 or summary.failed:
+        print(summary.render())
+    return summary.exit_code
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -139,18 +199,7 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"  {name}: n_targets={scale.n_targets}, n_train={scale.n_train}")
         return 0
     if args.command == "run":
-        ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        for experiment_id in ids:
-            _run_one(
-                experiment_id,
-                args.scale,
-                args.seed,
-                args.out,
-                chart=args.chart,
-                jobs=args.jobs,
-                svg=args.svg,
-            )
-        return 0
+        return _cmd_run(args)
     if args.command == "report":
         from repro.experiments.report import write_report
 

@@ -1,7 +1,9 @@
-"""Core primitives shared by every subsystem: errors, RNG discipline, config."""
+"""Core primitives shared by every subsystem: errors, RNG discipline, clocks."""
 
+from repro.core.clock import Clock, SimulatedClock, SystemClock
 from repro.core.errors import (
     AttackError,
+    CircuitOpenError,
     ConfigError,
     DatasetError,
     DefenseError,
@@ -9,7 +11,10 @@ from repro.core.errors import (
     NotFittedError,
     OptimizationError,
     PrivacyError,
+    ReleaseValidationError,
     ReproError,
+    TimeoutExceeded,
+    TransientError,
 )
 from repro.core.rng import as_generator, derive_rng, spawn_rngs
 
@@ -23,6 +28,13 @@ __all__ = [
     "PrivacyError",
     "NotFittedError",
     "OptimizationError",
+    "TransientError",
+    "TimeoutExceeded",
+    "CircuitOpenError",
+    "ReleaseValidationError",
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
     "as_generator",
     "derive_rng",
     "spawn_rngs",

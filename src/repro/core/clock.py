@@ -1,0 +1,78 @@
+"""Clock abstraction: simulated time for deterministic timeouts/backoff.
+
+Resilience machinery (retry backoff, circuit-breaker reset windows,
+per-release deadline budgets) needs a notion of *now* and *sleep*.  Wall
+clocks make those code paths slow and nondeterministic under test, so
+everything in this package talks to a :class:`Clock` instead:
+
+* :class:`SimulatedClock` — the default in simulations and tests.  Time
+  is a plain float that only moves when someone sleeps or advances it,
+  so a thousand retries with exponential backoff execute instantly and
+  two runs with the same inputs see byte-identical timelines.
+* :class:`SystemClock` — the real thing (monotonic), for interactive use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import ConfigError
+
+__all__ = ["Clock", "SimulatedClock", "SystemClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What resilience components require from a time source."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to) for *seconds*."""
+        ...
+
+
+class SimulatedClock:
+    """A monotonic clock that advances only when told to.
+
+    ``sleep`` advances time instantly, and :meth:`advance_to` lets a
+    simulation pin the clock to event timestamps (it never moves
+    backwards, preserving monotonicity).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise ConfigError(f"cannot advance the clock by {seconds} s")
+        self._now += float(seconds)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance to *timestamp* if it lies in the future, else no-op."""
+        self._now = max(self._now, float(timestamp))
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.3f})"
+
+
+class SystemClock:
+    """The process's real monotonic clock."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"cannot sleep for {seconds} s")
+        time.sleep(seconds)

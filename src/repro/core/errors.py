@@ -42,3 +42,33 @@ class NotFittedError(ReproError):
 
 class OptimizationError(ReproError):
     """The perturbation optimizer could not produce a feasible solution."""
+
+
+class TransientError(ReproError):
+    """A component failed in a way that is expected to heal on retry.
+
+    The fault-injection layer raises this for momentary query failures;
+    resilience policies treat it as retryable.
+    """
+
+
+class TimeoutExceeded(TransientError):
+    """An operation ran past its deadline.
+
+    A subclass of :class:`TransientError` because a timeout is retryable,
+    but callers tracking deadline budgets can distinguish it: a timeout
+    has already consumed (simulated) wall-clock time.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A call was refused because the guarding circuit breaker is open."""
+
+
+class ReleaseValidationError(ReproError):
+    """A released frequency vector violates the release contract.
+
+    Raised at the service/attack boundary for NaN, negative, non-finite,
+    or wrong-width vectors, so corruption fails loudly at ingest instead
+    of deep inside numpy broadcasting.
+    """

@@ -1,7 +1,27 @@
-"""The LBS architecture of paper Fig. 1 as a deterministic simulation."""
+"""The LBS architecture of paper Fig. 1 as a deterministic simulation.
+
+Includes the fault-injection and resilience layer that turns the
+perfect-world reproduction into a robustness testbed: seeded
+:class:`FaultPlan`/:class:`FaultInjector` faults on the GSP and release
+paths, retry/circuit-breaker/degradation policies, and release-fate
+accounting in :class:`SessionReport`.
+"""
 
 from repro.lbs.entities import GeoServiceProvider, MobileUser, POIService
+from repro.lbs.faults import (
+    FaultCounts,
+    FaultInjector,
+    FaultPlan,
+    FaultyGeoServiceProvider,
+    FaultyPOIService,
+)
 from repro.lbs.messages import AggregateRelease, GeoQuery, GeoResponse
+from repro.lbs.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    UserSessionStats,
+)
 from repro.lbs.simulation import SessionReport, simulate_sessions
 
 __all__ = [
@@ -11,6 +31,15 @@ __all__ = [
     "GeoServiceProvider",
     "MobileUser",
     "POIService",
+    "FaultPlan",
+    "FaultCounts",
+    "FaultInjector",
+    "FaultyGeoServiceProvider",
+    "FaultyPOIService",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "UserSessionStats",
     "SessionReport",
     "simulate_sessions",
 ]

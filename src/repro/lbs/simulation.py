@@ -6,6 +6,13 @@ curious POI service; the adversary then replays the service's log through
 the single-release and trajectory attacks.  The result quantifies, for a
 given defense, how many users were re-identified and how precisely —
 the same bottom line as the paper's evaluation, but as one library call.
+
+Beyond the paper's perfect world, the simulation optionally runs under an
+injected fault model (:mod:`repro.lbs.faults`) with resilience policies
+(:mod:`repro.lbs.resilience`): geo-queries fail and time out, releases
+drop or arrive corrupted, users retry/degrade/skip — and the
+:class:`SessionReport` additionally accounts for every release's fate,
+so one can measure how deployment imperfections change exposure.
 """
 
 from __future__ import annotations
@@ -17,10 +24,15 @@ import numpy as np
 
 from repro.attacks.region import RegionAttack
 from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
+from repro.core.clock import SimulatedClock
+from repro.core.errors import DatasetError, ReleaseValidationError
 from repro.core.rng import as_generator, spawn_rngs
 from repro.datasets.trajectory import Trajectory
 from repro.defense.base import Defense
+from repro.geo.point import Point
 from repro.lbs.entities import GeoServiceProvider, MobileUser, POIService
+from repro.lbs.faults import FaultInjector, FaultPlan
+from repro.lbs.resilience import ResilienceConfig, UserSessionStats
 from repro.poi.database import POIDatabase
 
 __all__ = ["SessionReport", "simulate_sessions"]
@@ -28,13 +40,28 @@ __all__ = ["SessionReport", "simulate_sessions"]
 
 @dataclass(frozen=True)
 class SessionReport:
-    """Outcome of one simulated deployment."""
+    """Outcome of one simulated deployment.
+
+    The release-fate counters satisfy ``n_releases_attempted =
+    n_releases + n_releases_dropped + n_releases_rejected +
+    n_releases_skipped`` (degraded releases are delivered, so they count
+    into ``n_releases`` too).  In a fault-free run every attempt is
+    delivered and all fault counters are zero.
+    """
 
     n_users: int
     n_releases: int
     n_users_exposed_single: int
     n_users_exposed_linked: int
     defense_name: str
+    n_releases_attempted: int = 0
+    n_releases_dropped: int = 0
+    n_releases_rejected: int = 0
+    n_releases_degraded: int = 0
+    n_releases_skipped: int = 0
+    n_retries: int = 0
+    n_breaker_opens: int = 0
+    n_linkable_pairs: int = 0
 
     @property
     def single_exposure_rate(self) -> float:
@@ -46,6 +73,48 @@ class SessionReport:
         """Exposure when the adversary additionally links successive releases."""
         return self.n_users_exposed_linked / self.n_users if self.n_users else 0.0
 
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of attempted releases the service actually logged."""
+        if not self.n_releases_attempted:
+            return 1.0
+        return self.n_releases / self.n_releases_attempted
+
+
+def _locations_by_time(
+    trajectories: Sequence[Trajectory],
+) -> dict[int, dict[float, Point]]:
+    """Index each user's true location by release timestamp.
+
+    Duplicate timestamps at the *same* location are deduplicated; a
+    duplicate at a different location is a corrupt trajectory, rejected
+    here with a clear error instead of silently keeping the last sample.
+    """
+    index: dict[int, dict[float, Point]] = {}
+    for trajectory in trajectories:
+        per_user = index.setdefault(trajectory.user_id, {})
+        for point in trajectory.points:
+            known = per_user.get(point.timestamp)
+            if known is not None and known != point.location:
+                raise DatasetError(
+                    f"user {trajectory.user_id} has two samples at "
+                    f"t={point.timestamp} with different locations"
+                )
+            per_user[point.timestamp] = point.location
+    return index
+
+
+def _true_location(
+    by_time: dict[int, dict[float, Point]], user_id: int, timestamp: float
+) -> Point:
+    try:
+        return by_time[user_id][timestamp]
+    except KeyError:
+        raise DatasetError(
+            f"release of user {user_id} at t={timestamp} matches no trajectory "
+            "sample; the ground-truth index cannot score it"
+        ) from None
+
 
 def simulate_sessions(
     database: POIDatabase,
@@ -55,6 +124,9 @@ def simulate_sessions(
     distance_regressor: "DistanceRegressor | None" = None,
     max_link_gap_s: float = 600.0,
     rng=None,
+    fault_plan: "FaultPlan | None" = None,
+    resilience: "ResilienceConfig | None" = None,
+    stale_database: "POIDatabase | None" = None,
 ) -> SessionReport:
     """Run the full architecture and the adversary's post-hoc analysis.
 
@@ -73,16 +145,59 @@ def simulate_sessions(
         (trajectory-uniqueness) stage of the adversary.
     max_link_gap_s:
         Maximum gap between two releases the adversary tries to link.
+    fault_plan:
+        Optional :class:`~repro.lbs.faults.FaultPlan`; when given, the GSP
+        and POI service run behind a seeded fault injector, and users
+        apply the resilience ladder.  The same ``(rng seed, fault_plan)``
+        yields a byte-identical report.
+    resilience:
+        Retry/breaker configuration; defaults to
+        :class:`~repro.lbs.resilience.ResilienceConfig` when faults are
+        injected, and to none (perfect world) otherwise.
+    stale_database:
+        The outdated map snapshot served on stale-snapshot faults.
     """
     gen = as_generator(rng)
+    clock = SimulatedClock()
     gsp = GeoServiceProvider(database)
-    service = POIService(curious=True)
+    service = POIService(curious=True, n_types=database.n_types)
 
     user_rngs = spawn_rngs(gen, len(trajectories))
+    gsp_front, service_front = gsp, service
+    injector = None
+    if fault_plan is not None and fault_plan.any_faults:
+        # Drawn after the user streams so a fault-free call sequence is
+        # byte-compatible with the pre-fault-model simulation.
+        injector = FaultInjector(fault_plan, spawn_rngs(gen, 1)[0], clock=clock)
+        gsp_front = injector.wrap_gsp(gsp, stale_database)
+        service_front = injector.wrap_service(service)
+        if resilience is None:
+            resilience = ResilienceConfig()
+    breaker = resilience.build_breaker(clock) if resilience is not None else None
+    retry_policy = resilience.retry if resilience is not None else None
+
+    fleet_stats = UserSessionStats()
+    n_dropped = 0
+    n_rejected = 0
     for trajectory, user_rng in zip(trajectories, user_rngs):
-        user = MobileUser(trajectory.user_id, gsp, defense=defense, rng=user_rng)
+        user = MobileUser(
+            trajectory.user_id,
+            gsp_front,
+            defense=defense,
+            rng=user_rng,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            clock=clock,
+        )
         for release in user.walk(trajectory, radius):
-            service.recommend(release)
+            try:
+                served = service_front.recommend(release)
+            except ReleaseValidationError:
+                n_rejected += 1  # corrupted in transit; validation refused it
+            else:
+                if served is None:
+                    n_dropped += 1  # lost in transit; never reached the service
+        fleet_stats.add(user.stats)
 
     # --- the adversary's offline analysis over the captured log ---
     region_attack = RegionAttack(database)
@@ -91,18 +206,24 @@ def simulate_sessions(
         if distance_regressor is not None
         else None
     )
-    by_location = {t.user_id: {p.timestamp: p.location for p in t.points} for t in trajectories}
+    by_time = _locations_by_time(trajectories)
 
     exposed_single: set[int] = set()
     exposed_linked: set[int] = set()
     n_releases = 0
+    n_linkable_pairs = 0
     for trajectory in trajectories:
         uid = trajectory.user_id
         releases = service.releases_of(uid)
         n_releases += len(releases)
+        n_linkable_pairs += sum(
+            1
+            for first, second in zip(releases, releases[1:])
+            if 0 < second.timestamp - first.timestamp <= max_link_gap_s
+        )
         for release in releases:
             outcome = region_attack.run(np.asarray(release.frequency_vector), radius)
-            true_location = by_location[uid][release.timestamp]
+            true_location = _true_location(by_time, uid, release.timestamp)
             if outcome.success and outcome.locates(true_location):
                 exposed_single.add(uid)
                 exposed_linked.add(uid)
@@ -119,7 +240,7 @@ def simulate_sessions(
                 second.timestamp,
             )
             outcome = trajectory_attack.run(pair, radius)
-            true_location = by_location[uid][first.timestamp]
+            true_location = _true_location(by_time, uid, first.timestamp)
             if outcome.enhanced.success and outcome.enhanced.regions[0].disk.contains(
                 true_location
             ):
@@ -133,4 +254,12 @@ def simulate_sessions(
         n_users_exposed_single=len(exposed_single),
         n_users_exposed_linked=len(exposed_linked),
         defense_name=defense_name,
+        n_releases_attempted=fleet_stats.n_attempted,
+        n_releases_dropped=n_dropped,
+        n_releases_rejected=n_rejected,
+        n_releases_degraded=fleet_stats.n_degraded,
+        n_releases_skipped=fleet_stats.n_skipped,
+        n_retries=fleet_stats.n_retries,
+        n_breaker_opens=breaker.n_opens if breaker is not None else 0,
+        n_linkable_pairs=n_linkable_pairs,
     )

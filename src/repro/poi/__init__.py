@@ -2,7 +2,12 @@
 
 from repro.poi.cities import CITY_BUILDERS, City, beijing, new_york, small_city
 from repro.poi.database import POIDatabase
-from repro.poi.frequency import dominates, normalize, top_k_types
+from repro.poi.frequency import (
+    dominates,
+    normalize,
+    top_k_types,
+    validate_frequency_vector,
+)
 from repro.poi.generator import SyntheticCityConfig, generate_city, zipf_type_counts
 from repro.poi.io import load_database, save_database
 from repro.poi.models import POI
@@ -17,6 +22,7 @@ __all__ = [
     "dominates",
     "top_k_types",
     "normalize",
+    "validate_frequency_vector",
     "SyntheticCityConfig",
     "generate_city",
     "zipf_type_counts",

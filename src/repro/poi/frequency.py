@@ -4,7 +4,50 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["dominates", "top_k_types", "normalize"]
+from repro.core.errors import ReleaseValidationError
+
+__all__ = ["dominates", "top_k_types", "normalize", "validate_frequency_vector"]
+
+
+def validate_frequency_vector(
+    freq_vector: np.ndarray,
+    n_types: "int | None" = None,
+    context: str = "release",
+) -> np.ndarray:
+    """Check a released frequency vector against the release contract.
+
+    A well-formed release is a one-dimensional vector of finite,
+    non-negative counts, *n_types* wide when the vocabulary width is
+    known.  Returns the vector as an ndarray; raises
+    :class:`~repro.core.errors.ReleaseValidationError` otherwise.  Float
+    vectors are fine (DP releases are float before rounding) — only NaN,
+    infinities, and negative entries are protocol violations.
+    """
+    vector = np.asarray(freq_vector)
+    if vector.ndim != 1:
+        raise ReleaseValidationError(
+            f"{context}: frequency vector must be 1-D, got shape {vector.shape}"
+        )
+    if n_types is not None and vector.shape[0] != n_types:
+        raise ReleaseValidationError(
+            f"{context}: frequency vector has width {vector.shape[0]}, "
+            f"expected {n_types} types"
+        )
+    if not np.issubdtype(vector.dtype, np.number) or np.issubdtype(
+        vector.dtype, np.complexfloating
+    ):
+        raise ReleaseValidationError(
+            f"{context}: frequency vector has non-numeric dtype {vector.dtype}"
+        )
+    if np.issubdtype(vector.dtype, np.floating) and not np.all(np.isfinite(vector)):
+        raise ReleaseValidationError(
+            f"{context}: frequency vector contains NaN or infinite entries"
+        )
+    if np.any(vector < 0):
+        raise ReleaseValidationError(
+            f"{context}: frequency vector contains negative counts"
+        )
+    return vector
 
 
 def dominates(big: np.ndarray, small: np.ndarray) -> bool:

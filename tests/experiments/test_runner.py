@@ -1,0 +1,148 @@
+"""Unit tests for the crash-safe batch runner (keep-going / checkpoints / resume)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import (
+    EXIT_FAILURES,
+    EXIT_OK,
+    RunSummary,
+    checkpoint_path,
+    load_checkpoint,
+    run_many,
+    write_checkpoint,
+)
+from repro.experiments.scale import get_scale
+
+SCALE = get_scale("ci")
+
+
+def _result(experiment_id):
+    result = ExperimentResult(experiment_id=experiment_id, title="stub")
+    result.add_row(value=1.0)
+    return result
+
+
+def _ok(experiment_id, scale):
+    return _result(experiment_id)
+
+
+def _boom(experiment_id, scale):
+    raise ValueError(f"{experiment_id} exploded")
+
+
+class TestRunMany:
+    def test_all_ok(self):
+        summary = run_many(["a", "b"], SCALE, run_fn=_ok)
+        assert summary.n_ok == 2
+        assert summary.exit_code == EXIT_OK
+        assert [run.status for run in summary.runs] == ["ok", "ok"]
+
+    def test_failure_stops_batch_by_default(self):
+        summary = run_many(["boom", "after"], SCALE, run_fn=_boom)
+        assert [run.experiment_id for run in summary.runs] == ["boom"]
+        assert summary.exit_code == EXIT_FAILURES
+        assert "exploded" in summary.failed[0].error
+
+    def test_keep_going_collects_all_failures(self):
+        def flaky(experiment_id, scale):
+            if experiment_id.startswith("bad"):
+                raise ValueError(f"{experiment_id} exploded")
+            return _result(experiment_id)
+
+        summary = run_many(
+            ["bad1", "ok1", "bad2", "ok2"], SCALE, keep_going=True, run_fn=flaky
+        )
+        assert summary.n_ok == 2
+        assert [run.experiment_id for run in summary.failed] == ["bad1", "bad2"]
+        assert summary.exit_code == EXIT_FAILURES
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ConfigError, match="--out"):
+            run_many(["a"], SCALE, resume=True, run_fn=_ok)
+
+    def test_results_and_checkpoints_written(self, tmp_path):
+        run_many(["a"], SCALE, out=tmp_path, run_fn=_ok)
+        assert (tmp_path / "a_ci.json").exists()
+        ckpt = load_checkpoint(checkpoint_path(tmp_path, "a", SCALE))
+        assert ckpt["experiment_id"] == "a"
+        assert ckpt["scale"] == SCALE.name
+        assert ckpt["seed"] == SCALE.seed
+
+    def test_resume_skips_matching_checkpoint(self, tmp_path):
+        calls = []
+
+        def counting(experiment_id, scale):
+            calls.append(experiment_id)
+            return _result(experiment_id)
+
+        run_many(["a", "b"], SCALE, out=tmp_path, run_fn=counting)
+        summary = run_many(["a", "b"], SCALE, out=tmp_path, resume=True, run_fn=counting)
+        assert calls == ["a", "b"]  # nothing re-ran
+        assert summary.n_skipped == 2
+        assert summary.exit_code == EXIT_OK
+
+    def test_resume_ignores_checkpoint_from_other_seed(self, tmp_path):
+        calls = []
+
+        def counting(experiment_id, scale):
+            calls.append(scale.seed)
+            return _result(experiment_id)
+
+        run_many(["a"], SCALE, out=tmp_path, run_fn=counting)
+        other = SCALE.with_seed(SCALE.seed + 1)
+        run_many(["a"], other, out=tmp_path, resume=True, run_fn=counting)
+        assert calls == [SCALE.seed, other.seed]  # seed change invalidates it
+
+    def test_no_checkpoint_for_failed_experiment(self, tmp_path):
+        run_many(["boom"], SCALE, out=tmp_path, run_fn=_boom)
+        assert load_checkpoint(checkpoint_path(tmp_path, "boom", SCALE)) is None
+
+    def test_after_callback_sees_every_fate(self, tmp_path):
+        fates = []
+        run_many(
+            ["bad", "ok"],
+            SCALE,
+            keep_going=True,
+            run_fn=lambda i, s: _boom(i, s) if i == "bad" else _ok(i, s),
+            after=lambda run: fates.append((run.experiment_id, run.status)),
+        )
+        assert fates == [("bad", "failed"), ("ok", "ok")]
+
+    def test_keyboard_interrupt_propagates(self):
+        def interrupted(experiment_id, scale):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_many(["a"], SCALE, keep_going=True, run_fn=interrupted)
+
+
+class TestCheckpoints:
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = checkpoint_path(tmp_path, "a", SCALE)
+        write_checkpoint(path, {"experiment_id": "a"})
+        assert json.loads(path.read_text())["experiment_id"] == "a"
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_missing_checkpoint_reads_as_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.json") is None
+
+    def test_corrupt_checkpoint_reads_as_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"experiment_id": "a", "sca')  # torn write
+        assert load_checkpoint(path) is None
+
+
+class TestRunSummary:
+    def test_render_lists_failures(self):
+        summary = run_many(["bad"], SCALE, run_fn=_boom)
+        rendered = summary.render()
+        assert "1 failed" in rendered
+        assert "FAILED bad" in rendered
+
+    def test_empty_summary_is_ok(self):
+        assert RunSummary().exit_code == EXIT_OK

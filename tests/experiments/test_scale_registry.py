@@ -37,6 +37,7 @@ class TestRegistry:
             "datasets",
             "uniqueness",
             "seed_sensitivity",
+            "ablation_faults",
             "fig2",
             "fig3",
             "fig4",

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.core.errors import DatasetError
 from repro.core.rng import derive_rng
 from repro.datasets.tdrive import TaxiFleetConfig, synthesize_taxi_trajectories
+from repro.datasets.trajectory import Trajectory, TrajectoryPoint
 from repro.defense.nonprivate import NonPrivateOptimizationDefense
+from repro.geo.point import Point
+from repro.lbs.faults import FaultPlan
+from repro.lbs.resilience import ResilienceConfig, RetryPolicy
 from repro.lbs.simulation import simulate_sessions
 
 
@@ -89,3 +94,173 @@ class TestSimulateSessions:
         a = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(7, "s"))
         b = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(7, "s"))
         assert a == b
+
+    def test_faultfree_report_has_zero_fault_counters(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(8, "s"))
+        assert report.n_releases_attempted == report.n_releases
+        assert report.delivery_rate == 1.0
+        assert report.n_releases_dropped == 0
+        assert report.n_releases_rejected == 0
+        assert report.n_releases_degraded == 0
+        assert report.n_releases_skipped == 0
+        assert report.n_breaker_opens == 0
+
+
+class TestEdgeCases:
+    def test_empty_trajectory_list(self, fleet):
+        _, db, _ = fleet
+        report = simulate_sessions(db, [], radius=600.0, rng=derive_rng(1, "e"))
+        assert report.n_users == 0
+        assert report.n_releases == 0
+        assert report.single_exposure_rate == 0.0
+        assert report.linked_exposure_rate == 0.0
+
+    def test_trajectory_with_zero_releases(self, fleet):
+        _, db, _ = fleet
+        empty = Trajectory(user_id=1, points=())
+        report = simulate_sessions(db, [empty], radius=600.0, rng=derive_rng(2, "e"))
+        assert report.n_users == 1
+        assert report.n_releases == 0
+        assert report.n_users_exposed_single == 0
+
+    def test_single_point_trajectories(self, fleet):
+        _, db, _ = fleet
+        lonely = [
+            Trajectory(uid, (TrajectoryPoint(Point(20_000.0, 20_000.0), 60.0 * uid),))
+            for uid in range(3)
+        ]
+        report = simulate_sessions(db, lonely, radius=600.0, rng=derive_rng(3, "e"))
+        assert report.n_users == 3
+        assert report.n_releases == 3
+        # One release per user: the linked stage can never add anything.
+        assert report.n_users_exposed_linked == report.n_users_exposed_single
+
+    def test_zero_link_gap_disables_linking(self, fleet):
+        _, db, trajectories = fleet
+        from repro.attacks.trajectory import DistanceRegressor, PairRelease
+        from repro.datasets.trajectory import extract_release_pairs
+
+        pairs = extract_release_pairs(trajectories, max_gap_s=600.0)[:40]
+        releases = [
+            PairRelease(
+                db.freq(p.first.location, 600.0),
+                db.freq(p.second.location, 600.0),
+                p.first.timestamp,
+                p.second.timestamp,
+            )
+            for p in pairs
+        ]
+        regressor = DistanceRegressor().fit(
+            releases, np.array([p.distance for p in pairs])
+        )
+        report = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            distance_regressor=regressor,
+            max_link_gap_s=0.0,
+            rng=derive_rng(4, "e"),
+        )
+        assert report.n_users_exposed_linked == report.n_users_exposed_single
+
+    def test_duplicate_timestamp_same_location_deduplicated(self, fleet):
+        _, db, _ = fleet
+        p = Point(20_000.0, 20_000.0)
+        traj = Trajectory(
+            1, (TrajectoryPoint(p, 0.0), TrajectoryPoint(p, 0.0), TrajectoryPoint(p, 60.0))
+        )
+        report = simulate_sessions(db, [traj], radius=600.0, rng=derive_rng(5, "e"))
+        assert report.n_releases == 3  # every sample still releases
+
+    def test_duplicate_timestamp_conflicting_location_raises(self, fleet):
+        _, db, _ = fleet
+        traj = Trajectory(
+            1,
+            (
+                TrajectoryPoint(Point(20_000.0, 20_000.0), 0.0),
+                TrajectoryPoint(Point(25_000.0, 25_000.0), 0.0),
+            ),
+        )
+        with pytest.raises(DatasetError, match="different locations"):
+            simulate_sessions(db, [traj], radius=600.0, rng=derive_rng(6, "e"))
+
+
+class TestFaultySessions:
+    def test_byte_identical_reports_for_same_seed_and_plan(self, fleet):
+        _, db, trajectories = fleet
+        plan = FaultPlan(
+            transient_error_rate=0.1,
+            timeout_rate=0.05,
+            drop_release_rate=0.2,
+            corrupt_vector_rate=0.1,
+        )
+        runs = [
+            simulate_sessions(
+                db, trajectories, radius=600.0, fault_plan=plan, rng=derive_rng(7, "f")
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert repr(runs[0]) == repr(runs[1])  # byte-identical rendering
+
+    def test_fault_free_plan_matches_perfect_world(self, fleet):
+        """A plan with all-zero rates must not perturb the baseline run."""
+        _, db, trajectories = fleet
+        baseline = simulate_sessions(db, trajectories, radius=600.0, rng=derive_rng(9, "f"))
+        with_plan = simulate_sessions(
+            db, trajectories, radius=600.0, fault_plan=FaultPlan(), rng=derive_rng(9, "f")
+        )
+        assert baseline == with_plan
+
+    def test_total_drop_starves_the_adversary(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            fault_plan=FaultPlan(drop_release_rate=1.0),
+            rng=derive_rng(10, "f"),
+        )
+        assert report.n_releases == 0
+        assert report.n_releases_dropped == report.n_releases_attempted
+        assert report.n_users_exposed_single == 0
+        assert report.single_exposure_rate == 0.0
+
+    def test_corruption_is_rejected_not_logged(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            fault_plan=FaultPlan(corrupt_vector_rate=0.5),
+            rng=derive_rng(11, "f"),
+        )
+        assert report.n_releases_rejected > 0
+        assert (
+            report.n_releases + report.n_releases_rejected
+            == report.n_releases_attempted
+        )
+
+    def test_release_fates_partition_attempts(self, fleet):
+        _, db, trajectories = fleet
+        report = simulate_sessions(
+            db,
+            trajectories,
+            radius=600.0,
+            fault_plan=FaultPlan(
+                transient_error_rate=0.3,
+                drop_release_rate=0.2,
+                corrupt_vector_rate=0.1,
+            ),
+            resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=2)),
+            rng=derive_rng(12, "f"),
+        )
+        assert report.n_releases_attempted == sum(len(t) for t in trajectories)
+        assert report.n_releases_attempted == (
+            report.n_releases
+            + report.n_releases_dropped
+            + report.n_releases_rejected
+            + report.n_releases_skipped
+        )
+        assert 0.0 <= report.delivery_rate <= 1.0

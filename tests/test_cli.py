@@ -5,6 +5,31 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.results import ExperimentResult
+
+
+@pytest.fixture
+def tiny_registry():
+    """Swap the experiment registry for a tiny, fast, test-owned one."""
+    saved = dict(EXPERIMENTS)
+    EXPERIMENTS.clear()
+    yield EXPERIMENTS
+    EXPERIMENTS.clear()
+    EXPERIMENTS.update(saved)
+
+
+def _ok_runner(experiment_id):
+    def run(scale=None, **kwargs):
+        result = ExperimentResult(experiment_id=experiment_id, title="stub")
+        result.add_row(value=1.0)
+        return result
+
+    return run
+
+
+def _boom_runner(scale=None, **kwargs):
+    raise RuntimeError("injected experiment failure")
 
 
 class TestParser:
@@ -42,13 +67,78 @@ class TestMain:
         saved = json.loads((tmp_path / "datasets_ci.json").read_text())
         assert saved["experiment_id"] == "datasets"
 
-    def test_run_unknown_experiment_raises(self):
-        from repro.core.errors import ConfigError
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
-        with pytest.raises(ConfigError):
-            main(["run", "fig99"])
+    def test_resume_without_out_exits_2(self, capsys):
+        assert main(["run", "datasets", "--resume"]) == 2
+        assert "--out" in capsys.readouterr().err
 
     def test_run_with_chart_flag(self, capsys):
         # 'datasets' has no chart: the flag must not crash or change exit.
         assert main(["run", "datasets", "--chart"]) == 0
         assert "beijing POIs" in capsys.readouterr().out
+
+
+class TestBatchSemantics:
+    """Exit codes and crash-safety of `run all` (tiny stub registry)."""
+
+    def test_all_ok_exits_0(self, tiny_registry, capsys, tmp_path):
+        tiny_registry["alpha"] = _ok_runner("alpha")
+        tiny_registry["beta"] = _ok_runner("beta")
+        assert main(["run", "all", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ran 2 ok, 0 skipped" in out
+        assert (tmp_path / "alpha_ci.json").exists()
+        assert (tmp_path / "beta_ci.json").exists()
+
+    def test_failure_without_keep_going_stops_batch(self, tiny_registry, tmp_path):
+        tiny_registry["boom"] = _boom_runner
+        tiny_registry["after"] = _ok_runner("after")
+        assert main(["run", "all", "--out", str(tmp_path)]) == 1
+        # the batch stopped at the failure: 'after' never ran
+        assert not (tmp_path / "after_ci.json").exists()
+
+    def test_keep_going_runs_past_failure_and_exits_1(
+        self, tiny_registry, capsys, tmp_path
+    ):
+        tiny_registry["boom"] = _boom_runner
+        tiny_registry["after"] = _ok_runner("after")
+        assert main(["run", "all", "--keep-going", "--out", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED boom" in out
+        assert "injected experiment failure" in out
+        # --keep-going carried the batch past the failure
+        assert (tmp_path / "after_ci.json").exists()
+
+    def test_resume_skips_checkpointed_experiments(
+        self, tiny_registry, capsys, tmp_path
+    ):
+        calls = []
+        ok = _ok_runner("alpha")
+
+        def counting(scale=None, **kwargs):
+            calls.append(1)
+            return ok(scale=scale, **kwargs)
+
+        tiny_registry["alpha"] = counting
+        assert main(["run", "alpha", "--out", str(tmp_path)]) == 0
+        assert main(["run", "alpha", "--out", str(tmp_path), "--resume"]) == 0
+        assert len(calls) == 1  # the second invocation skipped the checkpoint
+        assert "skipped" in capsys.readouterr().out
+
+    def test_resume_reruns_after_failure(self, tiny_registry, tmp_path):
+        attempts = []
+
+        def flaky(scale=None, **kwargs):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first run crashes")
+            return _ok_runner("flaky")(scale=scale, **kwargs)
+
+        tiny_registry["flaky"] = flaky
+        assert main(["run", "flaky", "--out", str(tmp_path), "--resume"]) == 1
+        # no checkpoint was written for the failure, so resume retries it
+        assert main(["run", "flaky", "--out", str(tmp_path), "--resume"]) == 0
+        assert len(attempts) == 2

@@ -1,0 +1,48 @@
+"""Tests for the simulated/system clock abstraction."""
+
+import pytest
+
+from repro.core.clock import Clock, SimulatedClock, SystemClock
+from repro.core.errors import ConfigError
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_and_only_moves_when_told(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        assert clock.now() == 0.0  # reading does not advance
+
+    def test_sleep_advances_instantly(self):
+        clock = SimulatedClock(start=5.0)
+        clock.sleep(2.5)
+        assert clock.now() == 7.5
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimulatedClock()
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+        clock.advance_to(50.0)  # the past: no-op
+        assert clock.now() == 100.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ConfigError):
+            clock.advance(-1.0)
+        with pytest.raises(ConfigError):
+            clock.sleep(-0.1)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(SimulatedClock(), Clock)
+        assert isinstance(SystemClock(), Clock)
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemClock().sleep(-1.0)

@@ -31,7 +31,14 @@ def _cited_files(text: str) -> set[str]:
 class TestDocsConsistency:
     @pytest.mark.parametrize(
         "doc",
-        ["DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md", "docs/attacks.md", "docs/defenses.md"],
+        [
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "CONTRIBUTING.md",
+            "docs/attacks.md",
+            "docs/defenses.md",
+            "docs/robustness.md",
+        ],
     )
     def test_cited_modules_import(self, doc):
         text = (ROOT / doc).read_text()
@@ -40,7 +47,14 @@ class TestDocsConsistency:
 
     @pytest.mark.parametrize(
         "doc",
-        ["DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md", "README.md", "docs/reproduction-notes.md"],
+        [
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "CONTRIBUTING.md",
+            "README.md",
+            "docs/reproduction-notes.md",
+            "docs/robustness.md",
+        ],
     )
     def test_cited_files_exist(self, doc):
         text = (ROOT / doc).read_text()

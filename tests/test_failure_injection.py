@@ -11,6 +11,7 @@ import pytest
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.attacks.metrics import evaluate_region_attack
 from repro.attacks.region import RegionAttack
+from repro.core.errors import ReleaseValidationError
 from repro.core.rng import derive_rng
 from repro.defense.base import Defense
 from repro.defense.optimization import optimize_release
@@ -70,21 +71,43 @@ class TestDegenerateCities:
 
 
 class TestBrokenDefenses:
+    """The release contract: malformed vectors are rejected at the boundary.
+
+    These used to document best-effort behaviour ("the attack fails
+    closed"); the contract is now asserted — a broken defense trips
+    :class:`ReleaseValidationError` at ingest, never deep inside numpy.
+    """
+
     def test_wrong_width_release_raises(self, city, db):
         rng = derive_rng(1, "fi")
         targets = [city.interior(500.0).sample_point(rng)]
-        with pytest.raises(Exception):
+        with pytest.raises(ReleaseValidationError, match="width"):
             evaluate_region_attack(db, targets, 500.0, defense=BrokenDefense())
 
-    def test_negative_counts_do_not_crash_the_attack(self, city, db):
-        """Negative entries can never be dominated, so the attack fails
-        closed (no candidates) instead of crashing or mislocating."""
+    def test_negative_counts_rejected_at_attack_boundary(self, city, db):
+        """A protocol-violating negative count is refused loudly."""
         rng = derive_rng(2, "fi")
         targets = [city.interior(500.0).sample_point(rng) for _ in range(10)]
-        evaluation = evaluate_region_attack(
-            db, targets, 500.0, defense=NegativeDefense(), rng=rng
-        )
-        assert evaluation.n_correct == 0
+        with pytest.raises(ReleaseValidationError, match="negative"):
+            evaluate_region_attack(db, targets, 500.0, defense=NegativeDefense(), rng=rng)
+
+    def test_poi_service_rejects_broken_releases(self, db):
+        """The same contract holds at the LBS service's ingest."""
+        from repro.lbs.entities import POIService
+        from repro.lbs.messages import AggregateRelease
+
+        service = POIService(curious=True, n_types=db.n_types)
+        for bad in (
+            np.zeros(3, dtype=np.int64),  # wrong width
+            np.full(db.n_types, -1.0),  # negative counts
+            np.full(db.n_types, np.nan),  # NaN
+        ):
+            release = AggregateRelease(
+                user_id=1, frequency_vector=bad, radius=500.0, timestamp=0.0
+            )
+            with pytest.raises(ReleaseValidationError):
+                service.recommend(release)
+        assert service.observed_releases == ()  # nothing malformed was logged
 
 
 class TestOptimizerEdges:
@@ -114,5 +137,12 @@ class TestAttackInputValidation:
 
     def test_wrong_width_vector_raises(self, db):
         attack = RegionAttack(db)
-        with pytest.raises(Exception):
+        with pytest.raises(ReleaseValidationError, match="width"):
             attack.run(np.ones(db.n_types + 1, dtype=int), 500.0)
+
+    def test_nan_vector_raises(self, db):
+        attack = RegionAttack(db)
+        bad = db.freq(db.location_of(0), 500.0).astype(float)
+        bad[0] = np.nan
+        with pytest.raises(ReleaseValidationError, match="NaN"):
+            attack.run(bad, 500.0)
