@@ -9,6 +9,7 @@ perturbation optimizer, and planar Laplace sampling.
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
 from repro.defense.optimization import optimize_release
@@ -56,7 +57,7 @@ def test_bench_region_attack(benchmark, setup):
 
     def one_attack():
         i = next(it) % len(freqs)
-        return attack.run(freqs[i], radius)
+        return attack.run(Release(freqs[i], radius))
 
     benchmark(one_attack)
 

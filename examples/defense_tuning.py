@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import RegionAttack
+from repro.attacks import RegionAttack, Release
 from repro.core.rng import derive_rng
 from repro.datasets import sample_targets
 from repro.defense import DPReleaseMechanism, UserPopulation, top_k_jaccard
@@ -33,7 +33,7 @@ def main() -> None:
     db = city.database
     attack = RegionAttack(db)
     population = UserPopulation.uniform(10_000, db.bounds, derive_rng(17, "pop"))
-    originals = [db.freq(u, RADIUS_M) for u in users]
+    originals = db.freq_batch(users, RADIUS_M)
 
     print(f"Sweeping the DP release on {N_USERS} Beijing taxi locations (r = 2 km, k = 20)\n")
     print(f"{'epsilon':>8}  {'beta':>5}  {'attack success':>14}  {'correct hits':>12}  {'Top-10 Jaccard':>14}")
@@ -46,9 +46,11 @@ def main() -> None:
             rng = derive_rng(17, "sweep", beta, epsilon)
             n_success = n_correct = 0
             jaccards = []
-            for user, original in zip(users, originals):
-                released = defense.release(db, user, RADIUS_M, rng)
-                outcome = attack.run(released, RADIUS_M)
+            released_all = [defense.release(db, user, RADIUS_M, rng) for user in users]
+            outcomes = attack.run_batch([Release(v, RADIUS_M) for v in released_all])
+            for user, original, released, outcome in zip(
+                users, originals, released_all, outcomes
+            ):
                 if outcome.success:
                     n_success += 1
                     n_correct += outcome.locates(user)

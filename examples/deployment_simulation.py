@@ -46,14 +46,11 @@ def main() -> None:
         db, TaxiFleetConfig(n_taxis=60), derive_rng(11, "background")
     )
     pairs = extract_release_pairs(background, max_gap_s=600.0)[:600]
+    firsts = db.freq_batch([p.first.location for p in pairs], RADIUS_M)
+    seconds = db.freq_batch([p.second.location for p in pairs], RADIUS_M)
     releases = [
-        PairRelease(
-            db.freq(p.first.location, RADIUS_M),
-            db.freq(p.second.location, RADIUS_M),
-            p.first.timestamp,
-            p.second.timestamp,
-        )
-        for p in pairs
+        PairRelease(f1, f2, p.first.timestamp, p.second.timestamp)
+        for p, f1, f2 in zip(pairs, firsts, seconds)
     ]
     regressor = DistanceRegressor().fit(releases, np.array([p.distance for p in pairs]))
 

@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from repro.attacks import FineGrainedAttack, RegionAttack
+from repro.attacks import FineGrainedAttack, RegionAttack, Release
 from repro.core.rng import derive_rng
 from repro.defense import DPReleaseMechanism, UserPopulation, top_k_jaccard
 from repro.poi import beijing
@@ -42,7 +42,7 @@ def main() -> None:
     for _ in range(50):
         user_location = city.interior(radius).sample_point(rng)
         released = db.freq(user_location, radius)
-        outcome = attack.run(released, radius)
+        outcome = attack.run(Release(released, radius))
         if outcome.success:
             break
     else:
@@ -59,7 +59,7 @@ def main() -> None:
 
     print("\n== 4. Fine-grained attack (Algorithm 1) ==")
     fine = FineGrainedAttack(db, max_aux=20, sound_only=True)
-    fine_outcome = fine.run(released, radius)
+    fine_outcome = fine.run(Release(released, radius))
     area = fine_outcome.search_area_m2(rng=rng)
     print(f"auxiliary anchors found: {len(fine_outcome.anchors)}")
     print(
@@ -74,7 +74,7 @@ def main() -> None:
     population = UserPopulation.uniform(10_000, db.bounds, derive_rng(2021, "users"))
     defense = DPReleaseMechanism(population, k=20, epsilon=0.5, delta=0.2, beta=0.03)
     protected = defense.release(db, user_location, radius, derive_rng(2021, "dp"))
-    protected_outcome = attack.run(protected, radius)
+    protected_outcome = attack.run(Release(protected, radius))
     print(f"attack on the protected release succeeds: {protected_outcome.success}")
     if protected_outcome.success:
         print(f"  ...but points at the right place: {protected_outcome.locates(user_location)}")

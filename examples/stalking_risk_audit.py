@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 
-from repro.attacks import FineGrainedAttack
+from repro.attacks import FineGrainedAttack, Release
 from repro.core.rng import derive_rng
 from repro.datasets import sample_targets
 
@@ -36,8 +36,9 @@ def audit_radius(radius: float, seed: int) -> dict:
     n_exposed = 0
     pinned_areas_km2: list[float] = []
     localisation_errors_m: list[float] = []
-    for user in users:
-        outcome = attack.run(db.freq(user, radius), radius)
+    freqs = db.freq_batch(users, radius)
+    outcomes = attack.run_batch([Release(f, radius) for f in freqs])
+    for user, outcome in zip(users, outcomes):
         if not outcome.success:
             continue
         n_exposed += 1

@@ -36,15 +36,19 @@ def main() -> None:
     )
     pairs = extract_release_pairs(trajectories, max_gap_s=MAX_GAP_S)
 
-    usable = []
-    for pair in pairs:
-        if not (interior.contains(pair.first.location) and interior.contains(pair.second.location)):
-            continue
-        f1 = db.freq(pair.first.location, RADIUS_M)
-        f2 = db.freq(pair.second.location, RADIUS_M)
-        if np.array_equal(f1, f2):
-            continue
-        usable.append((pair, PairRelease(f1, f2, pair.first.timestamp, pair.second.timestamp)))
+    inside = [
+        pair
+        for pair in pairs
+        if interior.contains(pair.first.location)
+        and interior.contains(pair.second.location)
+    ]
+    firsts = db.freq_batch([p.first.location for p in inside], RADIUS_M)
+    seconds = db.freq_batch([p.second.location for p in inside], RADIUS_M)
+    usable = [
+        (pair, PairRelease(f1, f2, pair.first.timestamp, pair.second.timestamp))
+        for pair, f1, f2 in zip(inside, firsts, seconds)
+        if not np.array_equal(f1, f2)
+    ]
     split = len(usable) // 2
     train, test = usable[:split], usable[split:]
     print(f"{len(pairs)} release pairs, {len(usable)} usable, {len(train)} for training\n")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
 from repro.core.rng import as_generator
@@ -100,9 +101,9 @@ def attack_with_degraded_map(
     )
     attack = RegionAttack(attacker_map)
     n_success = n_correct = 0
-    for target in targets:
-        released = true_map.freq(target, radius)
-        outcome = attack.run(released, radius)
+    released_freqs = true_map.freq_batch(list(targets), radius)
+    outcomes = attack.run_batch([Release(f, radius) for f in released_freqs])
+    for target, outcome in zip(targets, outcomes):
         if outcome.success:
             n_success += 1
             if outcome.locates(target):

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
 from repro.core.rng import as_generator
 from repro.geo.bbox import BBox
-from repro.geo.point import Point
 from repro.poi.database import POIDatabase
 
 __all__ = [
@@ -48,11 +48,10 @@ def uniqueness_rate(
     gen = as_generator(rng)
     area = bounds if bounds is not None else database.bounds
     attack = RegionAttack(database)
-    wins = 0
-    for _ in range(n_samples):
-        location = area.sample_point(gen)
-        wins += attack.run(database.freq(location, radius), radius).success
-    return wins / n_samples
+    locations = [area.sample_point(gen) for _ in range(n_samples)]
+    freqs = database.freq_batch(locations, radius)
+    outcomes = attack.run_batch([Release(f, radius) for f in freqs])
+    return sum(o.success for o in outcomes) / n_samples
 
 
 @dataclass(frozen=True)
@@ -94,14 +93,17 @@ def uniqueness_map(
     nx = max(1, int(area.width // cell_m))
     ny = max(1, int(area.height // cell_m))
     attack = RegionAttack(database)
-    grid = np.zeros((ny, nx), dtype=bool)
-    for i in range(ny):
-        y = area.min_y + (i + 0.5) * cell_m
-        for j in range(nx):
-            x = area.min_x + (j + 0.5) * cell_m
-            freq = database.freq(Point(x, y), radius)
-            grid[i, j] = attack.run(freq, radius).success
-    return UniquenessMap(grid=grid, bounds=area, radius=radius)
+    xs = area.min_x + (np.arange(nx) + 0.5) * cell_m
+    ys = area.min_y + (np.arange(ny) + 0.5) * cell_m
+    # Row-major centers (row i from the south, column j from the west),
+    # matching the grid layout documented on UniquenessMap.
+    centers = np.column_stack(
+        [np.tile(xs, ny), np.repeat(ys, nx)]
+    )
+    freqs = database.freq_batch(centers, radius)
+    outcomes = attack.run_batch([Release(f, radius) for f in freqs])
+    grid = np.fromiter((o.success for o in outcomes), dtype=bool, count=ny * nx)
+    return UniquenessMap(grid=grid.reshape(ny, nx), bounds=area, radius=radius)
 
 
 @dataclass(frozen=True)
@@ -139,9 +141,9 @@ def anchor_statistics(
     counts: dict[int, int] = {}
     city_counts: list[int] = []
     ranks: list[int] = []
-    for _ in range(n_samples):
-        location = area.sample_point(gen)
-        outcome = attack.run(database.freq(location, radius), radius)
+    locations = [area.sample_point(gen) for _ in range(n_samples)]
+    freqs = database.freq_batch(locations, radius)
+    for outcome in attack.run_batch([Release(f, radius) for f in freqs]):
         if not outcome.success or outcome.anchor_type is None:
             continue
         t = outcome.anchor_type

@@ -1,6 +1,6 @@
 """Attacks: the baseline region re-identification plus the paper's variants."""
 
-from repro.attacks.base import AttackOutcome, ReIdentifiedRegion
+from repro.attacks.base import Attack, AttackOutcome, ReIdentifiedRegion, Release
 from repro.attacks.fine_grained import FineGrainedAttack, FineGrainedOutcome
 from repro.attacks.metrics import AttackEvaluation, evaluate_region_attack
 from repro.attacks.recovery import RecoveryTrainingReport, SanitizationRecoveryAttack
@@ -14,7 +14,9 @@ from repro.attacks.trajectory import (
 )
 
 __all__ = [
+    "Attack",
     "AttackOutcome",
+    "Release",
     "ReIdentifiedRegion",
     "RegionAttack",
     "FineGrainedAttack",

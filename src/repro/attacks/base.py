@@ -1,13 +1,82 @@
-"""Attack interfaces and shared result types."""
+"""Attack interfaces and shared result types.
+
+The unified attack API is built around two pieces:
+
+* :class:`Release` — one observed aggregate release: the frequency vector,
+  the query radius it was computed at, and optional ground-truth metadata
+  (true location, timestamp) carried for evaluation and tracking.
+* :class:`Attack` — the protocol every re-identification attack conforms
+  to: ``run(release)`` for one release and ``run_batch(releases)`` for
+  many, where the batch path may share work (anchor matrices, grouped
+  domination checks) but must produce outcomes bit-identical to the scalar
+  loop.
+
+The legacy positional ``run(freq_vector, radius)`` signatures keep working
+through thin deprecation shims (see :func:`coerce_release`).
+"""
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.core.errors import AttackError
 from repro.geo.disk import Disk
 from repro.geo.point import Point
 
-__all__ = ["ReIdentifiedRegion", "AttackOutcome"]
+__all__ = [
+    "Release",
+    "Attack",
+    "ReIdentifiedRegion",
+    "AttackOutcome",
+    "coerce_release",
+]
+
+
+@dataclass(frozen=True)
+class Release:
+    """One released POI aggregate as the adversary observes it.
+
+    ``frequency_vector`` is the released ``(M,)`` type histogram and
+    ``radius`` the query range it was computed at.  ``true_location`` and
+    ``timestamp`` are optional ground-truth/metadata fields: evaluation
+    harnesses use the former to score correctness, the continuous tracker
+    needs the latter to order releases — the attacks themselves never read
+    the truth.
+    """
+
+    frequency_vector: np.ndarray
+    radius: float
+    true_location: "Point | None" = None
+    timestamp: "float | None" = None
+
+
+def coerce_release(release, radius: "float | None" = None, *, caller: str) -> Release:
+    """Normalise the unified and the legacy ``run`` calling conventions.
+
+    New-style callers pass a single :class:`Release`.  Legacy callers pass
+    ``(freq_vector, radius)`` positionally; that spelling still works but
+    emits a :class:`DeprecationWarning` naming *caller*.
+    """
+    if isinstance(release, Release):
+        if radius is not None:
+            raise AttackError(
+                f"{caller}: pass the radius inside the Release, not separately"
+            )
+        return release
+    warnings.warn(
+        f"{caller}(freq_vector, radius) is deprecated; "
+        f"pass a repro.attacks.Release instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if radius is None:
+        raise AttackError(f"{caller}: legacy calls must pass (freq_vector, radius)")
+    return Release(frequency_vector=np.asarray(release), radius=float(radius))
 
 
 @dataclass(frozen=True)
@@ -34,6 +103,9 @@ class AttackOutcome:
     Following the paper's metric (§II-B), the attack *succeeds* iff exactly
     one candidate region remains (``|Phi| = 1``).  ``candidates`` holds the
     surviving anchor POI indices; ``regions`` the corresponding disks.
+    Attacks may leave ``regions`` empty on ambiguous attempts — every
+    region is recoverable from ``(candidates, radius)`` — and only promise
+    it for the successful singleton exposed via :attr:`region`.
     """
 
     candidates: tuple[int, ...]
@@ -62,3 +134,21 @@ class AttackOutcome:
         """
         region = self.region
         return region is not None and region.disk.contains(true_location)
+
+
+@runtime_checkable
+class Attack(Protocol):
+    """The protocol every re-identification attack conforms to.
+
+    ``run_batch`` must produce outcomes bit-identical to mapping ``run``
+    over the releases; it exists so implementations can share work across
+    the batch (anchor frequency matrices, grouped domination broadcasts).
+    """
+
+    def run(self, release: Release) -> AttackOutcome:
+        """Attack one release."""
+        ...  # pragma: no cover - protocol signature
+
+    def run_batch(self, releases: Sequence[Release]) -> Sequence[AttackOutcome]:
+        """Attack many releases, sharing batched work where possible."""
+        ...  # pragma: no cover - protocol signature

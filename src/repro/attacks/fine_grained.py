@@ -25,17 +25,19 @@ Harvesting stops after ``max_aux`` anchors; Fig. 7 sweeps that cap.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.base import AttackOutcome
+from repro.attacks.base import AttackOutcome, Release, coerce_release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import AttackError
 from repro.geo.disk import Disk
 from repro.geo.point import Point
 from repro.geo.region import DiskIntersection
 from repro.poi.database import POIDatabase
+from repro.poi.frequency import dominates
 
 __all__ = ["FineGrainedAttack", "FineGrainedOutcome"]
 
@@ -133,12 +135,27 @@ class FineGrainedAttack:
         self, freq_vector: np.ndarray, radius: float, major_anchor: int
     ) -> list[int]:
         """Collect auxiliary anchors around *major_anchor* (Algorithm 1 body)."""
+        superset = self._db.query(self._db.location_of(major_anchor), 2 * radius)
+        return self._harvest(np.asarray(freq_vector), radius, major_anchor, superset)
+
+    def _harvest(
+        self,
+        freq_vector: np.ndarray,
+        radius: float,
+        major_anchor: int,
+        superset: np.ndarray,
+    ) -> list[int]:
+        """Algorithm 1 over a precomputed superset ``P(p*, 2r)``.
+
+        The domination checks for the whole superset are evaluated as one
+        broadcast against the anchor frequency matrix; the harvest loop then
+        only consults the precomputed mask, preserving the scalar order and
+        the ``MAX_aux`` early exit exactly.
+        """
         if self.max_aux == 0:
             return []
         db = self._db
-        freq_vector = np.asarray(freq_vector)
         anchor_loc = db.location_of(major_anchor)
-        superset = db.query(anchor_loc, 2 * radius)
         f_superset = db.freq_at_poi(major_anchor, 2 * radius)
         f_diff = f_superset - freq_vector
 
@@ -148,6 +165,7 @@ class FineGrainedAttack:
         order = present[np.lexsort((present, f_diff[present]))]
 
         anchors: list[int] = []
+        dominated: "np.ndarray | None" = None
 
         def mutually_consistent(p: int) -> bool:
             if not self.consistent_anchors:
@@ -159,39 +177,87 @@ class FineGrainedAttack:
             ) and loc.distance_to(anchor_loc) <= limit
 
         for t in order:
-            members = superset[superset_types == t]
+            member_pos = np.flatnonzero(superset_types == t)
             if f_diff[t] == 0:
-                for p in members:
-                    p = int(p)
+                for k in member_pos:
+                    p = int(superset[k])
                     if p != major_anchor and mutually_consistent(p):
                         anchors.append(p)
                     if len(anchors) >= self.max_aux:
                         return anchors
             elif not self.sound_only:
-                for p in members:
-                    p = int(p)
+                if dominated is None:
+                    dominated = dominates(
+                        db.anchor_freqs(2 * radius, superset), freq_vector
+                    )
+                for k in member_pos:
+                    p = int(superset[k])
                     if p == major_anchor:
                         continue
-                    if bool(
-                        np.all(db.freq_at_poi(p, 2 * radius) >= freq_vector)
-                    ) and mutually_consistent(p):
+                    if dominated[k] and mutually_consistent(p):
                         anchors.append(p)
                     if len(anchors) >= self.max_aux:
                         return anchors
         return anchors
 
-    def run(self, freq_vector: np.ndarray, radius: float) -> FineGrainedOutcome:
-        """Baseline re-identification, then anchor harvesting if unique."""
-        base = self._region_attack.run(freq_vector, radius)
+    def run(self, release: "Release | np.ndarray", radius: "float | None" = None) -> FineGrainedOutcome:
+        """Baseline re-identification, then anchor harvesting if unique.
+
+        Pass a :class:`~repro.attacks.base.Release`; the legacy positional
+        ``run(freq_vector, radius)`` spelling still works but is deprecated.
+        """
+        rel = coerce_release(release, radius, caller="FineGrainedAttack.run")
+        base = self._region_attack.run(rel)
+        return self._finish(rel, base)
+
+    def run_batch(self, releases: Sequence[Release]) -> list[FineGrainedOutcome]:
+        """Batched fine-grained attack, bit-identical to the scalar loop.
+
+        The baseline stage runs through :meth:`RegionAttack.run_batch`; the
+        successful releases' supersets ``P(p*, 2r)`` are then answered with
+        one batched grid query per radius and their anchor rows warmed in
+        one vectorized pass before harvesting.
+        """
+        releases = list(releases)
+        bases = self._region_attack.run_batch(releases)
+        db = self._db
+        wins = [i for i, base in enumerate(bases) if base.success]
+        by_radius: dict[float, list[int]] = {}
+        for i in wins:
+            by_radius.setdefault(float(releases[i].radius), []).append(i)
+        supersets: dict[int, np.ndarray] = {}
+        for radius, rows in by_radius.items():
+            majors = [bases[i].candidates[0] for i in rows]
+            xy = db.positions[np.asarray(majors, dtype=np.intp)]
+            idx, offsets = db.query_batch(xy, 2 * radius)
+            for j, i in enumerate(rows):
+                supersets[i] = idx[offsets[j] : offsets[j + 1]]
+            needed = np.unique(np.concatenate([idx, np.asarray(majors, dtype=np.intp)]))
+            if len(needed):
+                db.anchor_freqs(2 * radius, needed)
+        return [
+            self._finish(rel, base, supersets.get(i))
+            for i, (rel, base) in enumerate(zip(releases, bases))
+        ]
+
+    def _finish(
+        self,
+        release: Release,
+        base: AttackOutcome,
+        superset: "np.ndarray | None" = None,
+    ) -> FineGrainedOutcome:
         if not base.success:
             return FineGrainedOutcome(
-                base=base, radius=radius, major_anchor=None, anchors=(), _db=self._db
+                base=base, radius=release.radius, major_anchor=None, anchors=(), _db=self._db
             )
         major = base.candidates[0]
-        anchors = self.harvest_anchors(freq_vector, radius, major)
+        freq_vector = np.asarray(release.frequency_vector)
+        if superset is None:
+            superset = self._db.query(self._db.location_of(major), 2 * release.radius)
+        anchors = self._harvest(freq_vector, release.radius, major, superset)
         return FineGrainedOutcome(
             base=base,
-            radius=radius,
+            radius=release.radius,
             major_anchor=major,
             anchors=tuple(anchors),
             _db=self._db,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.rng import as_generator
 from repro.defense.base import Defense, NoDefense
@@ -81,9 +82,11 @@ def evaluate_region_attack(
     n_success = 0
     n_correct = 0
     areas: list[float] = []
-    for target in targets:
-        released = defense.release(database, target, radius, gen)
-        outcome = attack.run(released, radius)
+    releases = [
+        Release(defense.release(database, target, radius, gen), radius)
+        for target in targets
+    ]
+    for target, outcome in zip(targets, attack.run_batch(releases)):
         if outcome.success:
             n_success += 1
             region = outcome.region

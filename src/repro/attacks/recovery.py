@@ -138,7 +138,7 @@ class SanitizationRecoveryAttack:
         area = bounds if bounds is not None else self._db.bounds
         n_total = n_train + n_validation
         locations = [area.sample_point(gen) for _ in range(n_total)]
-        freqs = np.stack([self._db.freq(p, radius) for p in locations]).astype(float)
+        freqs = self._db.freq_batch(locations, radius).astype(float)
 
         # Features are always the full non-sanitized part (the published
         # columns); models are trained for the modeled subset.

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import AttackOutcome, Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import AttackError
 from repro.poi.database import POIDatabase
@@ -104,6 +105,33 @@ class ContinuousTracker:
             for c in from_candidates
         )
 
+    def run(self, release: Release) -> AttackOutcome:
+        """Attack-protocol entry point for a single release.
+
+        One release carries no motion information, so this is exactly the
+        baseline region attack at that instant.
+        """
+        return self._region_attack.run(release)
+
+    def run_batch(self, releases: Sequence[Release]) -> TrackingResult:
+        """Attack-protocol entry point: track one user over a release batch.
+
+        The releases must share one radius and carry timestamps; the
+        per-step candidate sets come from the batched region-attack path.
+        """
+        releases = list(releases)
+        if not releases:
+            raise AttackError("cannot track an empty release sequence")
+        radii = {float(rel.radius) for rel in releases}
+        if len(radii) != 1:
+            raise AttackError(f"tracking needs one uniform radius, got {sorted(radii)}")
+        if any(rel.timestamp is None for rel in releases):
+            raise AttackError("tracking releases need timestamps")
+        timed = [
+            TimedRelease(rel.frequency_vector, float(rel.timestamp)) for rel in releases
+        ]
+        return self.track(timed, radii.pop())
+
     def track(self, releases: Sequence[TimedRelease], radius: float) -> TrackingResult:
         """Run forward filtering (and optional smoothing) over *releases*."""
         if not releases:
@@ -112,12 +140,10 @@ class ContinuousTracker:
         if any(b < a for a, b in zip(times, times[1:])):
             raise AttackError("releases must be time-ordered")
 
-        per_step: list[list[int]] = []
-        for release in releases:
-            _, survivors = self._region_attack.candidate_set(
-                np.asarray(release.frequency_vector), radius
-            )
-            per_step.append([int(p) for p in survivors])
+        outcomes = self._region_attack.run_batch(
+            [Release(np.asarray(r.frequency_vector), radius) for r in releases]
+        )
+        per_step: list[list[int]] = [list(o.candidates) for o in outcomes]
 
         # Forward pass: keep candidates reachable from the previous step.
         for t in range(1, len(per_step)):

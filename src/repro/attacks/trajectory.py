@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.base import AttackOutcome, ReIdentifiedRegion
+from repro.attacks.base import AttackOutcome, ReIdentifiedRegion, Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import AttackError, NotFittedError
 from repro.geo.disk import Disk
@@ -156,7 +156,7 @@ class TrajectoryAttack:
         a ``2r`` slack for the anchor-vs-true-location offset: each
         candidate stands for an area of radius ``r`` around it).
         """
-        single = self._region_attack.run(release.freq_first, radius)
+        single = self._region_attack.run(Release(release.freq_first, radius))
         if single.success:
             return TrajectoryOutcome(single=single, enhanced=single, predicted_distance_m=None)
         _, cands_first = self._region_attack.candidate_set(release.freq_first, radius)

@@ -222,6 +222,7 @@ def _city_for(args):
 
 
 def _cmd_attack(args) -> int:
+    from repro.attacks.base import Release
     from repro.attacks.fine_grained import FineGrainedAttack
     from repro.attacks.region import RegionAttack
     from repro.core.rng import derive_rng
@@ -235,7 +236,7 @@ def _cmd_attack(args) -> int:
         f"{city.name}: target ({target.x:.0f}, {target.y:.0f}) m, r={args.radius:.0f} m, "
         f"{int(released.sum())} POIs over {int((released > 0).sum())} types"
     )
-    outcome = RegionAttack(db).run(released, args.radius)
+    outcome = RegionAttack(db).run(Release(released, args.radius))
     if not outcome.success:
         print(f"attack failed: {len(outcome.candidates)} candidate regions")
         return 0
@@ -246,7 +247,7 @@ def _cmd_attack(args) -> int:
         f"area {region.area / 1e6:.2f} km^2"
     )
     if args.fine:
-        fine = FineGrainedAttack(db, max_aux=20).run(released, args.radius)
+        fine = FineGrainedAttack(db, max_aux=20).run(Release(released, args.radius))
         area = fine.search_area_m2(rng=derive_rng(0, "cli-attack"))
         print(
             f"fine-grained: {len(fine.anchors)} auxiliary anchors, "

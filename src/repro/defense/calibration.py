@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
 from repro.core.rng import as_generator
@@ -83,7 +84,7 @@ def calibrate_dp_release(
         raise ConfigError(f"risk_budget must be in [0, 1], got {risk_budget}")
     gen = as_generator(rng)
     attack = RegionAttack(database)
-    originals = [database.freq(t, radius) for t in targets]
+    originals = database.freq_batch(targets, radius)
 
     candidates: list[CalibrationCandidate] = []
     for beta in betas:
@@ -93,9 +94,13 @@ def calibrate_dp_release(
             )
             n_correct = 0
             jaccards = []
-            for target, original in zip(targets, originals):
-                released = defense.release(database, target, radius, gen)
-                outcome = attack.run(released, radius)
+            released_all = [
+                defense.release(database, target, radius, gen) for target in targets
+            ]
+            outcomes = attack.run_batch([Release(v, radius) for v in released_all])
+            for target, original, released, outcome in zip(
+                targets, originals, released_all, outcomes
+            ):
                 if outcome.success and outcome.locates(target):
                     n_correct += 1
                 jaccards.append(top_k_jaccard(original, released, k=top_k))

@@ -106,7 +106,7 @@ class DPReleaseMechanism(Defense):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Step 2, Eq. (8): per-dimension Gaussian noise on the group sum."""
-        freqs = np.stack([database.freq(p, radius) for p in group]).astype(float)
+        freqs = database.freq_batch(group, radius).astype(float)
         total = freqs.sum(axis=0)
         sensitivity = freqs.max(axis=0)
         scale = np.sqrt(2.0 * np.log(1.25 / self.delta)) / self.epsilon

@@ -45,14 +45,11 @@ def _train_regressor(db, scale: ExperimentScale) -> DistanceRegressor:
         derive_rng(scale.seed, "faults-background"),
     )
     pairs = extract_release_pairs(background, max_gap_s=_MAX_GAP_S)[: scale.n_train]
+    firsts = db.freq_batch([p.first.location for p in pairs], _RADIUS_M)
+    seconds = db.freq_batch([p.second.location for p in pairs], _RADIUS_M)
     releases = [
-        PairRelease(
-            db.freq(p.first.location, _RADIUS_M),
-            db.freq(p.second.location, _RADIUS_M),
-            p.first.timestamp,
-            p.second.timestamp,
-        )
-        for p in pairs
+        PairRelease(f1, f2, p.first.timestamp, p.second.timestamp)
+        for p, f1, f2 in zip(pairs, firsts, seconds)
     ]
     return DistanceRegressor().fit(releases, np.array([p.distance for p in pairs]))
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
 from repro.defense.cloaking import UserPopulation
@@ -63,7 +64,7 @@ def run_fig11_12(
         population = UserPopulation.uniform(
             _N_CITY_USERS, city.bounds, derive_rng(scale.seed, "fig11-users", city.name)
         )
-        originals = [db.freq(t, radius) for t in targets]
+        originals = db.freq_batch(targets, radius)
         for beta in betas:
             for epsilon in epsilons:
                 defense = DPReleaseMechanism(
@@ -72,9 +73,15 @@ def run_fig11_12(
                 rng = derive_rng(scale.seed, "fig11", dataset, beta, epsilon)
                 n_success = n_correct = 0
                 jaccards: list[float] = []
-                for target, original in zip(targets, originals):
-                    released = defense.release(db, target, radius, rng)
-                    outcome = attack.run(released, radius)
+                released_all = [
+                    defense.release(db, target, radius, rng) for target in targets
+                ]
+                outcomes = attack.run_batch(
+                    [Release(v, radius) for v in released_all]
+                )
+                for target, original, released, outcome in zip(
+                    targets, originals, released_all, outcomes
+                ):
                     if outcome.success:
                         n_success += 1
                         region = outcome.region

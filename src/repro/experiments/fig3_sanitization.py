@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.recovery import SanitizationRecoveryAttack
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
@@ -79,8 +80,8 @@ def run_fig3(
             ):
                 n_success = 0
                 n_correct = 0
-                for target, vector in zip(targets, vectors):
-                    outcome = attack.run(vector, radius)
+                outcomes = attack.run_batch([Release(v, radius) for v in vectors])
+                for target, outcome in zip(targets, outcomes):
                     if outcome.success:
                         n_success += 1
                         region = outcome.region

@@ -14,6 +14,7 @@ import math
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.core.rng import derive_rng
 from repro.datasets.targets import DATASET_NAMES
@@ -47,8 +48,9 @@ def run_fig6(
             rng = derive_rng(scale.seed, "fig6", dataset, radius)
             areas_km2: list[float] = []
             n_contains = 0
-            for target in targets:
-                outcome = attack.run(city.database.freq(target, radius), radius)
+            freqs = city.database.freq_batch(targets, radius)
+            outcomes = attack.run_batch([Release(f, radius) for f in freqs])
+            for target, outcome in zip(targets, outcomes):
                 if not outcome.success:
                     continue
                 area = outcome.search_area_m2(

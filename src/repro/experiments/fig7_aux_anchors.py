@@ -12,6 +12,7 @@ import math
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.core.rng import derive_rng
 from repro.datasets.targets import DATASET_NAMES
@@ -45,11 +46,12 @@ def run_fig7(
         city, targets = targets_for(dataset, radius, scale)
         attack = FineGrainedAttack(city.database, max_aux=max_aux)
         rng = derive_rng(scale.seed, "fig7", dataset)
-        outcomes = []
-        for target in targets:
-            outcome = attack.run(city.database.freq(target, radius), radius)
-            if outcome.success:
-                outcomes.append(outcome)
+        freqs = city.database.freq_batch(targets, radius)
+        outcomes = [
+            o
+            for o in attack.run_batch([Release(f, radius) for f in freqs])
+            if o.success
+        ]
         for n_aux in aux_values:
             areas = [
                 o.search_area_m2(n_aux=n_aux, n_samples=scale.n_area_samples, rng=rng)

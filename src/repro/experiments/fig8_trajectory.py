@@ -55,18 +55,20 @@ def run_fig8(
 
     for radius in radii:
         interior = city.interior(radius)
-        usable: list[tuple] = []
-        for pair in pairs:
-            if not (
-                interior.contains(pair.first.location)
-                and interior.contains(pair.second.location)
-            ):
-                continue
-            f1 = db.freq(pair.first.location, radius)
-            f2 = db.freq(pair.second.location, radius)
-            if np.array_equal(f1, f2):
-                continue  # the paper drops unchanged releases (useless to both sides)
-            usable.append((pair, f1, f2))
+        inside = [
+            pair
+            for pair in pairs
+            if interior.contains(pair.first.location)
+            and interior.contains(pair.second.location)
+        ]
+        firsts = db.freq_batch([p.first.location for p in inside], radius)
+        seconds = db.freq_batch([p.second.location for p in inside], radius)
+        usable: list[tuple] = [
+            (pair, f1, f2)
+            for pair, f1, f2 in zip(inside, firsts, seconds)
+            # the paper drops unchanged releases (useless to both sides)
+            if not np.array_equal(f1, f2)
+        ]
 
         if len(usable) < 40:
             result.add_row(r_km=radius / 1000.0, n_pairs=len(usable))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
 from repro.defense.nonprivate import NonPrivateOptimizationDefense
@@ -48,15 +49,21 @@ def run_fig9_10(
             city, targets = targets_for(dataset, radius, scale)
             db = city.database
             attack = RegionAttack(db)
-            originals = [db.freq(t, radius) for t in targets]
+            originals = db.freq_batch(targets, radius)
             for beta in betas:
                 defense = NonPrivateOptimizationDefense(beta)
                 rng = derive_rng(scale.seed, "fig9", dataset, radius, beta)
                 n_success = n_correct = 0
                 jaccards: list[float] = []
-                for target, original in zip(targets, originals):
-                    released = defense.release(db, target, radius, rng)
-                    outcome = attack.run(released, radius)
+                released_all = [
+                    defense.release(db, target, radius, rng) for target in targets
+                ]
+                outcomes = attack.run_batch(
+                    [Release(v, radius) for v in released_all]
+                )
+                for target, original, released, outcome in zip(
+                    targets, originals, released_all, outcomes
+                ):
                     if outcome.success:
                         n_success += 1
                         region = outcome.region

@@ -10,6 +10,12 @@ from a sequentially consumed stream — a sharded run produces *bit-identical*
 rows to the serial run, which the test suite asserts.  Each worker process
 rebuilds the synthetic city from its seed (cities are cached per process),
 so nothing heavyweight crosses process boundaries.
+
+Within each shard the runners use the vectorized batch engine
+(:meth:`~repro.poi.database.POIDatabase.freq_batch` plus
+:meth:`~repro.attacks.region.RegionAttack.run_batch`), so sharding
+composes with batching: processes split the coarse dataset/city axis
+while numpy handles the per-target fan-out inside each process.
 """
 
 from __future__ import annotations

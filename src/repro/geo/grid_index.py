@@ -19,6 +19,30 @@ from repro.geo.point import Point
 
 __all__ = ["GridIndex"]
 
+#: Smallest normal float64 — below it, squared distances lose precision.
+_TINY = np.finfo(np.float64).tiny
+
+
+def _disk_keep(dx: np.ndarray, dy: np.ndarray, radius: float) -> np.ndarray:
+    """Mask of ``(dx, dy)`` offsets within *radius*, decided as ``np.hypot``.
+
+    Squared distances are cheap but can disagree with the overflow-immune
+    ``hypot`` comparison when the squares denormalise or the point sits
+    within ~1e-12 (relative) of the boundary.  Everything outside that band
+    is provably decided the same way by both formulas, so only band entries
+    — normally none — are re-decided with ``np.hypot`` itself.
+    """
+    d2 = dx * dx
+    d2 += dy * dy
+    rsq = radius * radius
+    keep = d2 <= rsq
+    band = np.abs(d2 - rsq) <= 1e-12 * rsq
+    band |= (d2 < _TINY) | (rsq < _TINY) | ~np.isfinite(d2)
+    bi = np.flatnonzero(band)
+    if len(bi):
+        keep[bi] = np.hypot(dx[bi], dy[bi]) <= radius
+    return keep
+
 
 class GridIndex:
     """Uniform grid over a fixed set of planar points.
@@ -70,6 +94,11 @@ class GridIndex:
             counts = np.zeros(n_cells, dtype=np.intp)
         self._order = order
         self._start = np.concatenate([[0], np.cumsum(counts)])
+        # Point coordinates pre-permuted into the bucket order: the batch
+        # path filters its gathered pool with one contiguous read per axis
+        # and only surviving entries pay the point-index gather.
+        self._xord = np.ascontiguousarray(xy[order, 0]) if len(xy) else xy
+        self._yord = np.ascontiguousarray(xy[order, 1]) if len(xy) else xy
 
     @property
     def n_points(self) -> int:
@@ -83,10 +112,84 @@ class GridIndex:
     def cell_size(self) -> float:
         return self._cell
 
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """Number of cells along each axis ``(nx, ny)``."""
+        return self._nx, self._ny
+
     def _cell_of_many(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         cx = np.clip(((xs - self._bounds.min_x) / self._cell).astype(np.intp), 0, self._nx - 1)
         cy = np.clip(((ys - self._bounds.min_y) / self._cell).astype(np.intp), 0, self._ny - 1)
         return cx, cy
+
+    def cells_of(self, xy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Clamped ``(cx, cy)`` cell coordinates for each point in *xy*."""
+        q = np.asarray(xy, dtype=float)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) coordinates, got shape {q.shape}")
+        return self._cell_of_many(q[:, 0], q[:, 1])
+
+    def cell_ranges(
+        self, xy: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clamped cell ranges ``(cx0, cx1, cy0, cy1)`` a radius query scans.
+
+        The returned box of cells is exactly the candidate set
+        :meth:`query_radius` filters — a superset of the disk — so any
+        monotone statistic over the box (e.g. a per-type count) is a sound
+        upper bound for the same statistic over the disk.  ``astype(intp)``
+        truncates toward zero, matching the scalar path's ``int(...)``.
+        """
+        q = np.asarray(xy, dtype=float)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise GeometryError(f"expected (q, 2) query centers, got shape {q.shape}")
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        cx0 = np.maximum(0, ((q[:, 0] - radius - self._bounds.min_x) / self._cell).astype(np.intp))
+        cx1 = np.minimum(
+            self._nx - 1, ((q[:, 0] + radius - self._bounds.min_x) / self._cell).astype(np.intp)
+        )
+        cy0 = np.maximum(0, ((q[:, 1] - radius - self._bounds.min_y) / self._cell).astype(np.intp))
+        cy1 = np.minimum(
+            self._ny - 1, ((q[:, 1] + radius - self._bounds.min_y) / self._cell).astype(np.intp)
+        )
+        return cx0, cx1, cy0, cy1
+
+    def interior_cell_ranges(
+        self, xy: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clamped cell ranges ``(cx0, cx1, cy0, cy1)`` certainly inside the disk.
+
+        The largest cell-aligned box contained in each query's inscribed
+        square (half-side ``radius / sqrt(2)``), so every point in those
+        cells is within *radius* of the center: any monotone statistic over
+        the box is a sound *lower* bound for the disk.  Ranges may be empty
+        (``cx1 < cx0`` or ``cy1 < cy0``) for radii small relative to the
+        cell size.
+        """
+        q = np.asarray(xy, dtype=float)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise GeometryError(f"expected (q, 2) query centers, got shape {q.shape}")
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        # Shrink the half-side by one ulp-scale factor so float rounding can
+        # never admit a corner at distance > radius.
+        s = radius / np.sqrt(2.0) * (1.0 - 1e-12)
+        cx0 = np.maximum(
+            0, np.ceil((q[:, 0] - s - self._bounds.min_x) / self._cell).astype(np.intp)
+        )
+        cx1 = np.minimum(
+            self._nx - 1,
+            np.floor((q[:, 0] + s - self._bounds.min_x) / self._cell).astype(np.intp) - 1,
+        )
+        cy0 = np.maximum(
+            0, np.ceil((q[:, 1] - s - self._bounds.min_y) / self._cell).astype(np.intp)
+        )
+        cy1 = np.minimum(
+            self._ny - 1,
+            np.floor((q[:, 1] + s - self._bounds.min_y) / self._cell).astype(np.intp) - 1,
+        )
+        return cx0, cx1, cy0, cy1
 
     def _candidates_in_box(self, min_x: float, min_y: float, max_x: float, max_y: float) -> np.ndarray:
         """Indices of all points in cells overlapping the given box."""
@@ -118,9 +221,90 @@ class GridIndex:
         )
         if len(cand) == 0:
             return cand
-        # hypot rather than squared distances: immune to under/overflow.
-        dist = np.hypot(self._xy[cand, 0] - center.x, self._xy[cand, 1] - center.y)
-        return cand[dist <= radius]
+        # Same hypot-exact filter as the batch path.
+        dx = self._xy[cand, 0] - center.x
+        dy = self._xy[cand, 1] - center.y
+        return cand[_disk_keep(dx, dy, radius)]
+
+    def query_batch(self, xy: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """Radius query for many centers in one vectorized pass.
+
+        Parameters
+        ----------
+        xy:
+            ``(q, 2)`` array of query centers in meters.
+        radius:
+            Query radius shared by the whole batch.
+
+        Returns
+        -------
+        ``(indices, offsets)`` in CSR layout: the points within *radius* of
+        center ``i`` are ``indices[offsets[i]:offsets[i + 1]]``, in exactly
+        the order :meth:`query_radius` would return them.
+
+        The batch is answered without any per-query Python loop: cell
+        ranges are computed for all queries at once, every query's
+        contiguous ``(cx, cy0..cy1)`` column slices are flattened into one
+        ``(query, column)`` pair list expanded in owner-major order — so
+        the gathered pool needs no sort to match the scalar layout — and a
+        single distance filter runs over the whole candidate pool.
+        Callers with very large batches should chunk them to bound the
+        candidate pool's memory (see ``POIDatabase.freq_batch``).
+        """
+        q = np.asarray(xy, dtype=float)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise GeometryError(f"expected (q, 2) query centers, got shape {q.shape}")
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        nq = len(q)
+        empty = np.empty(0, dtype=np.intp)
+        if nq == 0 or len(self._xy) == 0:
+            return empty, np.zeros(nq + 1, dtype=np.intp)
+
+        cx0, cx1, cy0, cy1 = self.cell_ranges(q, radius)
+        spans = np.where((cx1 >= cx0) & (cy1 >= cy0), cx1 - cx0 + 1, 0)
+        n_pairs = int(spans.sum())
+        if n_pairs == 0:
+            return empty, np.zeros(nq + 1, dtype=np.intp)
+
+        # Flatten every query's cell columns into (query, column) pairs,
+        # ordered by query then ascending column: expanding their slices in
+        # this order reproduces the scalar per-query candidate order with
+        # no sort over the gathered pool.
+        pair_starts = np.concatenate([[0], np.cumsum(spans)[:-1]])
+        qidx = np.repeat(np.arange(nq, dtype=np.intp), spans)
+        rel_col = np.arange(n_pairs, dtype=np.intp) - np.repeat(pair_starts, spans)
+        cx = cx0[qidx] + rel_col
+        # Cells (cx, cy0..cy1) are contiguous in the flat layout.
+        lo = self._start[cx * self._ny + cy0[qidx]]
+        hi = self._start[cx * self._ny + cy1[qidx] + 1]
+        lengths = hi - lo
+        total = int(lengths.sum())
+        if total == 0:
+            return empty, np.zeros(nq + 1, dtype=np.intp)
+        # The pool can reach millions of entries; 32-bit positions halve the
+        # memory traffic of the expansion whenever they suffice.
+        pool_dtype = np.int32 if total < np.iinfo(np.int32).max else np.intp
+        out_start = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        pos = np.arange(total, dtype=pool_dtype)
+        pos += np.repeat((lo - out_start).astype(pool_dtype), lengths)
+        owners = np.repeat(qidx.astype(pool_dtype), lengths)
+
+        # Same hypot-exact filter as the scalar path, evaluated on the
+        # pre-permuted coordinate arrays so the pool is filtered before
+        # any point-index gather.
+        qx = np.ascontiguousarray(q[:, 0])
+        qy = np.ascontiguousarray(q[:, 1])
+        dx = self._xord[pos]
+        dx -= qx[owners]
+        dy = self._yord[pos]
+        dy -= qy[owners]
+        keep = _disk_keep(dx, dy, radius)
+        points = self._order[pos[keep]]
+        owners = owners[keep]
+        offsets = np.zeros(nq + 1, dtype=np.intp)
+        np.cumsum(np.bincount(owners, minlength=nq), out=offsets[1:])
+        return points.astype(np.intp, copy=False), offsets
 
     def query_box(self, box: BBox) -> np.ndarray:
         """Indices of points inside *box* (inclusive boundaries)."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
 from repro.core.clock import SimulatedClock
@@ -222,7 +223,9 @@ def simulate_sessions(
             if 0 < second.timestamp - first.timestamp <= max_link_gap_s
         )
         for release in releases:
-            outcome = region_attack.run(np.asarray(release.frequency_vector), radius)
+            outcome = region_attack.run(
+                Release(np.asarray(release.frequency_vector), radius)
+            )
             true_location = _true_location(by_time, uid, release.timestamp)
             if outcome.success and outcome.locates(true_location):
                 exposed_single.add(uid)

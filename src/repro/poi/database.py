@@ -87,8 +87,15 @@ class POIDatabase:
             np.flatnonzero(type_ids == t) for t in range(len(vocabulary))
         ]
         # Freq evaluated at a POI is re-used heavily by the attacks (every
-        # candidate pruning step asks for Freq(p, 2r)); memoise those.
-        self._poi_freq_cache: dict[tuple[int, float], np.ndarray] = {}
+        # candidate pruning step asks for Freq(p, 2r)); memoise those as one
+        # (n_pois, M) anchor matrix per queried radius, filled lazily in
+        # vectorized batches (see :meth:`anchor_freqs`).
+        self._anchor_matrices: dict[float, np.ndarray] = {}
+        self._anchor_ready: dict[float, np.ndarray] = {}
+        # Radius-independent 2-D prefix sums of per-cell type histograms,
+        # backing the sound Freq bounds (:meth:`freq_bounds`).
+        self._cell_prefix: np.ndarray | None = None
+        self._bound_matrices: dict[tuple[float, str], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -170,25 +177,203 @@ class POIDatabase:
         idx = self.query(center, radius)
         return np.bincount(self._types[idx], minlength=self.n_types).astype(np.int64)
 
-    def freq_at_poi(self, poi_index: int, radius: float) -> np.ndarray:
-        """Memoised ``Freq`` evaluated at a POI's own location.
+    def query_batch(self, xy, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """``Query(l, r)`` for many locations in one vectorized pass.
+
+        Accepts an ``(n, 2)`` coordinate array or a sequence of
+        :class:`~repro.geo.point.Point`; returns ``(indices, offsets)`` in
+        CSR layout — the POIs within *radius* of location ``i`` are
+        ``indices[offsets[i]:offsets[i + 1]]``, exactly as :meth:`query`
+        would return them.
+        """
+        return self._index.query_batch(self._as_coords(xy), radius)
+
+    def freq_batch(self, xy, radius: float) -> np.ndarray:
+        """``Freq(l, r)`` for many locations at once, as an ``(n, M)`` matrix.
+
+        Bit-identical to stacking :meth:`freq` per location, but answered by
+        the batched grid gather plus one vectorized histogram per chunk
+        instead of a Python loop.  Queries are chunked so the intermediate
+        candidate pool stays within a fixed memory budget regardless of the
+        batch size or radius.
+        """
+        coords = self._as_coords(xy)
+        n, m = len(coords), self.n_types
+        out = np.zeros((n, m), dtype=np.int64)
+        if n == 0 or len(self._xy) == 0:
+            return out
+        # Estimated candidates per query from the city's POI density bounds
+        # the gather pool to ~4M entries per chunk.
+        area = max(self._index.bounds.width * self._index.bounds.height, 1.0)
+        density = len(self._xy) / area
+        side = 2 * radius + 2 * self._index.cell_size
+        est = max(1.0, density * side * side)
+        chunk = int(min(n, max(64, 4_000_000 / est)))
+        for start in range(0, n, chunk):
+            block = coords[start : start + chunk]
+            idx, offsets = self._index.query_batch(block, radius)
+            owners = np.repeat(np.arange(len(block)), np.diff(offsets))
+            flat = owners * m + self._types[idx]
+            out[start : start + len(block)] = np.bincount(
+                flat, minlength=len(block) * m
+            ).reshape(len(block), m)
+        return out
+
+    def anchor_freqs(self, radius: float, indices=None) -> np.ndarray:
+        """The anchor frequency matrix: ``Freq(p_i, radius)`` for POIs ``p_i``.
 
         The attacks evaluate ``Freq(p, 2r)`` for every candidate anchor POI
-        ``p``; those anchors repeat across targets, so this cache removes
-        the dominant cost of large experiment sweeps.  The returned array is
-        shared — callers must not mutate it.
+        ``p``; those anchors repeat across targets, so the database keeps
+        one ``(n_pois, M)`` int64 matrix per queried radius and fills its
+        rows lazily in vectorized batches.  With *indices* (an array of POI
+        indices), only those rows are guaranteed computed and the
+        ``(len(indices), M)`` row block is returned; without it the full
+        matrix is materialised.  Returned arrays are read-only.
         """
-        key = (int(poi_index), float(radius))
-        cached = self._poi_freq_cache.get(key)
-        if cached is None:
-            cached = self.freq(self.location_of(poi_index), radius)
-            cached.flags.writeable = False
-            self._poi_freq_cache[key] = cached
-        return cached
+        mat, ready = self._anchor_state(radius)
+        if indices is None:
+            missing = np.flatnonzero(~ready)
+        else:
+            indices = np.asarray(indices, dtype=np.intp)
+            missing = np.unique(indices[~ready[indices]])
+        if len(missing):
+            mat[missing] = self.freq_batch(self._xy[missing], radius)
+            ready[missing] = True
+        block = mat if indices is None else mat[indices]
+        view = block.view()
+        view.flags.writeable = False
+        return view
+
+    def freq_bounds(self, radius: float, indices=None, side: str = "upper") -> np.ndarray:
+        """Sound elementwise bounds on ``Freq(p_i, radius)`` per POI.
+
+        With ``side="upper"``, the exact type histogram of every POI in the
+        grid cells a radius query at ``p_i`` would scan — a superset of the
+        disk, so every entry is ``>=`` the true ``Freq`` entry.  With
+        ``side="lower"``, the histogram of the cells certainly inside the
+        disk (the inscribed cell box), so every entry is ``<=`` the truth.
+
+        Both come from radius-independent 2-D prefix sums of per-cell type
+        histograms — four ``(n, M)`` gathers, no distance filtering — and
+        are cached per ``(radius, side)``.  The attacks sandwich candidate
+        anchors between the two: a vector the upper bound fails to dominate
+        cannot survive exact pruning, one the lower bound already dominates
+        certainly does, and only the band in between pays for exact
+        anchor-matrix rows.
+        """
+        if side not in ("upper", "lower"):
+            raise DatasetError(f"side must be 'upper' or 'lower', got {side!r}")
+        key = (float(radius), side)
+        mat = self._bound_matrices.get(key)
+        if mat is not None:
+            block = mat if indices is None else mat[indices]
+        elif indices is not None:
+            # Small row blocks are cheaper to recompute than a full-map
+            # matrix; only whole-map requests are worth caching.
+            block = self._bound_rows(self._xy[indices], radius, side)
+        else:
+            block = self._bound_matrices[key] = self._bound_rows(self._xy, radius, side)
+        view = block.view()
+        view.flags.writeable = False
+        return view
+
+    def _bound_rows(self, xy: np.ndarray, radius: float, side: str) -> np.ndarray:
+        """Evaluate one side of the Freq bounds at the given coordinates."""
+        pref = self._prefix()
+        if side == "upper":
+            cx0, cx1, cy0, cy1 = self._index.cell_ranges(xy, radius)
+        else:
+            cx0, cx1, cy0, cy1 = self._index.interior_cell_ranges(xy, radius)
+        ok = (cx1 >= cx0) & (cy1 >= cy0)
+        cx0 = np.where(ok, cx0, 0)
+        cx1 = np.where(ok, cx1, -1)
+        cy0 = np.where(ok, cy0, 0)
+        cy1 = np.where(ok, cy1, -1)
+        rows = (
+            pref[cx1 + 1, cy1 + 1]
+            - pref[cx0, cy1 + 1]
+            - pref[cx1 + 1, cy0]
+            + pref[cx0, cy0]
+        )
+        rows[~ok] = 0
+        return rows
+
+    def _prefix(self) -> np.ndarray:
+        """The zero-padded 2-D prefix sums of per-cell type histograms.
+
+        Depends only on the static POI set (like the grid index itself), so
+        it is built once and survives :meth:`clear_cache`.
+        """
+        pref = self._cell_prefix
+        if pref is None:
+            nx, ny = self._index.grid_shape
+            m = self.n_types
+            cx, cy = self._index.cells_of(self._xy)
+            hist = np.bincount(
+                (cx * ny + cy) * m + self._types, minlength=nx * ny * m
+            ).reshape(nx, ny, m)
+            # Counts are bounded by the POI total, so int32 suffices and
+            # halves the gather traffic of every bound evaluation.
+            pref = np.zeros((nx + 1, ny + 1, m), dtype=np.int32)
+            pref[1:, 1:] = hist.cumsum(axis=0).cumsum(axis=1)
+            self._cell_prefix = pref
+        return pref
+
+    def freq_at_poi(self, poi_index: int, radius: float) -> np.ndarray:
+        """``Freq`` evaluated at a POI's own location.
+
+        A thin read-only row view over :meth:`anchor_freqs`'s per-radius
+        matrix; single rows are filled on demand, batched callers should
+        warm the matrix with :meth:`anchor_freqs` first.  Callers must not
+        mutate the returned array.
+        """
+        mat, ready = self._anchor_state(radius)
+        i = int(poi_index)
+        if not ready[i]:
+            mat[i] = self.freq(self.location_of(i), radius)
+            ready[i] = True
+        row = mat[i].view()
+        row.flags.writeable = False
+        return row
 
     def clear_cache(self) -> None:
-        """Drop all memoised frequency vectors."""
-        self._poi_freq_cache.clear()
+        """Drop all memoised per-radius anchor frequency and bound matrices.
+
+        The radius-independent cell prefix sums are structural (a fixed
+        function of the POI set, like the grid index) and are kept.
+        """
+        self._anchor_matrices.clear()
+        self._anchor_ready.clear()
+        self._bound_matrices.clear()
+
+    def _anchor_state(self, radius: float) -> tuple[np.ndarray, np.ndarray]:
+        """The (matrix, row-computed mask) pair backing one cached radius."""
+        key = float(radius)
+        mat = self._anchor_matrices.get(key)
+        if mat is None:
+            # Counts are bounded by the POI total, so int32 rows halve the
+            # fill and gather traffic of the full (n_pois, M) matrix.
+            mat = np.zeros((len(self._xy), self.n_types), dtype=np.int32)
+            self._anchor_matrices[key] = mat
+            self._anchor_ready[key] = np.zeros(len(self._xy), dtype=bool)
+        return mat, self._anchor_ready[key]
+
+    @staticmethod
+    def _as_coords(xy) -> np.ndarray:
+        """Coerce an ``(n, 2)`` array or a sequence of Points to coordinates."""
+        if isinstance(xy, np.ndarray):
+            coords = np.asarray(xy, dtype=float)
+        else:
+            pts = list(xy)
+            if pts and isinstance(pts[0], Point):
+                coords = np.array([[p.x, p.y] for p in pts], dtype=float)
+            else:
+                coords = np.asarray(pts, dtype=float)
+        if coords.size == 0:
+            return coords.reshape(0, 2)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise DatasetError(f"expected (n, 2) coordinates, got shape {coords.shape}")
+        return coords
 
     # ------------------------------------------------------------------
     # City-level aggregates used by attacks and defenses

@@ -50,18 +50,29 @@ def validate_frequency_vector(
     return vector
 
 
-def dominates(big: np.ndarray, small: np.ndarray) -> bool:
-    """Element-wise ``big >= small``.
+def dominates(big: np.ndarray, small: np.ndarray) -> "bool | np.ndarray":
+    """Element-wise ``big >= small`` over the trailing (type) axis.
 
     The pruning rule of the region re-identification attack: a candidate
     anchor ``p`` survives iff ``Freq(p, 2r)`` dominates the reported
-    ``Freq(l, r)`` (paper §II-D step 4).
+    ``Freq(l, r)`` (paper §II-D step 4).  This is the *only* place the rule
+    lives; both the scalar and the batched attack paths call it.
+
+    Two ``(M,)`` vectors yield a plain ``bool``.  Stacked inputs broadcast
+    over the leading axes and reduce the trailing one — e.g. a ``(k, M)``
+    anchor matrix against an ``(M,)`` release gives a ``(k,)`` survivor
+    mask, and ``(1, k, M)`` against ``(g, 1, M)`` gives a ``(g, k)`` mask
+    for a whole release batch at once.
     """
     big = np.asarray(big)
     small = np.asarray(small)
-    if big.shape != small.shape:
+    if big.ndim == 1 and small.ndim == 1:
+        if big.shape != small.shape:
+            raise ValueError(f"shape mismatch: {big.shape} vs {small.shape}")
+        return bool(np.all(big >= small))
+    if big.shape[-1] != small.shape[-1]:
         raise ValueError(f"shape mismatch: {big.shape} vs {small.shape}")
-    return bool(np.all(big >= small))
+    return np.all(big >= small, axis=-1)
 
 
 def top_k_types(freq_vector: np.ndarray, k: int) -> frozenset[int]:

@@ -65,7 +65,11 @@ class TestQueries:
     def test_freq_at_poi_cache_is_reused_and_readonly(self, tiny_db):
         a = tiny_db.freq_at_poi(0, 250.0)
         b = tiny_db.freq_at_poi(0, 250.0)
-        assert a is b
+        np.testing.assert_array_equal(a, b)
+        # Both are views into the same per-radius anchor matrix.
+        matrix = tiny_db.anchor_freqs(250.0)
+        assert np.shares_memory(a, matrix)
+        assert np.shares_memory(b, matrix)
         with pytest.raises(ValueError):
             a[0] = 99
 

@@ -37,6 +37,7 @@ class TestDocsConsistency:
             "CONTRIBUTING.md",
             "docs/attacks.md",
             "docs/defenses.md",
+            "docs/performance.md",
             "docs/robustness.md",
         ],
     )
@@ -52,6 +53,7 @@ class TestDocsConsistency:
             "EXPERIMENTS.md",
             "CONTRIBUTING.md",
             "README.md",
+            "docs/performance.md",
             "docs/reproduction-notes.md",
             "docs/robustness.md",
         ],

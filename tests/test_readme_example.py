@@ -9,7 +9,11 @@ def test_readme_quickstart_executes():
     blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), flags=re.DOTALL)
     assert blocks, "README has no python code block"
     namespace: dict = {}
-    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)  # noqa: S102
+    # The batch-engine block continues from the quickstart's namespace.
+    for i, block in enumerate(blocks[:2]):
+        exec(compile(block, f"<README quickstart {i}>", "exec"), namespace)  # noqa: S102
     # The snippet defines the core objects it demonstrates.
     assert "db" in namespace and "released" in namespace
-    assert namespace["released"].shape == (namespace["db"].n_types,)
+    released = namespace["released"]
+    assert released.frequency_vector.shape == (namespace["db"].n_types,)
+    assert len(namespace["outcomes"]) == len(namespace["releases"])
