@@ -6,6 +6,8 @@ Examples::
     poiagg run fig6 --scale quick --out results/
     poiagg run all --scale ci --out results/ --keep-going
     poiagg run all --scale ci --out results/ --resume
+    poiagg run all --sharded --shard-timeout 1800 --shard-retries 2 \\
+        --out results/ --resume   # supervised shards, shard-level resume
 
 Exit codes (for ``run``): 0 — every experiment succeeded (or was skipped
 via a matching checkpoint); 1 — at least one experiment failed; 2 — the
@@ -83,6 +85,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the experiment across N processes (where it has a shard axis)",
     )
     run.add_argument(
+        "--sharded",
+        action="store_true",
+        help=(
+            "shard experiments across processes under supervision "
+            "(auto worker count: min(#shards, #cpus)); implied by --jobs > 1"
+        ),
+    )
+    run.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-shard wall-clock timeout; a worker running past it is "
+            "killed and the shard retried on a fresh process"
+        ),
+    )
+    run.add_argument(
+        "--shard-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "extra attempts per shard after the first, each on a fresh "
+            "worker (default 1; 0 disables retries)"
+        ),
+    )
+    run.add_argument(
+        "--serial-fallback",
+        action="store_true",
+        help=(
+            "if a shard's workers keep crashing, re-run that shard "
+            "serially in this process instead of failing the experiment"
+        ),
+    )
+    run.add_argument(
         "--svg",
         type=Path,
         default=None,
@@ -140,14 +178,33 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        print("poiagg run: --shard-timeout must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    if args.shard_retries < 0:
+        print("poiagg run: --shard-retries must be non-negative", file=sys.stderr)
+        return EXIT_USAGE
+    if args.jobs < 1:
+        print("poiagg run: --jobs must be at least 1", file=sys.stderr)
+        return EXIT_USAGE
 
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_seed(args.seed)
+    sharded = args.sharded or args.jobs > 1
 
     def run_fn(experiment_id, run_scale):
-        if args.jobs > 1 and experiment_id in SHARD_AXES:
-            return run_sharded(experiment_id, run_scale, max_workers=args.jobs)
+        if sharded and experiment_id in SHARD_AXES:
+            return run_sharded(
+                experiment_id,
+                run_scale,
+                max_workers=args.jobs if args.jobs > 1 else None,
+                timeout_s=args.shard_timeout,
+                retries=args.shard_retries,
+                serial_fallback=args.serial_fallback,
+                out=args.out,
+                resume=args.resume,
+            )
         return run_experiment(experiment_id, run_scale)
 
     def after(run) -> None:

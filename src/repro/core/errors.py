@@ -65,6 +65,22 @@ class CircuitOpenError(ReproError):
     """A call was refused because the guarding circuit breaker is open."""
 
 
+class ShardError(ReproError):
+    """A shard of a sharded experiment failed terminally.
+
+    Raised by :mod:`repro.experiments.parallel` when a worker process
+    raises, crashes, or times out past its retry budget.  Carries the
+    failing shard's value and, for supervised runs, the full list of
+    per-shard :class:`~repro.experiments.supervisor.ShardReport` records
+    so callers can tell which shards completed before the failure.
+    """
+
+    def __init__(self, message: str, *, shard: object = None, reports: "list | None" = None):
+        super().__init__(message)
+        self.shard = shard
+        self.reports = list(reports) if reports else []
+
+
 class ReleaseValidationError(ReproError):
     """A released frequency vector violates the release contract.
 

@@ -1,10 +1,22 @@
 """Experiment runners — one per figure of the paper's evaluation."""
 
-from repro.experiments.parallel import DEFAULT_SHARDS, SHARD_AXES, run_sharded
+from repro.experiments.parallel import (
+    DEFAULT_SHARDS,
+    SHARD_AXES,
+    SHARD_SPECS,
+    ShardAxis,
+    run_sharded,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.report import collect_results, render_markdown_report, write_report
 from repro.experiments.results import ExperimentResult, render_table
 from repro.experiments.scale import DEFAULT_SEED, SCALES, ExperimentScale, get_scale
+from repro.experiments.supervisor import (
+    ShardPolicy,
+    ShardReport,
+    WorkerFaultPlan,
+    supervise_shards,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -12,7 +24,13 @@ __all__ = [
     "run_experiment",
     "run_sharded",
     "SHARD_AXES",
+    "SHARD_SPECS",
+    "ShardAxis",
     "DEFAULT_SHARDS",
+    "ShardPolicy",
+    "ShardReport",
+    "WorkerFaultPlan",
+    "supervise_shards",
     "ExperimentResult",
     "render_table",
     "collect_results",

@@ -16,19 +16,42 @@ Within each shard the runners use the vectorized batch engine
 :meth:`~repro.attacks.region.RegionAttack.run_batch`), so sharding
 composes with batching: processes split the coarse dataset/city axis
 while numpy handles the per-target fan-out inside each process.
+
+Two execution modes share the merge logic:
+
+* the **plain pool** (default) — a ``ProcessPoolExecutor`` that fails
+  fast: the first shard failure cancels the outstanding shards and is
+  re-raised as a :class:`~repro.core.errors.ShardError` naming the shard;
+* the **supervised** mode (:mod:`repro.experiments.supervisor`) — used
+  whenever a timeout, retry budget, serial fallback, checkpoint
+  directory, resume, or fault plan is requested.  It adds per-shard
+  wall-clock timeouts with hung-worker replacement, bounded retries on
+  fresh workers, crash isolation, atomic per-shard checkpoints with
+  shard-level resume, and a JSONL heartbeat journal; per-shard
+  :class:`~repro.experiments.supervisor.ShardReport` records land in the
+  merged result's ``provenance``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
 
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, ShardError
 from repro.experiments.registry import get_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
+from repro.experiments.supervisor import ShardPolicy, supervise_shards
 
-__all__ = ["run_sharded", "SHARD_AXES", "DEFAULT_SHARDS"]
+__all__ = [
+    "run_sharded",
+    "resolve_max_workers",
+    "ShardAxis",
+    "SHARD_SPECS",
+    "SHARD_AXES",
+    "DEFAULT_SHARDS",
+]
 
 #: Default shard values per axis (the full evaluation menus).
 DEFAULT_SHARDS: dict[str, tuple] = {
@@ -36,18 +59,42 @@ DEFAULT_SHARDS: dict[str, tuple] = {
     "city_names": ("beijing", "nyc"),
 }
 
-#: The natural shard axis per experiment (the kwarg holding a sequence).
-SHARD_AXES: dict[str, str] = {
-    "fig2": "city_names",
-    "fig3": "city_names",
-    "fig4": "datasets",
-    "fig5": "datasets",
-    "fig6": "datasets",
-    "fig7": "datasets",
-    "fig9_10": "datasets",
-    "fig11_12": "datasets",
-    "uniqueness": "city_names",
+
+@dataclass(frozen=True)
+class ShardAxis:
+    """How one experiment shards: the kwarg it splits on and its menu."""
+
+    param: str
+    shards: tuple
+
+
+#: The shard axis *and* default shard menu per experiment — the single
+#: source of truth for what ``run_sharded`` does without explicit shards.
+#: fig9_10/fig11_12 evaluate the two real-trace datasets only (the paper
+#: runs the ML recovery and DP sweeps on T-drive and Foursquare).
+SHARD_SPECS: dict[str, ShardAxis] = {
+    "fig2": ShardAxis("city_names", DEFAULT_SHARDS["city_names"]),
+    "fig3": ShardAxis("city_names", DEFAULT_SHARDS["city_names"]),
+    "fig4": ShardAxis("datasets", DEFAULT_SHARDS["datasets"]),
+    "fig5": ShardAxis("datasets", DEFAULT_SHARDS["datasets"]),
+    "fig6": ShardAxis("datasets", DEFAULT_SHARDS["datasets"]),
+    "fig7": ShardAxis("datasets", DEFAULT_SHARDS["datasets"]),
+    "fig9_10": ShardAxis("datasets", ("bj_tdrive", "nyc_foursquare")),
+    "fig11_12": ShardAxis("datasets", ("bj_tdrive", "nyc_foursquare")),
+    "uniqueness": ShardAxis("city_names", DEFAULT_SHARDS["city_names"]),
 }
+
+#: Back-compat view: the natural shard axis per experiment.
+SHARD_AXES: dict[str, str] = {k: v.param for k, v in SHARD_SPECS.items()}
+
+
+def resolve_max_workers(max_workers: "int | None", n_shards: int) -> int:
+    """The documented pool-size default: ``min(n_shards, os.cpu_count())``."""
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be at least 1, got {max_workers}")
+        return max_workers
+    return max(1, min(n_shards, os.cpu_count() or 1))
 
 
 def _run_shard(
@@ -64,12 +111,58 @@ def _run_shard(
     return asdict(result)
 
 
+def _run_pool(
+    experiment_id: str,
+    scale: ExperimentScale,
+    shards,
+    shard_param: str,
+    max_workers: int,
+    kwargs: dict,
+) -> list[dict]:
+    """Plain pool: fail fast, cancel the rest, name the failing shard."""
+    scale_fields = asdict(scale)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(_run_shard, experiment_id, scale_fields, shard_param, v, kwargs): v
+            for v in shards
+        }
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in done:
+            exc = future.exception()
+            if exc is not None:
+                for other in futures:
+                    other.cancel()
+                raise ShardError(
+                    f"shard {shard_param}={futures[future]!r} of {experiment_id!r} "
+                    f"failed: {type(exc).__name__}: {exc}",
+                    shard=futures[future],
+                ) from exc
+        return [future.result() for future in futures]  # dict order == shard order
+
+
+def _merge(partials: list[dict], shards, shard_param: str) -> ExperimentResult:
+    merged = ExperimentResult(**partials[0])
+    merged.config[shard_param] = list(shards)
+    for part in partials[1:]:
+        merged.rows.extend(part["rows"])
+    return merged
+
+
 def run_sharded(
     experiment_id: str,
     scale: ExperimentScale,
     shards=None,
     shard_param: "str | None" = None,
     max_workers: "int | None" = None,
+    *,
+    timeout_s: "float | None" = None,
+    retries: int = 0,
+    serial_fallback: bool = False,
+    out=None,
+    resume: bool = False,
+    supervised: "bool | None" = None,
+    policy: "ShardPolicy | None" = None,
+    fault_plan=None,
     **kwargs,
 ) -> ExperimentResult:
     """Run *experiment_id* split along its shard axis across processes.
@@ -77,43 +170,104 @@ def run_sharded(
     Parameters
     ----------
     shards:
-        The shard values (e.g. dataset names); ``None`` uses the full
-        default menu for the experiment's axis (:data:`DEFAULT_SHARDS`).
-        Note fig9_10/fig11_12 evaluate two datasets only; pass those
-        explicitly when sharding them.
+        The shard values (e.g. dataset names); ``None`` uses the
+        experiment's default menu from :data:`SHARD_SPECS` (which encodes
+        that fig9_10/fig11_12 evaluate two datasets only).
     shard_param:
         The runner kwarg the shards feed; defaults per
-        :data:`SHARD_AXES`.
+        :data:`SHARD_SPECS`.
     max_workers:
         Process pool size; defaults to ``min(len(shards), os.cpu_count())``.
+    timeout_s / retries / serial_fallback:
+        Supervision knobs (see :class:`~repro.experiments.supervisor.ShardPolicy`):
+        per-attempt wall-clock timeout, extra attempts per shard on fresh
+        workers, and re-running a crash-looping shard in this process.
+    out / resume:
+        Output directory for per-shard checkpoints and the JSONL journal
+        (``<out>/.checkpoints/``); ``resume=True`` re-runs only shards
+        without a matching checkpoint, bit-identical to an uninterrupted
+        run.
+    supervised:
+        Force (``True``) or forbid (``False``) the supervised engine;
+        ``None`` picks it automatically when any supervision option is
+        used.
+    policy / fault_plan:
+        Full :class:`~repro.experiments.supervisor.ShardPolicy` override
+        and the chaos-testing
+        :class:`~repro.experiments.supervisor.WorkerFaultPlan`.
+
+    A terminal shard failure raises :class:`~repro.core.errors.ShardError`;
+    in supervised mode the exception carries every shard's report and the
+    completed shards' checkpoints survive for ``resume``.
     """
     if shard_param is None:
-        shard_param = SHARD_AXES.get(experiment_id)
-        if shard_param is None:
+        spec = SHARD_SPECS.get(experiment_id)
+        if spec is None:
             raise ConfigError(
                 f"experiment {experiment_id!r} has no default shard axis; "
                 f"pass shard_param explicitly"
             )
+        shard_param = spec.param
     if shards is None:
-        if experiment_id in ("fig9_10", "fig11_12"):
-            shards = ("bj_tdrive", "nyc_foursquare")
+        spec = SHARD_SPECS.get(experiment_id)
+        if spec is not None and spec.param == shard_param:
+            shards = spec.shards
         else:
             shards = DEFAULT_SHARDS.get(shard_param)
     if not shards:
         raise ConfigError("run_sharded needs a non-empty list of shard values")
     get_experiment(experiment_id)  # validate the id before spawning workers
 
-    scale_fields = asdict(scale)
-    partials: list[dict] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_run_shard, experiment_id, scale_fields, shard_param, v, kwargs)
-            for v in shards
-        ]
-        partials = [f.result() for f in futures]
+    shards = tuple(shards)
+    max_workers = resolve_max_workers(max_workers, len(shards))
+    if supervised is None:
+        supervised = any(
+            (timeout_s is not None, retries, serial_fallback, out is not None,
+             resume, policy is not None, fault_plan is not None)
+        )
 
-    merged = ExperimentResult(**partials[0])
-    merged.config[shard_param] = list(shards)
-    for part in partials[1:]:
-        merged.rows.extend(part["rows"])
+    if not supervised:
+        partials = _run_pool(experiment_id, scale, shards, shard_param, max_workers, kwargs)
+        merged = _merge(partials, shards, shard_param)
+        merged.provenance["sharding"] = {
+            "mode": "pool",
+            "shard_param": shard_param,
+            "max_workers": max_workers,
+        }
+        return merged
+
+    if policy is None:
+        policy = ShardPolicy(
+            timeout_s=timeout_s, retries=retries, serial_fallback=serial_fallback
+        )
+    partials, reports = supervise_shards(
+        experiment_id,
+        scale,
+        shards,
+        shard_param,
+        kwargs,
+        max_workers=max_workers,
+        policy=policy,
+        out=out,
+        resume=resume,
+        fault_plan=fault_plan,
+    )
+    failed = [r for r in reports if not r.ok]
+    if failed:
+        worst = failed[0]
+        raise ShardError(
+            f"{len(failed)}/{len(reports)} shards of {experiment_id!r} failed "
+            f"terminally; first: {shard_param}={worst.shard!r} "
+            f"[{worst.status} after {worst.attempts} attempt(s)]: {worst.error}",
+            shard=worst.shard,
+            reports=reports,
+        )
+    merged = _merge(partials, shards, shard_param)
+    merged.provenance["sharding"] = {
+        "mode": "supervised",
+        "shard_param": shard_param,
+        "max_workers": max_workers,
+        "policy": asdict(policy),
+        "shards": [asdict(r) for r in reports],
+    }
     return merged

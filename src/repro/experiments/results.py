@@ -23,6 +23,11 @@ class ExperimentResult:
     config: dict = field(default_factory=dict)
     rows: list[dict] = field(default_factory=list)
     notes: str = ""
+    #: Execution metadata that is *not* part of the scientific result:
+    #: how the rows were produced (sharding layout, per-shard supervision
+    #: reports, resume information).  Rows are compared bit-for-bit across
+    #: serial/sharded/resumed runs; provenance is allowed to differ.
+    provenance: dict = field(default_factory=dict)
 
     def add_row(self, **values) -> None:
         """Append one result row."""

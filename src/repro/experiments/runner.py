@@ -13,6 +13,12 @@ semantics:
   the requested ``(experiment, scale, seed)``, so a crashed 10-experiment
   batch restarts at the first incomplete one.
 
+Supervised sharded runs (:mod:`repro.experiments.supervisor`) compose
+with this from below: they checkpoint each completed *shard* under
+``<out>/.checkpoints/shards/``, so an experiment that dies mid-sweep
+resumes at the first incomplete shard; once the experiment itself
+checkpoints here, its shard checkpoints are cleared as subsumed.
+
 Exit codes are part of the CLI contract: ``0`` all experiments succeeded
 (or were skipped via a checkpoint), ``1`` at least one failed, ``2`` the
 invocation itself was bad (unknown experiment, ``--resume`` without
@@ -109,7 +115,9 @@ def write_checkpoint(path: Path, payload: dict) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=2))
+    # default=float: shard checkpoints embed result rows, which may hold
+    # numpy scalars; json round-trips their repr exactly.
+    tmp.write_text(json.dumps(payload, indent=2, default=float))
     os.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
     return path
 
@@ -206,6 +214,13 @@ def run_many(
                         "completed_at": time.time(),
                     },
                 )
+                # The experiment-level checkpoint subsumes any per-shard
+                # checkpoints a supervised run_sharded left behind; drop
+                # them so a later sweep cannot resume from stale partials.
+                # (Function-level import: supervisor imports this module.)
+                from repro.experiments.supervisor import clear_shard_checkpoints
+
+                clear_shard_checkpoints(out, experiment_id, scale)
             run = ExperimentRun(experiment_id, "ok", elapsed_s=elapsed, result=result)
         summary.runs.append(run)
         if after is not None:

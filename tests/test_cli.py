@@ -53,6 +53,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig4", "--scale", "galactic"])
 
+    def test_shard_supervision_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "fig4", "--sharded", "--shard-timeout", "1800",
+                "--shard-retries", "2", "--serial-fallback",
+            ]
+        )
+        assert args.sharded is True
+        assert args.shard_timeout == 1800.0
+        assert args.shard_retries == 2
+        assert args.serial_fallback is True
+
+    def test_shard_supervision_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.sharded is False
+        assert args.shard_timeout is None
+        assert args.shard_retries == 1
+        assert args.serial_fallback is False
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -74,6 +93,24 @@ class TestMain:
     def test_resume_without_out_exits_2(self, capsys):
         assert main(["run", "datasets", "--resume"]) == 2
         assert "--out" in capsys.readouterr().err
+
+    def test_nonpositive_shard_timeout_exits_2(self, capsys):
+        assert main(["run", "datasets", "--shard-timeout", "0"]) == 2
+        assert "--shard-timeout" in capsys.readouterr().err
+
+    def test_negative_shard_retries_exits_2(self, capsys):
+        assert main(["run", "datasets", "--shard-retries", "-1"]) == 2
+        assert "--shard-retries" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_exits_2(self, capsys):
+        assert main(["run", "datasets", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sharded_flag_is_harmless_without_a_shard_axis(self, capsys):
+        # 'datasets' has no shard axis: --sharded must fall back to the
+        # serial runner without changing behaviour or exit code.
+        assert main(["run", "datasets", "--sharded", "--shard-timeout", "60"]) == 0
+        assert "beijing POIs" in capsys.readouterr().out
 
     def test_run_with_chart_flag(self, capsys):
         # 'datasets' has no chart: the flag must not crash or change exit.
