@@ -14,6 +14,7 @@ risk at the epsilon range the paper studies.
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
 from repro.datasets.targets import sample_targets
@@ -51,7 +52,7 @@ def _evaluate(bench_scale):
             jaccards = []
             for target, original in zip(targets, originals):
                 released = defense.release(db, target, _RADIUS, rng)
-                outcome = attack.run(released, _RADIUS)
+                outcome = attack.run(Release(released, _RADIUS))
                 if outcome.success and outcome.locates(target):
                     n_correct += 1
                 jaccards.append(top_k_jaccard(original, released))

@@ -13,6 +13,7 @@ speed bound is sound, so the chain keeps the no-false-negative property).
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.attacks.tracker import ContinuousTracker, TimedRelease
 from repro.core.rng import derive_rng
@@ -50,7 +51,9 @@ def _evaluate(bench_scale):
     n_indep = 0
     for _, releases in traces:
         for release in releases:
-            n_indep += attack.run(np.asarray(release.frequency_vector), _RADIUS).success
+            n_indep += attack.run(
+                Release(np.asarray(release.frequency_vector), _RADIUS)
+            ).success
     result.add_row(method="independent", unique_steps=n_indep, step_rate=n_indep / n_steps)
 
     stats = {}

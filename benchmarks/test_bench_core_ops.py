@@ -75,7 +75,9 @@ def test_bench_optimizer(benchmark, setup):
 
 
 def test_bench_planar_laplace(benchmark):
-    mech = PlanarLaplace(0.1)
+    # Raw-mechanism throughput benchmark: it deliberately measures the
+    # mechanism alone, with no release path to account for.
+    mech = PlanarLaplace(0.1)  # poiagg: disable=PL002
     rng = np.random.default_rng(0)
     from repro.geo.point import Point
 

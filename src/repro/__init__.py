@@ -17,16 +17,17 @@ The package is organised by layer:
   k-cloaking, the optimization-based release, and the DP release mechanism.
 * :mod:`repro.experiments` — one runner per figure of the paper.
 
-Quickstart::
+Quickstart (seed discipline included: generators derive from the
+experiment seed via :mod:`repro.core.rng`, per lint rule PL001)::
 
-    import numpy as np
+    from repro.attacks import RegionAttack, Release
+    from repro.core.rng import derive_rng
     from repro.poi import beijing
-    from repro.attacks import RegionAttack
 
     city = beijing()
     db = city.database
-    target = city.interior(1000.0).sample_point(np.random.default_rng(0))
-    outcome = RegionAttack(db).run(db.freq(target, 1000.0), 1000.0)
+    target = city.interior(2000.0).sample_point(derive_rng(1, "quickstart"))
+    outcome = RegionAttack(db).run(Release(db.freq(target, 2000.0), 2000.0))
     print(outcome.success, outcome.region)
 """
 

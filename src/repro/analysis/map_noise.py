@@ -26,7 +26,7 @@ import numpy as np
 from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.geo.point import Point
 from repro.poi.database import POIDatabase
 
@@ -37,7 +37,7 @@ def degrade_map(
     database: POIDatabase,
     drop_fraction: float = 0.0,
     move_sigma_m: float = 0.0,
-    rng=None,
+    rng: RngLike = None,
 ) -> POIDatabase:
     """Return a degraded copy of *database* (the attacker's stale map)."""
     if not 0.0 <= drop_fraction < 1.0:
@@ -87,7 +87,7 @@ def attack_with_degraded_map(
     radius: float,
     drop_fraction: float = 0.0,
     move_sigma_m: float = 0.0,
-    rng=None,
+    rng: RngLike = None,
 ) -> MapNoiseResult:
     """Release from the true map, attack with a degraded copy.
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.geo.bbox import BBox
 from repro.poi.database import POIDatabase
 
@@ -35,7 +35,7 @@ def uniqueness_rate(
     radius: float,
     n_samples: int = 500,
     bounds: "BBox | None" = None,
-    rng=None,
+    rng: RngLike = None,
 ) -> float:
     """Fraction of sampled locations that are uniquely re-identifiable.
 
@@ -125,7 +125,7 @@ def anchor_statistics(
     radius: float,
     n_samples: int = 500,
     bounds: "BBox | None" = None,
-    rng=None,
+    rng: RngLike = None,
 ) -> AnchorStatistics:
     """Profile the anchor types of successful attacks.
 

@@ -55,7 +55,9 @@ class Release:
     timestamp: "float | None" = None
 
 
-def coerce_release(release, radius: "float | None" = None, *, caller: str) -> Release:
+def coerce_release(
+    release: "Release | np.ndarray", radius: "float | None" = None, *, caller: str
+) -> Release:
     """Normalise the unified and the legacy ``run`` calling conventions.
 
     New-style callers pass a single :class:`Release`.  Legacy callers pass

@@ -38,6 +38,7 @@ from repro.geo.point import Point
 from repro.geo.region import DiskIntersection
 from repro.poi.database import POIDatabase
 from repro.poi.frequency import dominates
+from repro.core.rng import RngLike
 
 __all__ = ["FineGrainedAttack", "FineGrainedOutcome"]
 
@@ -70,14 +71,14 @@ class FineGrainedOutcome:
         constraints = tuple(Disk(self._db.location_of(a), self.radius) for a in use)
         return DiskIntersection(base_disk, constraints)
 
-    def search_area_m2(self, n_aux: "int | None" = None, n_samples: int = 20_000, rng=None) -> float:
+    def search_area_m2(self, n_aux: "int | None" = None, n_samples: int = 20_000, rng: RngLike = None) -> float:
         """Monte-Carlo search area in square meters; NaN when unsuccessful."""
         region = self.region(n_aux)
         if region is None:
             return float("nan")
         return region.area(n_samples=n_samples, rng=rng)
 
-    def point_estimate(self, n_samples: int = 20_000, rng=None) -> "Point | None":
+    def point_estimate(self, n_samples: int = 20_000, rng: RngLike = None) -> "Point | None":
         """The attacker's best single guess: the feasible region's centroid."""
         region = self.region()
         if region is None:
@@ -99,7 +100,7 @@ class FineGrainedAttack:
         max_aux: int = 20,
         consistent_anchors: bool = False,
         sound_only: bool = False,
-    ):
+    ) -> None:
         """
         Parameters
         ----------

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.defense.base import Defense, NoDefense
 from repro.geo.point import Point
 from repro.poi.database import POIDatabase
@@ -66,7 +66,7 @@ def evaluate_region_attack(
     targets: Sequence[Point],
     radius: float,
     defense: "Defense | None" = None,
-    rng=None,
+    rng: RngLike = None,
     attack: "RegionAttack | None" = None,
 ) -> AttackEvaluation:
     """Run the region attack on each target's (defended) release.

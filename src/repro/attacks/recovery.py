@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import AttackError, NotFittedError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.defense.sanitization import Sanitizer
 from repro.geo.bbox import BBox
 from repro.ml.metrics import accuracy_score
@@ -78,7 +78,7 @@ class SanitizationRecoveryAttack:
         C: float = 5.0,
         limit_types: "int | None" = None,
         model: str = "svc",
-    ):
+    ) -> None:
         if model not in ("svc", "naive_bayes"):
             raise AttackError(f"unknown recovery model {model!r}")
         self._db = database
@@ -123,7 +123,7 @@ class SanitizationRecoveryAttack:
         radius: float,
         n_train: int = 800,
         n_validation: int = 200,
-        rng=None,
+        rng: RngLike = None,
         bounds: "BBox | None" = None,
     ) -> RecoveryTrainingReport:
         """Generate training data and train one model per sanitized type.

@@ -62,7 +62,7 @@ class RegionAttack:
         automatic failure without the quadratic pruning cost.
     """
 
-    def __init__(self, database: POIDatabase, max_candidates: int = 4_000):
+    def __init__(self, database: POIDatabase, max_candidates: int = 4_000) -> None:
         if max_candidates <= 0:
             raise AttackError(f"max_candidates must be positive, got {max_candidates}")
         self._db = database

@@ -88,7 +88,7 @@ class ContinuousTracker:
         against later survivors.
     """
 
-    def __init__(self, database: POIDatabase, max_speed_mps: float = 35.0, smooth: bool = True):
+    def __init__(self, database: POIDatabase, max_speed_mps: float = 35.0, smooth: bool = True) -> None:
         if max_speed_mps <= 0:
             raise AttackError(f"max_speed_mps must be positive, got {max_speed_mps}")
         self._db = database

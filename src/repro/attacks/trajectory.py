@@ -62,7 +62,7 @@ class DistanceRegressor:
     band.
     """
 
-    def __init__(self, regressor: "KernelRidge | None" = None):
+    def __init__(self, regressor: "KernelRidge | None" = None) -> None:
         self._model = regressor if regressor is not None else KernelRidge(alpha=0.5)
         self._scaler: "StandardScaler | None" = None
         self._hour_enc = OneHotEncoder(24)
@@ -141,7 +141,7 @@ class TrajectoryAttack:
         database: POIDatabase,
         regressor: DistanceRegressor,
         min_tolerance_m: float = 100.0,
-    ):
+    ) -> None:
         self._db = database
         self._region_attack = RegionAttack(database)
         self._regressor = regressor

@@ -20,9 +20,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.scale import SCALES, get_scale
+
+if TYPE_CHECKING:
+    from repro.experiments.results import ExperimentResult
+    from repro.experiments.runner import ExperimentRun
+    from repro.experiments.scale import ExperimentScale
+    from repro.poi.cities import City
 
 __all__ = ["main", "build_parser"]
 
@@ -154,10 +161,25 @@ def build_parser() -> argparse.ArgumentParser:
     uniq.add_argument("--radius", type=float, default=2_000.0)
     uniq.add_argument("--cell", type=float, default=2_000.0, help="map cell size in meters")
     uniq.add_argument("--seed", type=int, default=None)
+
+    check = sub.add_parser(
+        "check",
+        help="run the PL invariant linter over first-party code",
+        description=(
+            "AST-based invariant linter (rules PL001-PL006): seed "
+            "discipline, DP accounting, Freq dtype/hypot discipline, "
+            "picklable shard workers, wall-clock-free experiment paths, "
+            "no deprecated attack shims. Exit codes: 0 = clean, "
+            "1 = violations, 2 = bad invocation."
+        ),
+    )
+    from repro.lint.cli import add_check_arguments
+
+    add_check_arguments(check)
     return parser
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import SHARD_AXES, run_sharded
     from repro.experiments.registry import run_experiment
     from repro.experiments.runner import EXIT_USAGE, run_many
@@ -193,7 +215,7 @@ def _cmd_run(args) -> int:
         scale = scale.with_seed(args.seed)
     sharded = args.sharded or args.jobs > 1
 
-    def run_fn(experiment_id, run_scale):
+    def run_fn(experiment_id: str, run_scale: ExperimentScale) -> ExperimentResult:
         if sharded and experiment_id in SHARD_AXES:
             return run_sharded(
                 experiment_id,
@@ -207,7 +229,7 @@ def _cmd_run(args) -> int:
             )
         return run_experiment(experiment_id, run_scale)
 
-    def after(run) -> None:
+    def after(run: ExperimentRun) -> None:
         if run.status == "skipped":
             print(f"[{run.experiment_id} skipped: already checkpointed]")
             return
@@ -267,10 +289,14 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_attack(args)
     if args.command == "uniqueness":
         return _cmd_uniqueness(args)
+    if args.command == "check":
+        from repro.lint.cli import run_check
+
+        return run_check(args)
     return 2
 
 
-def _city_for(args):
+def _city_for(args: argparse.Namespace) -> City:
     from repro.experiments.scale import DEFAULT_SEED
     from repro.poi.cities import CITY_BUILDERS
 
@@ -278,7 +304,7 @@ def _city_for(args):
     return CITY_BUILDERS[args.city](seed)
 
 
-def _cmd_attack(args) -> int:
+def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.attacks.base import Release
     from repro.attacks.fine_grained import FineGrainedAttack
     from repro.attacks.region import RegionAttack
@@ -313,7 +339,7 @@ def _cmd_attack(args) -> int:
     return 0
 
 
-def _cmd_uniqueness(args) -> int:
+def _cmd_uniqueness(args: argparse.Namespace) -> int:
     from repro.analysis import anchor_statistics, uniqueness_map
     from repro.core.rng import derive_rng
 

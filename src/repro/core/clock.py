@@ -43,7 +43,7 @@ class SimulatedClock:
     backwards, preserving monotonicity).
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     def now(self) -> float:

@@ -75,7 +75,7 @@ class ShardError(ReproError):
     so callers can tell which shards completed before the failure.
     """
 
-    def __init__(self, message: str, *, shard: object = None, reports: "list | None" = None):
+    def __init__(self, message: str, *, shard: object = None, reports: "list | None" = None) -> None:
         super().__init__(message)
         self.shard = shard
         self.reports = list(reports) if reports else []

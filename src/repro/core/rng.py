@@ -15,6 +15,7 @@ randomness it consumes.
 from __future__ import annotations
 
 import hashlib
+from typing import TypeAlias
 
 import numpy as np
 
@@ -22,10 +23,10 @@ __all__ = ["RngLike", "as_generator", "derive_rng", "spawn_rngs"]
 
 #: Anything accepted where randomness is needed: an integer seed, an existing
 #: generator, or ``None`` for nondeterministic OS entropy.
-RngLike = "int | np.random.Generator | None"
+RngLike: TypeAlias = "int | np.random.Generator | None"
 
 
-def as_generator(rng: "int | np.random.Generator | None") -> np.random.Generator:
+def as_generator(rng: RngLike) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *rng*.
 
     Integers are used as seeds, generators are returned unchanged, and
@@ -55,7 +56,7 @@ def derive_rng(seed: int, *labels: object) -> np.random.Generator:
     return np.random.default_rng(_hash_to_seed(seed, *labels))
 
 
-def spawn_rngs(rng: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+def spawn_rngs(rng: RngLike, n: int) -> list[np.random.Generator]:
     """Split *rng* into *n* independent child generators."""
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")

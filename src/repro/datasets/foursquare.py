@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import DatasetError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.datasets.trajectory import Trajectory, TrajectoryPoint
 from repro.geo.point import Point
 from repro.poi.database import POIDatabase
@@ -49,7 +49,7 @@ class CheckinConfig:
 def synthesize_checkins(
     db: POIDatabase,
     config: CheckinConfig = CheckinConfig(),
-    rng=None,
+    rng: RngLike = None,
 ) -> list[Trajectory]:
     """Generate per-user check-in sequences over one week."""
     gen = as_generator(rng)
@@ -82,7 +82,7 @@ def checkin_locations(
     db: POIDatabase,
     n: int,
     config: CheckinConfig = CheckinConfig(),
-    rng=None,
+    rng: RngLike = None,
 ) -> list[Point]:
     """Draw *n* single target locations from synthetic check-ins.
 

@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from repro.core.errors import DatasetError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.geo.bbox import BBox
 from repro.geo.point import Point
 
 __all__ = ["random_locations"]
 
 
-def random_locations(bounds: BBox, n: int, rng=None) -> list[Point]:
+def random_locations(bounds: BBox, n: int, rng: RngLike = None) -> list[Point]:
     """Draw *n* uniform locations inside *bounds*."""
     if n < 0:
         raise DatasetError(f"n must be non-negative, got {n}")

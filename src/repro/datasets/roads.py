@@ -21,7 +21,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.errors import DatasetError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.datasets.trajectory import Trajectory, TrajectoryPoint
 from repro.geo.kdtree import KDTree
 from repro.geo.point import Point
@@ -37,7 +37,7 @@ class RoadNetwork:
     euclidean lengths in meters.
     """
 
-    def __init__(self, positions: np.ndarray, graph: nx.Graph):
+    def __init__(self, positions: np.ndarray, graph: nx.Graph) -> None:
         self._positions = np.asarray(positions, dtype=float)
         self._graph = graph
         self._kdtree = KDTree(self._positions)
@@ -49,7 +49,7 @@ class RoadNetwork:
         n_intersections: int = 300,
         k_neighbours: int = 3,
         poi_bias: float = 0.7,
-        rng=None,
+        rng: RngLike = None,
     ) -> "RoadNetwork":
         """Generate a connected road network for *database*'s city.
 
@@ -189,7 +189,7 @@ def synthesize_road_trajectories(
     database: POIDatabase,
     network: RoadNetwork,
     config: RoadFleetConfig = RoadFleetConfig(),
-    rng=None,
+    rng: RngLike = None,
 ) -> list[Trajectory]:
     """Taxi trajectories routed along the road network between POI hotspots."""
     gen = as_generator(rng)

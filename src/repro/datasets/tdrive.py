@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import DatasetError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.datasets.trajectory import Trajectory, TrajectoryPoint
 from repro.geo.point import Point
 from repro.poi.database import POIDatabase
@@ -70,7 +70,7 @@ def _sample_hotspots(db: POIDatabase, n: int, jitter_m: float, rng: np.random.Ge
 def synthesize_taxi_trajectories(
     db: POIDatabase,
     config: TaxiFleetConfig = TaxiFleetConfig(),
-    rng=None,
+    rng: RngLike = None,
 ) -> list[Trajectory]:
     """Generate one week of trajectories for the configured fleet."""
     gen = as_generator(rng)
@@ -111,7 +111,7 @@ def taxi_locations(
     db: POIDatabase,
     n: int,
     config: TaxiFleetConfig = TaxiFleetConfig(),
-    rng=None,
+    rng: RngLike = None,
 ) -> list[Point]:
     """Draw *n* single target locations from synthetic taxi traces.
 

@@ -47,7 +47,7 @@ class BudgetedDefense(Defense):
         mechanism: Defense,
         budget: PrivacyParams,
         fallback: "Defense | None" = None,
-    ):
+    ) -> None:
         for attr in ("epsilon", "delta"):
             if not hasattr(mechanism, attr):
                 raise DefenseError(

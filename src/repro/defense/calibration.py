@@ -20,7 +20,7 @@ import numpy as np
 from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import ConfigError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.defense.cloaking import UserPopulation
 from repro.defense.dp_release import DPReleaseMechanism
 from repro.defense.utility import top_k_jaccard
@@ -67,7 +67,7 @@ def calibrate_dp_release(
     k: int = 20,
     delta: float = 0.2,
     top_k: int = 10,
-    rng=None,
+    rng: RngLike = None,
 ) -> CalibrationResult:
     """Pick the highest-utility (epsilon, beta) within a risk budget.
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import DefenseError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.defense.base import Defense
 from repro.geo.bbox import BBox
 from repro.geo.grid_index import GridIndex
@@ -30,7 +30,7 @@ __all__ = ["UserPopulation", "AdaptiveIntervalCloak", "CloakingDefense"]
 class UserPopulation:
     """A static set of user locations supporting box-count queries."""
 
-    def __init__(self, xy: np.ndarray, bounds: BBox):
+    def __init__(self, xy: np.ndarray, bounds: BBox) -> None:
         xy = np.asarray(xy, dtype=float)
         if xy.ndim != 2 or xy.shape[1] != 2:
             raise DefenseError(f"expected (n, 2) user coordinates, got shape {xy.shape}")
@@ -39,7 +39,7 @@ class UserPopulation:
         self._index = GridIndex(xy, cell_size=max(bounds.width, bounds.height) / 64, bounds=bounds)
 
     @classmethod
-    def uniform(cls, n_users: int, bounds: BBox, rng=None) -> "UserPopulation":
+    def uniform(cls, n_users: int, bounds: BBox, rng: RngLike = None) -> "UserPopulation":
         """The paper's population model: *n_users* uniform over the city."""
         if n_users <= 0:
             raise DefenseError(f"n_users must be positive, got {n_users}")
@@ -67,7 +67,7 @@ class UserPopulation:
 class AdaptiveIntervalCloak:
     """The quadtree-descent cloaking algorithm."""
 
-    def __init__(self, population: UserPopulation, k: int, max_depth: int = 30):
+    def __init__(self, population: UserPopulation, k: int, max_depth: int = 30) -> None:
         if k < 1:
             raise DefenseError(f"k must be at least 1, got {k}")
         self.population = population
@@ -109,7 +109,7 @@ class CloakingDefense(Defense):
         center's predictability for per-release variance).
     """
 
-    def __init__(self, population: UserPopulation, k: int, release_point: str = "center"):
+    def __init__(self, population: UserPopulation, k: int, release_point: str = "center") -> None:
         if release_point not in ("center", "random"):
             raise DefenseError(f"unknown release_point {release_point!r}")
         self._cloak = AdaptiveIntervalCloak(population, k)

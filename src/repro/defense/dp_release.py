@@ -58,7 +58,7 @@ class DPReleaseMechanism(Defense):
         epsilon: float = 1.0,
         delta: float = 0.2,
         beta: float = 0.02,
-    ):
+    ) -> None:
         if k < 2:
             raise DefenseError(f"the dummy group needs k >= 2, got {k}")
         if beta < 0:

@@ -23,7 +23,7 @@ __all__ = ["GeoIndDefense"]
 class GeoIndDefense(Defense):
     """Release the aggregate of a planar-Laplace-perturbed location."""
 
-    def __init__(self, epsilon: float, unit_m: float = 100.0, clamp_to_city: bool = True):
+    def __init__(self, epsilon: float, unit_m: float = 100.0, clamp_to_city: bool = True) -> None:
         self.mechanism = PlanarLaplace(epsilon, unit_m=unit_m)
         self.clamp_to_city = clamp_to_city
 

@@ -31,7 +31,7 @@ __all__ = ["LaplaceHistogramDefense"]
 class LaplaceHistogramDefense(Defense):
     """Per-bin Laplace noise on the frequency vector (pure epsilon-DP)."""
 
-    def __init__(self, epsilon: float, sensitivity: float = 1.0):
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
         if epsilon <= 0:
             raise DefenseError(f"epsilon must be positive, got {epsilon}")
         if sensitivity <= 0:

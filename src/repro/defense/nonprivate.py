@@ -21,7 +21,7 @@ __all__ = ["NonPrivateOptimizationDefense"]
 class NonPrivateOptimizationDefense(Defense):
     """Release ``optimize(F(l, r), beta)`` — deterministic, noise-free."""
 
-    def __init__(self, beta: float):
+    def __init__(self, beta: float) -> None:
         if beta < 0:
             raise DefenseError(f"beta must be non-negative, got {beta}")
         self.beta = beta

@@ -31,7 +31,7 @@ class Sanitizer(Defense):
         Types with overall city frequency ``<= threshold`` are sanitized.
     """
 
-    def __init__(self, database: POIDatabase, threshold: int = 10):
+    def __init__(self, database: POIDatabase, threshold: int = 10) -> None:
         if threshold < 0:
             raise DefenseError(f"threshold must be non-negative, got {threshold}")
         self.threshold = threshold

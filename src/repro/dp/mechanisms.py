@@ -14,7 +14,7 @@ import math
 import numpy as np
 
 from repro.core.errors import PrivacyError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 
 __all__ = [
     "gaussian_sigma",
@@ -59,7 +59,7 @@ def gaussian_mechanism(
     sensitivity: "float | np.ndarray",
     epsilon: float,
     delta: float,
-    rng=None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Add calibrated Gaussian noise to *value*.
 
@@ -85,7 +85,7 @@ def laplace_mechanism(
     value: np.ndarray,
     sensitivity: float,
     epsilon: float,
-    rng=None,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """Add Laplace noise with scale ``sensitivity / epsilon`` (pure eps-DP)."""
     if sensitivity < 0:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import PrivacyError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.geo.point import Point
 
 __all__ = ["PlanarLaplace"]
@@ -38,7 +38,7 @@ class PlanarLaplace:
         The distance unit in meters (the paper uses 100 m).
     """
 
-    def __init__(self, epsilon: float, unit_m: float = 100.0):
+    def __init__(self, epsilon: float, unit_m: float = 100.0) -> None:
         if epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
         if unit_m <= 0:
@@ -59,12 +59,12 @@ class PlanarLaplace:
         """
         return 2.0 / self.epsilon_per_meter
 
-    def sample_radius(self, rng=None) -> float:
+    def sample_radius(self, rng: RngLike = None) -> float:
         """Draw a perturbation distance in meters."""
         gen = as_generator(rng)
         return float(gen.gamma(2.0, 1.0 / self.epsilon_per_meter))
 
-    def perturb(self, location: Point, rng=None) -> Point:
+    def perturb(self, location: Point, rng: RngLike = None) -> Point:
         """Draw a perturbed location for *location*."""
         gen = as_generator(rng)
         rho = self.sample_radius(gen)

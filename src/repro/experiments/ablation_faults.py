@@ -16,6 +16,8 @@ trajectory-linkage stage is starved of linkable pairs first (it needs
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.trajectory import DistanceRegressor, PairRelease
@@ -27,6 +29,7 @@ from repro.experiments.scale import SCALES, ExperimentScale
 from repro.lbs.faults import FaultPlan
 from repro.lbs.simulation import simulate_sessions
 from repro.poi.cities import small_city
+from repro.poi.database import POIDatabase
 
 __all__ = ["run_ablation_faults"]
 
@@ -37,7 +40,7 @@ DROP_RATES = (0.0, 0.2, 0.4, 0.6, 0.8)
 CORRUPT_RATES = (0.0, 0.25, 0.5)
 
 
-def _train_regressor(db, scale: ExperimentScale) -> DistanceRegressor:
+def _train_regressor(db: POIDatabase, scale: ExperimentScale) -> DistanceRegressor:
     """Fit the adversary's displacement regressor on background traces."""
     background = synthesize_taxi_trajectories(
         db,
@@ -56,8 +59,8 @@ def _train_regressor(db, scale: ExperimentScale) -> DistanceRegressor:
 
 def run_ablation_faults(
     scale: ExperimentScale = SCALES["ci"],
-    drop_rates=DROP_RATES,
-    corrupt_rates=CORRUPT_RATES,
+    drop_rates: Sequence[float] = DROP_RATES,
+    corrupt_rates: Sequence[float] = CORRUPT_RATES,
     radius: float = _RADIUS_M,
 ) -> ExperimentResult:
     """Sweep release-drop and corruption rates; measure exposure starvation."""

@@ -9,6 +9,8 @@ by beta).  One runner computes both figures from the same releases.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.base import Release
@@ -32,9 +34,9 @@ _N_CITY_USERS = 10_000
 
 def run_fig11_12(
     scale: ExperimentScale = SCALES["ci"],
-    datasets=_DATASETS,
-    epsilons=DEFAULT_EPSILONS,
-    betas=DEFAULT_BETAS_DP,
+    datasets: Sequence[str] = _DATASETS,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    betas: Sequence[float] = DEFAULT_BETAS_DP,
     radius: float = 2.0 * KM,
     k: int = 20,
     delta: float = 0.2,

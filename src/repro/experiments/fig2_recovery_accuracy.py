@@ -8,6 +8,8 @@ reproduces the per-(city, radius) mean and standard deviation.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.attacks.recovery import SanitizationRecoveryAttack
 from repro.core.rng import derive_rng
 from repro.defense.sanitization import Sanitizer
@@ -34,8 +36,8 @@ def auto_max_types(scale: ExperimentScale, requested: "int | None") -> "int | No
 
 def run_fig2(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    city_names=("beijing", "nyc"),
+    radii: Sequence[float] = RADII_M,
+    city_names: Sequence[str] = ("beijing", "nyc"),
     sanitize_threshold: int = 10,
     max_types: "int | None" = None,
     recovery_model: str = "svc",

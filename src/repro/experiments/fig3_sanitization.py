@@ -10,6 +10,8 @@ undefended rates.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.base import Release
@@ -29,8 +31,8 @@ _CITY_DATASET = {"beijing": "bj_random", "nyc": "nyc_random"}
 
 def run_fig3(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    city_names=("beijing", "nyc"),
+    radii: Sequence[float] = RADII_M,
+    city_names: Sequence[str] = ("beijing", "nyc"),
     sanitize_threshold: int = 10,
     max_types: "int | None" = None,
     recovery_model: str = "svc",

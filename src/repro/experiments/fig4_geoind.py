@@ -8,6 +8,8 @@ r = 4 km — location noise of a fixed scale is outrun by large query radii.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.attacks.metrics import evaluate_region_attack
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
@@ -22,9 +24,9 @@ __all__ = ["run_fig4"]
 
 def run_fig4(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    datasets=DATASET_NAMES,
-    epsilons=(0.1, 1.0),
+    radii: Sequence[float] = RADII_M,
+    datasets: Sequence[str] = DATASET_NAMES,
+    epsilons: Sequence[float] = (0.1, 1.0),
 ) -> ExperimentResult:
     """Evaluate planar Laplace mitigation across datasets and radii."""
     result = ExperimentResult(

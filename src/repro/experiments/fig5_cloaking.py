@@ -7,6 +7,8 @@ as k grows but stays material even at k = 50, especially for large radii.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.attacks.metrics import evaluate_region_attack
 from repro.attacks.region import RegionAttack
 from repro.core.rng import derive_rng
@@ -25,9 +27,9 @@ _N_CITY_USERS = 10_000
 
 def run_fig5(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    datasets=DATASET_NAMES,
-    k_values=DEFAULT_K_VALUES,
+    radii: Sequence[float] = RADII_M,
+    datasets: Sequence[str] = DATASET_NAMES,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
 ) -> ExperimentResult:
     """Evaluate adaptive-interval cloaking across datasets, radii, and k."""
     result = ExperimentResult(

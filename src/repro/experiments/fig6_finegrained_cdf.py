@@ -10,6 +10,8 @@ baseline threshold the paper highlights).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import math
 
 import numpy as np
@@ -27,8 +29,8 @@ __all__ = ["run_fig6"]
 
 def run_fig6(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    datasets=DATASET_NAMES,
+    radii: Sequence[float] = RADII_M,
+    datasets: Sequence[str] = DATASET_NAMES,
     max_aux: int = 20,
 ) -> ExperimentResult:
     """Run the fine-grained attack and summarise the search-area CDF."""

@@ -8,6 +8,8 @@ with diminishing returns past ~20 anchors.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import math
 
 import numpy as np
@@ -27,8 +29,8 @@ DEFAULT_AUX_VALUES = (5, 10, 20, 40)
 
 def run_fig7(
     scale: ExperimentScale = SCALES["ci"],
-    datasets=DATASET_NAMES,
-    aux_values=DEFAULT_AUX_VALUES,
+    datasets: Sequence[str] = DATASET_NAMES,
+    aux_values: Sequence[int] = DEFAULT_AUX_VALUES,
     radius: float = 2.0 * KM,
 ) -> ExperimentResult:
     """Sweep the auxiliary-anchor cap at the paper's fixed r = 2 km."""

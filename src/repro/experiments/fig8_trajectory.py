@@ -10,6 +10,8 @@ single attack is ambiguous, vanishing once r alone suffices.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
@@ -28,7 +30,7 @@ _MAX_GAP_S = 600.0
 
 def run_fig8(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
+    radii: Sequence[float] = RADII_M,
     band_quantile: float = 0.75,
 ) -> ExperimentResult:
     """Evaluate the two-release attack against single-release at each r."""

@@ -9,6 +9,8 @@ slightly.  One runner computes both figures since they share every release.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.base import Release
@@ -29,9 +31,9 @@ _DATASETS = ("bj_tdrive", "nyc_foursquare")
 
 def run_fig9_10(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    datasets=_DATASETS,
-    betas=DEFAULT_BETAS,
+    radii: Sequence[float] = RADII_M,
+    datasets: Sequence[str] = _DATASETS,
+    betas: Sequence[float] = DEFAULT_BETAS,
     top_k: int = 10,
 ) -> ExperimentResult:
     """Sweep beta and record defense success rate plus Top-K Jaccard."""

@@ -35,14 +35,21 @@ Two execution modes share the merge logic:
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.errors import ConfigError, ShardError
 from repro.experiments.registry import get_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.supervisor import ShardPolicy, supervise_shards
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.lbs.faults import WorkerFaultPlan
 
 __all__ = [
     "run_sharded",
@@ -101,7 +108,7 @@ def _run_shard(
     experiment_id: str,
     scale_fields: dict,
     shard_param: str,
-    shard_value,
+    shard_value: object,
     kwargs: dict,
 ) -> dict:
     """Worker entry point: run one shard and return the result as a dict."""
@@ -114,7 +121,7 @@ def _run_shard(
 def _run_pool(
     experiment_id: str,
     scale: ExperimentScale,
-    shards,
+    shards: Sequence[object],
     shard_param: str,
     max_workers: int,
     kwargs: dict,
@@ -140,7 +147,7 @@ def _run_pool(
         return [future.result() for future in futures]  # dict order == shard order
 
 
-def _merge(partials: list[dict], shards, shard_param: str) -> ExperimentResult:
+def _merge(partials: list[dict], shards: Sequence[object], shard_param: str) -> ExperimentResult:
     merged = ExperimentResult(**partials[0])
     merged.config[shard_param] = list(shards)
     for part in partials[1:]:
@@ -151,19 +158,19 @@ def _merge(partials: list[dict], shards, shard_param: str) -> ExperimentResult:
 def run_sharded(
     experiment_id: str,
     scale: ExperimentScale,
-    shards=None,
+    shards: "Sequence[object] | None" = None,
     shard_param: "str | None" = None,
     max_workers: "int | None" = None,
     *,
     timeout_s: "float | None" = None,
     retries: int = 0,
     serial_fallback: bool = False,
-    out=None,
+    out: "Path | str | None" = None,
     resume: bool = False,
     supervised: "bool | None" = None,
     policy: "ShardPolicy | None" = None,
-    fault_plan=None,
-    **kwargs,
+    fault_plan: "WorkerFaultPlan | None" = None,
+    **kwargs: object,
 ) -> ExperimentResult:
     """Run *experiment_id* split along its shard axis across processes.
 

@@ -50,6 +50,8 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
-def run_experiment(experiment_id: str, scale: ExperimentScale, **kwargs) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale, **kwargs: object
+) -> ExperimentResult:
     """Run one experiment at the given scale."""
     return get_experiment(experiment_id)(scale=scale, **kwargs)

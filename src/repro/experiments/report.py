@@ -58,7 +58,7 @@ def _markdown_table(rows: list[dict]) -> str:
             if key not in columns:
                 columns.append(key)
 
-    def cell(value) -> str:
+    def cell(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.4g}"
         if value is None:

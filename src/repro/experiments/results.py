@@ -29,7 +29,7 @@ class ExperimentResult:
     #: serial/sharded/resumed runs; provenance is allowed to differ.
     provenance: dict = field(default_factory=dict)
 
-    def add_row(self, **values) -> None:
+    def add_row(self, **values: object) -> None:
         """Append one result row."""
         self.rows.append(values)
 
@@ -37,7 +37,7 @@ class ExperimentResult:
         """Extract one column across all rows (missing values become None)."""
         return [row.get(name) for row in self.rows]
 
-    def filter(self, **criteria) -> list[dict]:
+    def filter(self, **criteria: object) -> list[dict]:
         """Rows matching all ``column=value`` criteria."""
         return [
             row
@@ -71,7 +71,7 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def _format_cell(value) -> str:
+def _format_cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)

@@ -11,6 +11,8 @@ small relative to the radius effect the paper is about.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.metrics import evaluate_region_attack
@@ -25,8 +27,8 @@ __all__ = ["run_seed_sensitivity"]
 
 def run_seed_sensitivity(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    city_names=("beijing", "nyc"),
+    radii: Sequence[float] = RADII_M,
+    city_names: Sequence[str] = ("beijing", "nyc"),
     n_seeds: int = 3,
 ) -> ExperimentResult:
     """Regenerate each city under *n_seeds* seeds and compare attack rates."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.experiments.results import ExperimentResult
+
 __all__ = ["svg_line_chart", "save_figure_svg"]
 
 _PALETTE = (
@@ -147,7 +149,7 @@ def svg_line_chart(
     return "".join(parts)
 
 
-def save_figure_svg(result, directory: "str | Path") -> "Path | None":
+def save_figure_svg(result: ExperimentResult, directory: "str | Path") -> "Path | None":
     """Write one SVG per chartable experiment result; None when unchartable.
 
     Reuses the per-figure series extraction of

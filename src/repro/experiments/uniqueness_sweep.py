@@ -10,6 +10,8 @@ re-calibrates the synthetic cities.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.analysis.uniqueness import anchor_statistics, uniqueness_rate
 from repro.core.rng import derive_rng
 from repro.experiments.common import RADII_M
@@ -22,8 +24,8 @@ __all__ = ["run_uniqueness"]
 
 def run_uniqueness(
     scale: ExperimentScale = SCALES["ci"],
-    radii=RADII_M,
-    city_names=("beijing", "nyc"),
+    radii: Sequence[float] = RADII_M,
+    city_names: Sequence[str] = ("beijing", "nyc"),
 ) -> ExperimentResult:
     """Measure uniqueness rate and anchor rarity per (city, radius)."""
     result = ExperimentResult(

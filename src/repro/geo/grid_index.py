@@ -59,7 +59,7 @@ class GridIndex:
         points (expanded by one cell so boundary points never fall outside).
     """
 
-    def __init__(self, xy: np.ndarray, cell_size: float, bounds: BBox | None = None):
+    def __init__(self, xy: np.ndarray, cell_size: float, bounds: BBox | None = None) -> None:
         xy = np.asarray(xy, dtype=float)
         if xy.ndim != 2 or xy.shape[1] != 2:
             raise GeometryError(f"expected (n, 2) coordinates, got shape {xy.shape}")

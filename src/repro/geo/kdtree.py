@@ -24,7 +24,7 @@ _LEAF_SIZE = 16
 class KDTree:
     """Static 2-d kd-tree over an ``(n, 2)`` coordinate array."""
 
-    def __init__(self, xy: np.ndarray):
+    def __init__(self, xy: np.ndarray) -> None:
         xy = np.asarray(xy, dtype=float)
         if xy.ndim != 2 or xy.shape[1] != 2:
             raise GeometryError(f"expected (n, 2) coordinates, got shape {xy.shape}")

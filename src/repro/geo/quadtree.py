@@ -63,7 +63,7 @@ class QuadTree:
         bounds: "BBox | None" = None,
         leaf_size: int = 32,
         max_depth: int = _MAX_DEPTH_DEFAULT,
-    ):
+    ) -> None:
         xy = np.asarray(xy, dtype=float)
         if xy.ndim != 2 or xy.shape[1] != 2:
             raise GeometryError(f"expected (n, 2) coordinates, got shape {xy.shape}")

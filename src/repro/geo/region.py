@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.errors import GeometryError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.geo.disk import Disk
 from repro.geo.point import Point
 
@@ -40,7 +40,7 @@ class DiskIntersection:
             return False
         return all(d.contains(p) for d in self.constraints)
 
-    def area(self, n_samples: int = 20_000, rng=None) -> float:
+    def area(self, n_samples: int = 20_000, rng: RngLike = None) -> float:
         """Monte-Carlo estimate of the intersection area in square meters.
 
         Samples uniformly inside the base disk and multiplies the acceptance
@@ -61,7 +61,7 @@ class DiskIntersection:
                 return 0.0
         return self.base.area * float(keep.mean())
 
-    def centroid(self, n_samples: int = 20_000, rng=None) -> Point | None:
+    def centroid(self, n_samples: int = 20_000, rng: RngLike = None) -> Point | None:
         """Monte-Carlo centroid of the region, or ``None`` if it is empty.
 
         The centroid is the attacker's single best point estimate of the

@@ -22,9 +22,10 @@ import numpy as np
 
 from repro.core.clock import Clock, SimulatedClock
 from repro.core.errors import CircuitOpenError, ConfigError, TransientError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.datasets.trajectory import Trajectory
 from repro.defense.base import Defense, NoDefense
+from repro.geo.point import Point
 from repro.lbs.messages import AggregateRelease, GeoQuery, GeoResponse
 from repro.lbs.resilience import CircuitBreaker, RetryPolicy, UserSessionStats
 from repro.poi.database import POIDatabase
@@ -36,7 +37,7 @@ __all__ = ["GeoServiceProvider", "MobileUser", "POIService"]
 class GeoServiceProvider:
     """The GSP: answers ``Query(l, r)`` over its POI database."""
 
-    def __init__(self, database: POIDatabase):
+    def __init__(self, database: POIDatabase) -> None:
         self._db = database
         self.n_queries_served = 0
 
@@ -86,11 +87,11 @@ class MobileUser:
         user_id: int,
         gsp: GeoServiceProvider,
         defense: "Defense | None" = None,
-        rng=None,
+        rng: RngLike = None,
         retry_policy: "RetryPolicy | None" = None,
         breaker: "CircuitBreaker | None" = None,
         clock: "Clock | None" = None,
-    ):
+    ) -> None:
         self.user_id = user_id
         self._gsp = gsp
         self._defense = defense if defense is not None else NoDefense()
@@ -105,12 +106,12 @@ class MobileUser:
     def defense_name(self) -> str:
         return self._defense.name
 
-    def _defended_vector(self, location, radius: float) -> np.ndarray:
+    def _defended_vector(self, location: Point, radius: float) -> np.ndarray:
         """One query + defense round against the GSP's current snapshot."""
         snapshot = self._gsp.snapshot()
         return self._defense.release(snapshot, location, radius, self._rng)
 
-    def _fetch_vector(self, location, radius: float) -> "np.ndarray | None":
+    def _fetch_vector(self, location: Point, radius: float) -> "np.ndarray | None":
         """Run the degradation ladder; ``None`` means the release is skipped."""
         policy = self._retry_policy
         if policy is None:
@@ -151,7 +152,7 @@ class MobileUser:
         return None
 
     def release_at(
-        self, location, radius: float, timestamp: float
+        self, location: Point, radius: float, timestamp: float
     ) -> "AggregateRelease | None":
         """One LBS interaction: query the GSP, defend, release.
 

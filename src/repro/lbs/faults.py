@@ -207,7 +207,7 @@ class FaultyGeoServiceProvider:
         inner: GeoServiceProvider,
         injector: FaultInjector,
         stale_database: "POIDatabase | None" = None,
-    ):
+    ) -> None:
         self._inner = inner
         self._injector = injector
         self._stale_db = stale_database
@@ -245,7 +245,7 @@ class FaultyPOIService:
     :class:`~repro.core.errors.ReleaseValidationError`.
     """
 
-    def __init__(self, inner: POIService, injector: FaultInjector):
+    def __init__(self, inner: POIService, injector: FaultInjector) -> None:
         self._inner = inner
         self._injector = injector
 

@@ -82,7 +82,7 @@ class CircuitBreaker:
         clock: Clock,
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
-    ):
+    ) -> None:
         if failure_threshold < 1:
             raise ConfigError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"

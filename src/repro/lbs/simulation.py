@@ -27,7 +27,7 @@ from repro.attacks.region import RegionAttack
 from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
 from repro.core.clock import SimulatedClock
 from repro.core.errors import DatasetError, ReleaseValidationError
-from repro.core.rng import as_generator, spawn_rngs
+from repro.core.rng import RngLike, as_generator, spawn_rngs
 from repro.datasets.trajectory import Trajectory
 from repro.defense.base import Defense
 from repro.geo.point import Point
@@ -124,7 +124,7 @@ def simulate_sessions(
     defense: "Defense | None" = None,
     distance_regressor: "DistanceRegressor | None" = None,
     max_link_gap_s: float = 600.0,
-    rng=None,
+    rng: RngLike = None,
     fault_plan: "FaultPlan | None" = None,
     resilience: "ResilienceConfig | None" = None,
     stale_database: "POIDatabase | None" = None,

@@ -1,0 +1,94 @@
+"""`poiagg check` argument handling and entry point.
+
+Kept separate from :mod:`repro.cli` so the linter stays importable (and
+testable) without the experiment registry, and so ``repro.cli`` only pays
+the import cost when the subcommand actually runs.
+
+Exit codes mirror ``poiagg run``: 0 — clean; 1 — violations found;
+2 — bad invocation (unknown rule ID, missing path, bad format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.lint.engine import check_paths, format_report
+from repro.lint.rules import RULES
+
+__all__ = ["add_check_arguments", "run_check", "DEFAULT_CHECK_PATHS"]
+
+#: What a bare ``poiagg check`` lints: the library and everything that
+#: consumes it as first-party code.
+DEFAULT_CHECK_PATHS = ("src", "benchmarks", "examples")
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``check`` options to *parser* (a subparser)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help=(
+            "files or directories to lint "
+            f"(default: {' '.join(DEFAULT_CHECK_PATHS)})"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json", "github"],
+        help="output format (github emits ::error workflow annotations)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute ``poiagg check`` for parsed *args*."""
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id} ({rule.name}): {rule.summary}")
+        return EXIT_OK
+
+    select: Sequence[str] | None = None
+    if args.select is not None:
+        select = [r.strip().upper() for r in args.select.split(",") if r.strip()]
+        known = {rule.id for rule in RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"poiagg check: unknown rule id {unknown[0]!r}; "
+                f"choose from {sorted(known)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    paths = list(args.paths) if args.paths else [Path(p) for p in DEFAULT_CHECK_PATHS]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"poiagg check: no such path: {missing[0]}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report = check_paths(paths, select=select)
+    rendered = format_report(report, args.fmt)
+    if rendered:
+        print(rendered)
+    return EXIT_OK if report.ok else EXIT_VIOLATIONS

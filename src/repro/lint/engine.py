@@ -1,0 +1,303 @@
+"""Linting engine: file discovery, suppressions, contexts, and output formats.
+
+The engine is rule-agnostic.  It parses each file once, classifies it by
+role (library / benchmark / example / test), resolves the import aliases
+rules need to recognise ``np.random`` however it was spelled, collects
+``# poiagg: disable=RULE`` suppression comments, runs every registered
+rule, and renders the surviving violations in one of three formats.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "ImportMap",
+    "LintReport",
+    "Violation",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "format_report",
+    "iter_python_files",
+]
+
+#: Directories never linted, wherever they appear in a path.
+_SKIP_DIRS = {".git", "__pycache__", ".checkpoints", "build", "dist", ".venv"}
+
+_SUPPRESS_RE = re.compile(r"#\s*poiagg:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed ``# poiagg: disable=...`` pragmas for one file."""
+
+    file_rules: frozenset[str]
+    line_rules: dict[int, frozenset[str]]
+
+    def active(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_rules or "ALL" in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line, frozenset())
+        return rule_id in at_line or "ALL" in at_line
+
+
+class ImportMap:
+    """What each top-level name in a module refers to.
+
+    Maps aliases to the dotted module they name (``np`` → ``numpy``,
+    ``npr`` → ``numpy.random``) and from-imported symbols to their fully
+    qualified origin (``default_rng`` → ``numpy.random.default_rng``).
+    Rules use :meth:`resolve` to canonicalise a call target regardless of
+    the import spelling.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.symbols: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # `import numpy.random` binds `numpy`, but the full
+                        # dotted path is reachable through that root.
+                        self.modules.setdefault(alias.name.split(".")[0], alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.symbols[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name for a Name/Attribute chain, or ``None``.
+
+        ``np.random.normal`` resolves to ``numpy.random.normal`` when
+        ``np`` is an alias of ``numpy``; a bare ``default_rng`` imported
+        from ``numpy.random`` resolves to ``numpy.random.default_rng``.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        parts.reverse()
+        if root in self.symbols:
+            return ".".join([self.symbols[root], *parts])
+        base = self.modules.get(root)
+        if base is not None:
+            return ".".join([base, *parts])
+        # Unknown roots resolve to None: a local variable that happens to
+        # be called `random` must not trip the import-based rules.
+        return None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one file."""
+
+    path: str
+    tree: ast.Module
+    role: str  # "library" | "benchmark" | "example" | "test" | "script"
+    module: str  # dotted module for library files ("" otherwise)
+    imports: ImportMap
+    suppressions: Suppressions
+
+    @property
+    def is_test(self) -> bool:
+        return self.role == "test"
+
+    @property
+    def is_library(self) -> bool:
+        return self.role == "library"
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting a set of paths."""
+
+    violations: list[Violation] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _classify(path: Path) -> tuple[str, str]:
+    """Return ``(role, dotted_module)`` for *path*."""
+    parts = path.parts
+    name = path.name
+    if "tests" in parts or name == "conftest.py" or name.startswith("test_"):
+        # benchmarks/ are pytest files too, but they exercise first-party
+        # invariants and stay in scope; only benchmarks/conftest.py is
+        # test infrastructure.
+        if "benchmarks" in parts and name != "conftest.py":
+            return "benchmark", ""
+        return "test", ""
+    if "benchmarks" in parts:
+        return "benchmark", ""
+    if "examples" in parts:
+        return "example", ""
+    if "repro" in parts:
+        module = ".".join(parts[parts.index("repro") :])
+        return "library", module.removesuffix(".py").removesuffix(".__init__")
+    return "script", ""
+
+
+def _parse_suppressions(source: str) -> Suppressions:
+    file_rules: set[str] = set()
+    line_rules: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            r.strip().upper() for r in match.group(1).split(",") if r.strip()
+        )
+        before = line[: match.start()].strip()
+        if not before:
+            file_rules |= rules
+        else:
+            line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+    return Suppressions(frozenset(file_rules), line_rules)
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    role: str | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one source string; the unit the tests drive directly.
+
+    *role* overrides path-based classification (fixture files live under
+    ``tests/`` but must lint as the role they mimic).  *select* restricts
+    to the given rule IDs.
+    """
+    from repro.lint.rules import RULES
+
+    tree = ast.parse(source, filename=path)
+    inferred_role, module = _classify(Path(path))
+    ctx = FileContext(
+        path=path,
+        tree=tree,
+        role=role if role is not None else inferred_role,
+        module=module,
+        imports=ImportMap(tree),
+        suppressions=_parse_suppressions(source),
+    )
+    wanted = set(select) if select is not None else None
+    raw: list[Violation] = []
+    for rule in RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        raw.extend(rule.check(ctx))
+    kept = [v for v in raw if not ctx.suppressions.active(v.rule_id, v.line)]
+    return sorted(kept, key=lambda v: (v.line, v.col, v.rule_id))
+
+
+def check_file(
+    path: Path, *, select: Sequence[str] | None = None, role: str | None = None
+) -> list[Violation]:
+    """Lint one file from disk."""
+    return check_source(
+        path.read_text(encoding="utf-8"), str(path), role=role, select=select
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under *paths*, skipping junk directories."""
+    for root in paths:
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+def check_paths(
+    paths: Sequence[Path], *, select: Sequence[str] | None = None
+) -> LintReport:
+    """Lint every python file under *paths* and aggregate a report."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        report.n_files += 1
+        report.violations.extend(check_file(file_path, select=select))
+    return report
+
+
+def _format_github(violations: Sequence[Violation]) -> str:
+    # GitHub Actions workflow commands: one ::error annotation per finding
+    # so violations land inline on PR diffs.
+    lines = []
+    for v in violations:
+        message = v.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::error file={v.path},line={v.line},col={v.col},title={v.rule_id}::{message}"
+        )
+    return "\n".join(lines)
+
+
+def format_report(report: LintReport, fmt: str = "text") -> str:
+    """Render *report* as ``text``, ``json``, or ``github`` annotations."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "ok": report.ok,
+                "n_files": report.n_files,
+                "violations": [
+                    {
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "rule": v.rule_id,
+                        "message": v.message,
+                    }
+                    for v in report.violations
+                ],
+            },
+            indent=2,
+        )
+    if fmt == "github":
+        return _format_github(report.violations)
+    if fmt == "text":
+        lines = [v.render() for v in report.violations]
+        summary = (
+            f"{len(report.violations)} violation(s) in {report.n_files} file(s)"
+            if report.violations
+            else f"{report.n_files} file(s) clean"
+        )
+        return "\n".join([*lines, summary])
+    raise ValueError(f"unknown lint output format: {fmt!r}")

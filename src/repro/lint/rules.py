@@ -1,0 +1,515 @@
+"""The rule catalog: each PL rule encodes one invariant the paper's
+guarantees (or the repo's bit-identity contracts) depend on.
+
+Every rule is a class with an ``id``, a one-line ``summary``, a
+``rationale`` tied to the guarantee it protects (rendered by
+``poiagg check --list-rules`` and docs/static-analysis.md), and a
+``check(ctx)`` method yielding :class:`~repro.lint.engine.Violation`
+objects.  Rules see one file at a time through a
+:class:`~repro.lint.engine.FileContext`; cross-file reasoning is out of
+scope by design — everything here must stay fast enough to run on every
+commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import FileContext, Violation
+
+__all__ = ["Rule", "RULES", "rule_by_id"]
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement ``check``."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+#: numpy.random constructors that are fine to call (they build seedable
+#: generator objects rather than consuming hidden global state).
+_GENERATOR_CTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededRandomness(Rule):
+    """PL001 — every random draw must come from an explicit seeded Generator."""
+
+    id = "PL001"
+    name = "unseeded-randomness"
+    summary = "no unseeded or global-state randomness outside tests"
+    rationale = (
+        "The paper's attacks, defenses, and the Gaussian/planar-Laplace "
+        "mechanisms are only reproducible under seed discipline: every "
+        "stochastic component threads an explicit numpy Generator derived "
+        "from the experiment seed (repro.core.rng). The stdlib random "
+        "module, legacy np.random.* module functions, and default_rng() "
+        "without a seed all draw from hidden or OS state and silently "
+        "break run-to-run and resume bit-identity."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target is None:
+                continue
+            if target == "random" or target.startswith("random."):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"stdlib `{target}` draws from hidden global state; "
+                    "thread a seeded np.random.Generator "
+                    "(repro.core.rng.derive_rng) instead",
+                )
+            elif target.startswith("numpy.random."):
+                fn = target.rsplit(".", 1)[1]
+                if fn not in _GENERATOR_CTORS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"legacy `numpy.random.{fn}` consumes the global "
+                        "numpy stream; call the method on an explicit "
+                        "seeded Generator instead",
+                    )
+                elif fn == "default_rng":
+                    unseeded = (not node.args and not node.keywords) or (
+                        len(node.args) == 1 and _is_none(node.args[0])
+                    )
+                    if unseeded:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "default_rng() without a seed draws OS entropy; "
+                            "pass a seed or derive via repro.core.rng",
+                        )
+                    elif ctx.is_library and ctx.module != "repro.core.rng":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "library code constructs default_rng directly; "
+                            "derive generators via repro.core.rng "
+                            "(as_generator / derive_rng / spawn_rngs) so "
+                            "every stream descends from the experiment seed",
+                        )
+
+
+#: DP mechanism entry points whose invocation spends privacy budget.
+_MECHANISMS = {
+    "repro.dp.mechanisms.gaussian_mechanism",
+    "repro.dp.mechanisms.laplace_mechanism",
+    "repro.dp.gaussian_mechanism",
+    "repro.dp.laplace_mechanism",
+    "repro.dp.planar_laplace.PlanarLaplace",
+    "repro.dp.PlanarLaplace",
+}
+
+
+class AccountantBypass(Rule):
+    """PL002 — DP mechanisms are reachable only through defense-layer classes."""
+
+    id = "PL002"
+    name = "accountant-bypass"
+    summary = "DP mechanism calls must stay inside the accountant-guarded defense layer"
+    rationale = (
+        "Theorem 4's (epsilon, delta) claim holds under sequential "
+        "composition tracked by repro.dp.accountant.PrivacyAccountant; "
+        "BudgetedDefense guards the defense-layer release path with "
+        "accountant.spend. A mechanism invoked from attacks/, experiments/, "
+        "or examples/ bypasses the ledger, so the composed guarantee "
+        "silently stops holding (Primault et al. catalogue exactly this "
+        "failure mode in deployed location-privacy pipelines)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test or ctx.module.startswith("repro.dp"):
+            return
+        in_defense = ctx.module.startswith("repro.defense")
+        yield from self._scan(ctx, ctx.tree, in_defense=in_defense, in_class=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, *, in_defense: bool, in_class: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            entering_class = in_class or isinstance(child, ast.ClassDef)
+            if isinstance(child, ast.Call):
+                target = ctx.imports.resolve(child.func)
+                if target in _MECHANISMS:
+                    if not in_defense:
+                        yield self.violation(
+                            ctx,
+                            child,
+                            f"`{target.rsplit('.', 1)[1]}` invoked outside the "
+                            "defense layer; route the release through a "
+                            "repro.defense mechanism so PrivacyAccountant.spend "
+                            "sees it",
+                        )
+                    elif not in_class:
+                        yield self.violation(
+                            ctx,
+                            child,
+                            "raw mechanism call in defense module scope; keep "
+                            "mechanism invocations inside Defense classes so "
+                            "the BudgetedDefense/accountant wrapper can guard "
+                            "the release path",
+                        )
+            yield from self._scan(
+                ctx, child, in_defense=in_defense, in_class=entering_class
+            )
+
+
+#: Methods producing int32 frequency matrices under the bit-identity contract.
+_FREQ_PRODUCERS = {"anchor_freqs", "freq_batch"}
+
+#: astype targets that keep (or deliberately leave) the int32 contract.
+_SAFE_DTYPES = {"float", "int32", "float32", "float64", "single", "double", "bool_"}
+
+
+def _dtype_label(node: ast.expr) -> str | None:
+    """The spelled dtype of an ``astype`` argument, lowercased, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lower()
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    return None
+
+
+def _is_square(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Pow)
+        and isinstance(node.right, ast.Constant)
+        and node.right.value == 2
+    )
+
+
+def _is_sum_of_squares(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Add)
+        and _is_square(node.left)
+        and _is_square(node.right)
+    )
+
+
+class FreqDtypeDiscipline(Rule):
+    """PL003 — int32 Freq matrices and np.hypot distance comparisons."""
+
+    id = "PL003"
+    name = "freq-dtype-discipline"
+    summary = "no widening casts on Freq matrices, no `**2` distance comparisons"
+    rationale = (
+        "The batch Freq engine's bit-identity guarantee (batch == scalar, "
+        "asserted by the property suite) rests on int32 anchor/frequency "
+        "matrices and on comparing distances with np.hypot exactly as the "
+        "scalar path does. A widening astype(int64) doubles the matrix "
+        "footprint and desynchronises overflow behaviour; a dx**2 + dy**2 "
+        "comparison rounds differently from np.hypot in the last ulp, "
+        "which is enough to flip a boundary anchor in or out of a disk."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test:
+            return
+        freq_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in _FREQ_PRODUCERS
+                ):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            freq_names.add(tgt.id)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_astype(ctx, node, freq_names)
+                yield from self._check_sqrt(ctx, node)
+            elif isinstance(node, ast.Compare):
+                for side in [node.left, *node.comparators]:
+                    if _is_sum_of_squares(side):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "distance compared as a sum of squares; use "
+                            "np.hypot(dx, dy) so batch and scalar paths "
+                            "round identically",
+                        )
+                        break
+
+    def _check_astype(
+        self, ctx: FileContext, node: ast.Call, freq_names: set[str]
+    ) -> Iterator[Violation]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype" and node.args):
+            return
+        receiver = func.value
+        from_freq = (isinstance(receiver, ast.Name) and receiver.id in freq_names) or (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Attribute)
+            and receiver.func.attr in _FREQ_PRODUCERS
+        )
+        if not from_freq:
+            return
+        dtype = _dtype_label(node.args[0])
+        if dtype is not None and dtype not in _SAFE_DTYPES:
+            yield self.violation(
+                ctx,
+                node,
+                f"Freq matrix cast to `{dtype}`; the batch engine's "
+                "bit-identity contract is int32 (cast to float explicitly "
+                "only where the math needs it)",
+            )
+
+    def _check_sqrt(self, ctx: FileContext, node: ast.Call) -> Iterator[Violation]:
+        target = ctx.imports.resolve(node.func)
+        if target in {"numpy.sqrt", "math.sqrt"} and node.args:
+            if _is_sum_of_squares(node.args[0]):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "sqrt(dx**2 + dy**2) rounds differently from np.hypot; "
+                    "use np.hypot for distances under the bit-identity "
+                    "contract",
+                )
+
+
+#: Call shapes that hand a function to another process.
+_SUBMIT_ATTRS = {"submit", "map", "apply_async", "imap", "imap_unordered"}
+_SINK_FUNCS = {
+    "repro.experiments.parallel.run_sharded",
+    "repro.experiments.supervisor.supervise_shards",
+}
+
+
+class NonPicklableShardWorker(Rule):
+    """PL004 — shard workers must be module-level, closure-free functions."""
+
+    id = "PL004"
+    name = "shard-worker-picklable"
+    summary = "workers handed to pools/supervisors must be module-level functions"
+    rationale = (
+        "Crash isolation re-executes a shard on a fresh worker process: the "
+        "supervisor pickles the entry point, SIGKILLs hung workers, and "
+        "replays retried shards from scratch. Lambdas and nested functions "
+        "either fail to pickle or smuggle closure state that a replacement "
+        "process cannot reconstruct, so a retry would diverge from the "
+        "original attempt and void shard-level resume bit-identity."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test:
+            return
+        yield from self._scan(ctx, ctx.tree, nested_defs=set())
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, nested_defs: set[str]
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_nested = nested_defs
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Defs nested inside this function are non-module-level.
+                child_nested = nested_defs | {
+                    stmt.name
+                    for stmt in ast.walk(child)
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt is not child
+                }
+            if isinstance(child, ast.Call):
+                yield from self._check_sink(ctx, child, nested_defs)
+            yield from self._scan(ctx, child, child_nested)
+
+    def _check_sink(
+        self, ctx: FileContext, node: ast.Call, nested_defs: set[str]
+    ) -> Iterator[Violation]:
+        func = node.func
+        is_sink = (
+            isinstance(func, ast.Attribute) and func.attr in _SUBMIT_ATTRS
+        ) or ctx.imports.resolve(func) in _SINK_FUNCS
+        if not is_sink:
+            return
+        candidates = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in candidates:
+            # functools.partial is transparent: check what it wraps.
+            if isinstance(arg, ast.Call) and ctx.imports.resolve(arg.func) in {
+                "functools.partial"
+            }:
+                candidates.extend(arg.args)
+                continue
+            if isinstance(arg, ast.Lambda):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "lambda passed to a process pool/supervisor; shard "
+                    "workers must be module-level functions (picklable and "
+                    "re-executable on a fresh process)",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"worker `{arg.id}` is defined inside a function; move "
+                    "it to module level so crash retries can re-import and "
+                    "re-execute it",
+                )
+
+
+_WALL_CLOCK = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.date.today": "date.today()",
+    "os.urandom": "os.urandom()",
+    "uuid.uuid4": "uuid.uuid4()",
+    "secrets.token_bytes": "secrets.token_bytes()",
+    "secrets.token_hex": "secrets.token_hex()",
+    "secrets.randbits": "secrets.randbits()",
+}
+
+
+class WallClockInExperimentPath(Rule):
+    """PL005 — no wall-clock or ambient entropy in checkpointed library code."""
+
+    id = "PL005"
+    name = "wall-clock-entropy"
+    summary = "library code must not read wall-clock time or ambient entropy"
+    rationale = (
+        "Checkpoint resume promises bit-identical rows to an uninterrupted "
+        "run; any value derived from time.time(), datetime.now(), or OS "
+        "entropy differs between the original attempt and the resumed one. "
+        "Timing belongs to the Clock abstraction (repro.core.clock) or to "
+        "the runner/supervisor provenance layer, which records telemetry "
+        "outside the checkpointed payload and carries an explicit per-file "
+        "suppression saying so."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.is_library or ctx.module == "repro.core.clock":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target in _WALL_CLOCK:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{_WALL_CLOCK[target]} in library code breaks resume "
+                    "bit-identity; take a Clock (repro.core.clock) or an "
+                    "explicit timestamp parameter",
+                )
+
+
+_SHIMMED_ATTACKS = {
+    "repro.attacks.region.RegionAttack": "RegionAttack",
+    "repro.attacks.RegionAttack": "RegionAttack",
+    "repro.attacks.fine_grained.FineGrainedAttack": "FineGrainedAttack",
+    "repro.attacks.FineGrainedAttack": "FineGrainedAttack",
+}
+
+
+class DeprecatedPositionalShim(Rule):
+    """PL006 — no legacy `run(freq_vector, radius)` calls in first-party code."""
+
+    id = "PL006"
+    name = "deprecated-attack-shim"
+    summary = "call attacks with a Release, not the positional (freq, radius) shim"
+    rationale = (
+        "The unified Attack API takes a frozen Release (frequency vector + "
+        "radius + optional ground truth); the positional (freq_vector, "
+        "radius) spelling survives only as a DeprecationWarning shim for "
+        "third-party callers. First-party code using the shim keeps the "
+        "legacy path load-bearing and hides the metadata (true_location, "
+        "timestamp) that evaluation and tracking rely on."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test:
+            return
+        attack_vars: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = ctx.imports.resolve(node.value.func)
+                cls = _SHIMMED_ATTACKS.get(ctor or "")
+                if cls is not None:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            attack_vars[tgt.id] = cls
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr != "run":
+                continue
+            receiver = node.func.value
+            cls: str | None = None
+            if isinstance(receiver, ast.Name):
+                cls = attack_vars.get(receiver.id)
+            elif isinstance(receiver, ast.Call):
+                cls = _SHIMMED_ATTACKS.get(ctx.imports.resolve(receiver.func) or "")
+            if cls is None:
+                continue
+            legacy = len(node.args) >= 2 or any(
+                kw.arg == "radius" for kw in node.keywords
+            )
+            if legacy:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{cls}.run(freq_vector, radius) is the deprecated "
+                    "positional shim; pass repro.attacks.Release("
+                    "freq_vector, radius) instead",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    UnseededRandomness(),
+    AccountantBypass(),
+    FreqDtypeDiscipline(),
+    NonPicklableShardWorker(),
+    WallClockInExperimentPath(),
+    DeprecatedPositionalShim(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in RULES:
+        if rule.id == rule_id.upper():
+            return rule
+    raise KeyError(rule_id)

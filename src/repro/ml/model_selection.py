@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 
 __all__ = ["train_test_split"]
 
@@ -13,7 +13,7 @@ def train_test_split(
     X: np.ndarray,
     y: np.ndarray,
     test_fraction: float = 0.2,
-    rng=None,
+    rng: RngLike = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shuffle and split into ``(X_train, X_test, y_train, y_test)``."""
     if not 0.0 < test_fraction < 1.0:

@@ -31,7 +31,7 @@ class GaussianNaiveBayes:
         for near-constant features.
     """
 
-    def __init__(self, var_smoothing: float = 1e-9):
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
         if var_smoothing < 0:
             raise ValueError(f"var_smoothing must be non-negative, got {var_smoothing}")
         self.var_smoothing = var_smoothing

@@ -61,7 +61,7 @@ class OneHotEncoder:
     the encoding is stable across datasets; out-of-range values raise.
     """
 
-    def __init__(self, n_categories: int):
+    def __init__(self, n_categories: int) -> None:
         if n_categories <= 0:
             raise ValueError(f"n_categories must be positive, got {n_categories}")
         self.n_categories = n_categories

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import NotFittedError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.ml.kernels import gamma_scale, linear_kernel, rbf_kernel
 
 __all__ = ["BinarySVC", "OneVsRestSVC"]
@@ -45,8 +45,8 @@ class BinarySVC:
         tol: float = 1e-3,
         max_passes: int = 3,
         max_iter: int = 200,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         if C <= 0:
             raise ValueError(f"C must be positive, got {C}")
         if kernel not in ("rbf", "linear"):
@@ -188,7 +188,7 @@ class OneVsRestSVC:
     (here: candidate frequency values of a sanitized POI type).
     """
 
-    def __init__(self, C: float = 1.0, kernel: str = "rbf", gamma: "float | None" = None, rng=None):
+    def __init__(self, C: float = 1.0, kernel: str = "rbf", gamma: "float | None" = None, rng: RngLike = None) -> None:
         self.C = C
         self.kernel = kernel
         self.gamma = gamma

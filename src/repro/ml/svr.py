@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import NotFittedError
-from repro.core.rng import as_generator
+from repro.core.rng import RngLike, as_generator
 from repro.ml.kernels import gamma_scale, rbf_kernel
 
 __all__ = ["KernelRidge", "LinearSVR"]
@@ -30,7 +30,7 @@ class KernelRidge:
     prediction is ``K(x, X_train) @ alpha``.
     """
 
-    def __init__(self, alpha: float = 1.0, gamma: "float | None" = None):
+    def __init__(self, alpha: float = 1.0, gamma: "float | None" = None) -> None:
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         self.alpha = alpha
@@ -74,8 +74,8 @@ class LinearSVR:
         epsilon: float = 0.1,
         n_epochs: int = 60,
         learning_rate: float = 0.1,
-        rng=None,
-    ):
+        rng: RngLike = None,
+    ) -> None:
         if C <= 0:
             raise ValueError(f"C must be positive, got {C}")
         if epsilon < 0:

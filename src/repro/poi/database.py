@@ -51,7 +51,7 @@ class POIDatabase:
         vocabulary: TypeVocabulary,
         bounds: BBox | None = None,
         cell_size: float = 500.0,
-    ):
+    ) -> None:
         xy = np.asarray(xy, dtype=float)
         type_ids = np.asarray(type_ids, dtype=np.intp)
         if xy.ndim != 2 or xy.shape[1] != 2:
@@ -177,7 +177,9 @@ class POIDatabase:
         idx = self.query(center, radius)
         return np.bincount(self._types[idx], minlength=self.n_types).astype(np.int64)
 
-    def query_batch(self, xy, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    def query_batch(
+        self, xy: "Sequence[Point] | np.ndarray", radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``Query(l, r)`` for many locations in one vectorized pass.
 
         Accepts an ``(n, 2)`` coordinate array or a sequence of
@@ -188,7 +190,7 @@ class POIDatabase:
         """
         return self._index.query_batch(self._as_coords(xy), radius)
 
-    def freq_batch(self, xy, radius: float) -> np.ndarray:
+    def freq_batch(self, xy: "Sequence[Point] | np.ndarray", radius: float) -> np.ndarray:
         """``Freq(l, r)`` for many locations at once, as an ``(n, M)`` matrix.
 
         Bit-identical to stacking :meth:`freq` per location, but answered by
@@ -219,7 +221,9 @@ class POIDatabase:
             ).reshape(len(block), m)
         return out
 
-    def anchor_freqs(self, radius: float, indices=None) -> np.ndarray:
+    def anchor_freqs(
+        self, radius: float, indices: "Sequence[int] | np.ndarray | None" = None
+    ) -> np.ndarray:
         """The anchor frequency matrix: ``Freq(p_i, radius)`` for POIs ``p_i``.
 
         The attacks evaluate ``Freq(p, 2r)`` for every candidate anchor POI
@@ -244,7 +248,12 @@ class POIDatabase:
         view.flags.writeable = False
         return view
 
-    def freq_bounds(self, radius: float, indices=None, side: str = "upper") -> np.ndarray:
+    def freq_bounds(
+        self,
+        radius: float,
+        indices: "Sequence[int] | np.ndarray | None" = None,
+        side: str = "upper",
+    ) -> np.ndarray:
         """Sound elementwise bounds on ``Freq(p_i, radius)`` per POI.
 
         With ``side="upper"``, the exact type histogram of every POI in the
@@ -359,7 +368,7 @@ class POIDatabase:
         return mat, self._anchor_ready[key]
 
     @staticmethod
-    def _as_coords(xy) -> np.ndarray:
+    def _as_coords(xy: "Sequence[Point] | np.ndarray") -> np.ndarray:
         """Coerce an ``(n, 2)`` array or a sequence of Points to coordinates."""
         if isinstance(xy, np.ndarray):
             coords = np.asarray(xy, dtype=float)

@@ -15,6 +15,7 @@ Only stdlib XML parsing is used, so the importer works offline.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
+from collections.abc import Sequence
 from pathlib import Path
 
 import numpy as np
@@ -31,7 +32,7 @@ __all__ = ["load_osm_xml", "DEFAULT_TYPE_KEYS"]
 DEFAULT_TYPE_KEYS = ("amenity", "shop", "leisure", "tourism")
 
 
-def _node_type(tags: dict[str, str], type_keys) -> "str | None":
+def _node_type(tags: dict[str, str], type_keys: Sequence[str]) -> "str | None":
     for key in type_keys:
         value = tags.get(key)
         if value:
@@ -41,7 +42,7 @@ def _node_type(tags: dict[str, str], type_keys) -> "str | None":
 
 def load_osm_xml(
     path: "str | Path",
-    type_keys=DEFAULT_TYPE_KEYS,
+    type_keys: Sequence[str] = DEFAULT_TYPE_KEYS,
     anchor: "GeoPoint | None" = None,
     cell_size: float = 500.0,
 ) -> POIDatabase:

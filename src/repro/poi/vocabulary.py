@@ -17,7 +17,7 @@ __all__ = ["TypeVocabulary"]
 class TypeVocabulary:
     """An ordered, immutable set of POI type names with dense integer ids."""
 
-    def __init__(self, names: Sequence[str]):
+    def __init__(self, names: Sequence[str]) -> None:
         names = list(names)
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})

@@ -1,0 +1,30 @@
+"""PL001 negative cases: nothing here may be flagged."""
+
+import numpy as np
+
+from repro.core.rng import as_generator, derive_rng
+
+
+def seeded_generator_methods() -> None:
+    rng = derive_rng(42, "fixture")
+    rng.normal(0.0, 1.0, size=3)
+    rng.integers(0, 10)
+
+
+def seeded_default_rng_outside_library() -> np.random.Generator:
+    # Fixture lints as an example/benchmark role, where a *seeded*
+    # default_rng is fine (the library-role rule is stricter).
+    return np.random.default_rng(123)
+
+
+def generator_passthrough(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    return as_generator(rng)
+
+
+def local_variable_named_random() -> int:
+    class _Holder:
+        def random(self) -> int:
+            return 4
+
+    random = _Holder()
+    return random.random()  # a local object, not the stdlib module

@@ -1,0 +1,15 @@
+"""The old `repro/__init__.py` quickstart demo, kept as a PL001 fixture.
+
+Before the linter existed the package docstring's demo constructed its
+generator inline instead of deriving it from `repro.core.rng`; linted as
+library code this form is a PL001 violation (library generators must
+descend from the experiment seed via as_generator/derive_rng/spawn_rngs).
+"""
+
+import numpy as np
+
+
+def old_quickstart_demo(city, db, RegionAttack):
+    target = city.interior(1000.0).sample_point(np.random.default_rng(0))  # PL001
+    outcome = RegionAttack(db).run(db.freq(target, 1000.0), 1000.0)
+    return outcome

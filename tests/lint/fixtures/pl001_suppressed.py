@@ -1,0 +1,12 @@
+"""PL001 suppressed cases: violations silenced by pragmas."""
+
+# poiagg: disable=PL001
+
+import random
+
+import numpy as np
+
+
+def file_level_suppression() -> float:
+    np.random.seed(0)
+    return random.random()

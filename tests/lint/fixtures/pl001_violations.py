@@ -1,0 +1,25 @@
+"""PL001 positive cases: every call below must be flagged."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stdlib_randomness() -> float:
+    return random.random()  # PL001: stdlib global state
+
+
+def stdlib_seeded_is_still_global() -> None:
+    random.seed(7)  # PL001: seeds the hidden global stream
+
+
+def legacy_numpy_module_functions() -> None:
+    np.random.seed(0)  # PL001: global numpy stream
+    np.random.normal(0.0, 1.0, size=3)  # PL001: global numpy stream
+    np.random.shuffle([1, 2, 3])  # PL001: global numpy stream
+
+
+def unseeded_default_rng() -> None:
+    np.random.default_rng()  # PL001: OS entropy
+    default_rng(None)  # PL001: OS entropy via direct import

@@ -1,0 +1,17 @@
+"""PL002 negative cases (linted as repro.defense.* library code)."""
+
+import numpy as np
+
+from repro.dp.mechanisms import gaussian_sigma, laplace_mechanism
+
+
+class FixtureDefense:
+    """Mechanism call inside a defense class: the guarded shape."""
+
+    def __init__(self, epsilon: float, delta: float) -> None:
+        # Calibration helpers are data-independent and exempt.
+        self.sigma = gaussian_sigma(1.0, epsilon, delta)
+        self.epsilon = epsilon
+
+    def release(self, freq: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return laplace_mechanism(freq, 1.0, self.epsilon, rng)

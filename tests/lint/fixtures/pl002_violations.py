@@ -1,0 +1,15 @@
+"""PL002 positive cases (linted as a non-defense library module)."""
+
+import numpy as np
+
+from repro.dp import PlanarLaplace
+from repro.dp.mechanisms import gaussian_mechanism, laplace_mechanism
+
+
+def sidestep_the_accountant(freq: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    noisy = gaussian_mechanism(freq, 1.0, 0.5, 0.2, rng)  # PL002
+    return laplace_mechanism(noisy, 1.0, 0.5, rng)  # PL002
+
+
+def raw_geo_mechanism() -> object:
+    return PlanarLaplace(0.1)  # PL002

@@ -1,0 +1,21 @@
+"""PL003 negative cases: the sanctioned dtype/hypot discipline."""
+
+import numpy as np
+
+
+def explicit_float_for_math(db, targets, radius: float) -> np.ndarray:
+    freqs = db.freq_batch(targets, radius)
+    return freqs.astype(float).mean(axis=0)  # float where the math needs it
+
+
+def int32_preserving_cast(db, radius: float) -> np.ndarray:
+    return db.anchor_freqs(radius).astype(np.int32)
+
+
+def hypot_comparison(dx: np.ndarray, dy: np.ndarray, r: float) -> np.ndarray:
+    return np.hypot(dx, dy) <= r
+
+
+def unrelated_squares(a: float, b: float) -> float:
+    # A sum of squares that is not a distance comparison is fine.
+    return a**2 + b**2

@@ -1,0 +1,18 @@
+"""PL003 positive cases: widening casts and squared-distance comparisons."""
+
+import numpy as np
+
+
+def widening_casts(db, targets, radius: float) -> np.ndarray:
+    freqs = db.freq_batch(targets, radius)
+    wide = freqs.astype(np.int64)  # PL003: widens the int32 contract
+    chained = db.anchor_freqs(radius).astype("int64")  # PL003
+    return wide + chained
+
+
+def squared_distance_compare(dx: np.ndarray, dy: np.ndarray, r: float) -> np.ndarray:
+    return dx**2 + dy**2 <= r**2  # PL003: rounds differently from hypot
+
+
+def sqrt_of_sum_of_squares(dx: float, dy: float) -> float:
+    return np.sqrt(dx**2 + dy**2)  # PL003: use np.hypot

@@ -1,0 +1,25 @@
+"""PL004 negative cases: module-level workers are re-executable."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def module_level_worker(shard: int) -> int:
+    return shard * 2
+
+
+def run(shards: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(module_level_worker, s) for s in shards]
+        return [f.result() for f in futures]
+
+
+def run_with_partial(shards: list[int]) -> list[int]:
+    bound = partial(module_level_worker)
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(bound, shards))
+
+
+def plain_builtin_map(shards: list[int]) -> list[int]:
+    # builtins.map with a lambda never crosses a process boundary.
+    return list(map(lambda s: s * 2, shards))

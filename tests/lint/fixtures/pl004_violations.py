@@ -1,0 +1,26 @@
+"""PL004 positive cases: non-picklable workers handed to pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def lambda_worker(shards: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda s: s * 2, shard) for shard in shards]  # PL004
+        return [f.result() for f in futures]
+
+
+def nested_worker(shards: list[int]) -> list[int]:
+    state = {"count": 0}
+
+    def work(shard: int) -> int:  # closes over mutable local state
+        state["count"] += 1
+        return shard * 2
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, shards))  # PL004
+
+
+def partial_over_lambda(shards: list[int]) -> None:
+    with ProcessPoolExecutor() as pool:
+        pool.submit(partial(lambda s: s, 1))  # PL004

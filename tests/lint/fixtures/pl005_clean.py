@@ -1,0 +1,21 @@
+"""PL005 negative/suppressed cases."""
+
+from repro.core.clock import Clock, SimulatedClock
+
+
+def clock_based_timing(clock: Clock) -> float:
+    # The Clock abstraction is the sanctioned time source.
+    start = clock.now()
+    clock.sleep(1.0)
+    return clock.now() - start
+
+
+def simulated_default() -> float:
+    return SimulatedClock(start=100.0).now()
+
+
+def telemetry_with_justification(rows: list[dict]) -> None:
+    import time
+
+    # Provenance-only telemetry, never checkpointed with the payload.
+    rows.append({"heartbeat": time.time()})  # poiagg: disable=PL005

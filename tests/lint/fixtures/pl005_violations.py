@@ -1,0 +1,18 @@
+"""PL005 positive cases (linted as library code under repro.experiments)."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_rows(rows: list[dict]) -> list[dict]:
+    for row in rows:
+        row["ts"] = time.time()  # PL005: differs between run and resume
+        row["when"] = datetime.now()  # PL005
+        row["id"] = uuid.uuid4()  # PL005
+    return rows
+
+
+def entropy_in_payload() -> bytes:
+    return os.urandom(8)  # PL005

@@ -1,0 +1,70 @@
+"""`poiagg check` CLI contract: formats, exit codes, selection."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+VIOLATING = "import numpy as np\nnp.random.seed(0)\n"
+CLEAN = "from repro.core.rng import derive_rng\nrng = derive_rng(0, 'x')\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "experiments"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(VIOLATING)
+    (pkg / "good.py").write_text(CLEAN)
+    return tmp_path / "src"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text(CLEAN)
+    assert main(["check", str(good)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_rule_id_and_location(tree, capsys):
+    assert main(["check", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "PL001" in out
+    assert "bad.py:2:" in out
+
+
+def test_json_format_is_parseable(tree, capsys):
+    assert main(["check", str(tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["violations"][0]["rule"] == "PL001"
+    assert payload["violations"][0]["line"] == 2
+
+
+def test_github_format_emits_error_annotations(tree, capsys):
+    assert main(["check", str(tree), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "title=PL001" in out
+
+
+def test_select_restricts_rules(tree):
+    assert main(["check", str(tree), "--select", "PL006"]) == 0
+    assert main(["check", str(tree), "--select", "pl001"]) == 1
+
+
+def test_unknown_rule_is_usage_error(tree, capsys):
+    assert main(["check", str(tree), "--select", "PL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+        assert rule_id in out

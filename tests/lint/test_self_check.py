@@ -1,0 +1,90 @@
+"""The pytest-collected lint gate: first-party code is clean at HEAD, and
+deliberately reintroducing any one invariant violation fails with a rule
+ID and file:line (the acceptance contract for `poiagg check`)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import check_paths
+from repro.lint.cli import DEFAULT_CHECK_PATHS
+
+REPO = Path(__file__).parent.parent.parent
+
+
+def test_first_party_tree_is_clean():
+    """`poiagg check src benchmarks examples` exits 0 at HEAD."""
+    paths = [REPO / p for p in DEFAULT_CHECK_PATHS]
+    assert all(p.is_dir() for p in paths)
+    report = check_paths(paths)
+    assert report.n_files > 100  # the gate actually covered the tree
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+
+
+#: One reintroduction per invariant: (rule, planted source, role path).
+REGRESSIONS = [
+    (
+        "PL001",
+        "import numpy as np\n\nnoise = np.random.normal(0.0, 1.0, size=8)\n",
+        "src/repro/defense/planted.py",
+    ),
+    (
+        "PL002",
+        "from repro.dp.mechanisms import gaussian_mechanism\n\n"
+        "def leak(freq, rng):\n"
+        "    return gaussian_mechanism(freq, 1.0, 0.5, 0.2, rng)\n",
+        "src/repro/experiments/planted.py",
+    ),
+    (
+        "PL003",
+        "def widen(db, targets, r):\n"
+        "    import numpy as np\n"
+        "    return db.freq_batch(targets, r).astype(np.int64)\n",
+        "src/repro/attacks/planted.py",
+    ),
+    (
+        "PL004",
+        "from concurrent.futures import ProcessPoolExecutor\n\n"
+        "def fan_out(shards):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return [pool.submit(lambda s: s, s) for s in shards]\n",
+        "src/repro/experiments/planted.py",
+    ),
+    (
+        "PL005",
+        "import time\n\n"
+        "def stamp(row):\n"
+        "    row['ts'] = time.time()\n"
+        "    return row\n",
+        "src/repro/experiments/planted.py",
+    ),
+    (
+        "PL006",
+        "from repro.attacks.region import RegionAttack\n\n"
+        "def legacy(db, freq, radius):\n"
+        "    return RegionAttack(db).run(freq, radius)\n",
+        "examples/planted.py",
+    ),
+]
+
+
+@pytest.mark.parametrize("rule,source,as_path", REGRESSIONS)
+def test_reintroduced_violation_fails_the_gate(tmp_path, rule, source, as_path):
+    planted = tmp_path / as_path
+    planted.parent.mkdir(parents=True, exist_ok=True)
+    planted.write_text(source)
+    report = check_paths([tmp_path])
+    assert report.exit_code == 1
+    assert any(v.rule_id == rule for v in report.violations), (
+        rule,
+        [v.render() for v in report.violations],
+    )
+    hit = next(v for v in report.violations if v.rule_id == rule)
+    assert hit.path.endswith(as_path.rsplit("/", 1)[1])
+    assert hit.line >= 1
+
+
+def test_every_rule_has_a_regression_case():
+    from repro.lint import RULES
+
+    assert {r for r, _, _ in REGRESSIONS} == {rule.id for rule in RULES}
