@@ -1,0 +1,47 @@
+"""Bench: validating ingestion throughput and the dataset cache payoff."""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.rng import derive_rng
+from repro.geo.bbox import BBox
+from repro.ingest.cache import DatasetCache
+from repro.ingest.loaders import ingest_poi_csv
+from repro.poi.database import POIDatabase
+from repro.poi.io import save_database
+from repro.poi.vocabulary import TypeVocabulary
+
+N_POIS = 10_000
+
+
+def _synthetic_csv(tmp_path):
+    rng = derive_rng(0, "bench-ingest")
+    bounds = BBox(0.0, 0.0, 10_000.0, 10_000.0)
+    vocab = TypeVocabulary([f"type_{i:02d}" for i in range(25)])
+    xy = rng.uniform(0.0, 10_000.0, size=(N_POIS, 2))
+    type_ids = rng.integers(0, len(vocab), size=N_POIS).astype(np.intp)
+    db = POIDatabase(xy, type_ids, vocab, bounds=bounds)
+    path = tmp_path / "bench.csv"
+    save_database(db, path)
+    return path
+
+
+def test_bench_ingest_poi_csv(benchmark, tmp_path):
+    path = _synthetic_csv(tmp_path)
+    db, report = run_once(benchmark, lambda: ingest_poi_csv(path))
+    assert len(db) == N_POIS
+    assert report.clean
+
+    # The cache payoff, reported alongside the parse timing: a hit skips
+    # the whole validating parse and just loads the checksummed arrays.
+    cache = DatasetCache(tmp_path / "cache")
+    cache.put(path, db)
+    start = time.perf_counter()
+    served = cache.get(path)
+    hit_s = time.perf_counter() - start
+    assert served is not None
+    assert np.array_equal(served.positions, db.positions)
+    print()
+    print(f"[bench-ingest] {N_POIS} rows validated; cache hit in {hit_s * 1e3:.1f} ms")

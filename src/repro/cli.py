@@ -8,9 +8,10 @@ Examples::
     poiagg run all --scale ci --out results/ --resume
     poiagg run all --sharded --shard-timeout 1800 --shard-retries 2 \\
         --out results/ --resume   # supervised shards, shard-level resume
+    poiagg ingest data/city.csv --policy quarantine --report report.json
 
-Exit codes (for ``run``): 0 — every experiment succeeded (or was skipped
-via a matching checkpoint); 1 — at least one experiment failed; 2 — the
+Exit codes (for ``run`` and ``ingest``): 0 — success; 1 — failure (an
+experiment failed / the dataset was rejected under the policy); 2 — the
 invocation was bad (unknown experiment id, ``--resume`` without
 ``--out``, unparsable arguments).
 """
@@ -162,15 +163,65 @@ def build_parser() -> argparse.ArgumentParser:
     uniq.add_argument("--cell", type=float, default=2_000.0, help="map cell size in meters")
     uniq.add_argument("--seed", type=int, default=None)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="validate a dataset file and report every record's fate",
+        description=(
+            "Stream a POI CSV (+ .meta.json sidecar), OSM XML extract, or "
+            "trajectory log through the validating ingestion layer. "
+            "Policies: strict = reject the file at the first bad record "
+            "(with its row number), repair = apply deterministic fixes, "
+            "quarantine = divert unfixable records to a sidecar. "
+            "Exit codes: 0 = ingested (report printed), 1 = rejected "
+            "under the policy, 2 = bad invocation."
+        ),
+    )
+    ingest.add_argument("source", type=Path, help="dataset file to ingest")
+    ingest.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "poi-csv", "osm", "trajectory"],
+        help="source format (auto: detect from suffix and header)",
+    )
+    ingest.add_argument(
+        "--policy",
+        default="strict",
+        choices=["strict", "repair", "quarantine"],
+        help="what to do with bad records (default: strict)",
+    )
+    ingest.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the ingest report as JSON (atomically)",
+    )
+    ingest.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="quarantine sidecar location (default: <source>.quarantine.jsonl)",
+    )
+    ingest.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "serve/commit the parsed database through the checksummed "
+            "atomic dataset cache (POI CSV and OSM only)"
+        ),
+    )
+
     check = sub.add_parser(
         "check",
         help="run the PL invariant linter over first-party code",
         description=(
-            "AST-based invariant linter (rules PL001-PL006): seed "
+            "AST-based invariant linter (rules PL001-PL007): seed "
             "discipline, DP accounting, Freq dtype/hypot discipline, "
             "picklable shard workers, wall-clock-free experiment paths, "
-            "no deprecated attack shims. Exit codes: 0 = clean, "
-            "1 = violations, 2 = bad invocation."
+            "no deprecated attack shims, atomic cache/checkpoint writes. "
+            "Exit codes: 0 = clean, 1 = violations, 2 = bad invocation."
         ),
     )
     from repro.lint.cli import add_check_arguments
@@ -285,6 +336,8 @@ def main(argv: "list[str] | None" = None) -> int:
         path = write_report(args.results_dir, args.output)
         print(f"[report written to {path}]")
         return 0
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "uniqueness":
@@ -294,6 +347,93 @@ def main(argv: "list[str] | None" = None) -> int:
 
         return run_check(args)
     return 2
+
+
+def _detect_format(path: Path) -> "str | None":
+    """Guess a dataset file's format from its suffix, then its header."""
+    if path.suffix.lower() in (".osm", ".xml"):
+        return "osm"
+    from repro.ingest.loaders import POI_CSV_HEADER, TRAJECTORY_LOG_HEADER
+
+    try:
+        with path.open("rb") as fh:
+            header = fh.readline().decode("utf-8", errors="replace").strip()
+    except OSError:
+        return "poi-csv"  # let the loader produce the typed not-found error
+    fields = tuple(header.split(","))
+    if fields == TRAJECTORY_LOG_HEADER:
+        return "trajectory"
+    if fields == POI_CSV_HEADER:
+        return "poi-csv"
+    return None
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import IngestError
+    from repro.ingest import atomic_write_text, collecting_ingest_reports
+
+    fmt = args.format
+    if fmt == "auto":
+        fmt = _detect_format(args.source)
+        if fmt is None:
+            print(
+                f"poiagg ingest: cannot detect the format of {args.source} "
+                "(unrecognized header); pass --format explicitly",
+                file=sys.stderr,
+            )
+            return 2
+    if fmt == "trajectory" and args.cache_dir is not None:
+        print(
+            "poiagg ingest: --cache-dir applies to POI databases only "
+            "(poi-csv / osm sources)",
+            file=sys.stderr,
+        )
+        return 2
+
+    with collecting_ingest_reports() as reports:
+        try:
+            if fmt == "poi-csv":
+                from repro.poi.io import load_database
+
+                load_database(
+                    args.source,
+                    policy=args.policy,
+                    quarantine_path=args.quarantine,
+                    cache_dir=args.cache_dir,
+                )
+            elif fmt == "osm":
+                from repro.poi.osm import load_osm_xml
+
+                load_osm_xml(
+                    args.source,
+                    policy=args.policy,
+                    quarantine_path=args.quarantine,
+                    cache_dir=args.cache_dir,
+                )
+            else:
+                from repro.datasets.trajectory_io import load_trajectory_log
+
+                load_trajectory_log(
+                    args.source, policy=args.policy, quarantine_path=args.quarantine
+                )
+        except IngestError as exc:
+            print(f"poiagg ingest: REJECTED [{type(exc).__name__}] {exc}", file=sys.stderr)
+            return 1
+
+    for report in reports:
+        print(report.render())
+        if report.quarantine_path is not None:
+            print(f"[quarantined records written to {report.quarantine_path}]")
+    if args.report is not None and reports:
+        payload = [report.as_dict() for report in reports]
+        atomic_write_text(
+            args.report,
+            json.dumps(payload[0] if len(payload) == 1 else payload, indent=2),
+        )
+        print(f"[report written to {args.report}]")
+    return 0
 
 
 def _city_for(args: argparse.Namespace) -> City:

@@ -81,6 +81,74 @@ class ShardError(ReproError):
         self.reports = list(reports) if reports else []
 
 
+class IngestError(DatasetError):
+    """A record or file failed validation at the dataset ingestion edge.
+
+    The base of the ingestion error taxonomy (:mod:`repro.ingest`).  Every
+    subtype locates the fault: ``path`` names the offending file and
+    ``record`` the 1-based data record (CSV row, OSM node ordinal,
+    trajectory log line) when the damage is record-scoped, or ``None``
+    when it is file-scoped (truncation, encoding damage at a byte
+    offset, sidecar inconsistency).  A subclass of :class:`DatasetError`
+    so existing ``except DatasetError`` call sites keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "object | None" = None,
+        record: "int | None" = None,
+    ) -> None:
+        location = ""
+        if path is not None and record is not None:
+            location = f" [{path}, record {record}]"
+        elif path is not None:
+            location = f" [{path}]"
+        super().__init__(message + location)
+        self.path = str(path) if path is not None else None
+        self.record = record
+
+
+class SchemaDriftError(IngestError):
+    """A record does not match the declared schema.
+
+    Wrong column count, unparsable field, unknown type name, a node
+    carrying POI tags but missing ``lat``/``lon``, or a sidecar whose
+    keys/values disagree with the payload.
+    """
+
+
+class CoordinateBoundsError(IngestError):
+    """A coordinate is non-finite or outside the declared bounds."""
+
+
+class DuplicateRecordError(IngestError):
+    """Record IDs are duplicated or out of declared order."""
+
+
+class EncodingDamageError(IngestError):
+    """A file's bytes do not decode as the declared text encoding."""
+
+
+class TruncatedInputError(IngestError):
+    """A file ends before the declared record count is reached.
+
+    Also raised for empty inputs and XML that stops mid-element:
+    truncation destroys records outright, so no policy can repair or
+    quarantine its way past it.
+    """
+
+
+class CacheIntegrityError(IngestError):
+    """A dataset cache entry failed its checksum or manifest validation.
+
+    Callers treat this as a miss (the entry is rebuilt from source), but
+    the typed error lets the chaos suite assert that a corrupted cache is
+    *detected* rather than silently served.
+    """
+
+
 class ReleaseValidationError(ReproError):
     """A released frequency vector violates the release contract.
 

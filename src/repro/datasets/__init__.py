@@ -19,12 +19,15 @@ from repro.datasets.trajectory import (
     TrajectoryPoint,
     extract_release_pairs,
 )
+from repro.datasets.trajectory_io import load_trajectory_log, save_trajectory_log
 
 __all__ = [
     "Trajectory",
     "TrajectoryPoint",
     "ReleasePair",
     "extract_release_pairs",
+    "save_trajectory_log",
+    "load_trajectory_log",
     "TaxiFleetConfig",
     "synthesize_taxi_trajectories",
     "taxi_locations",

@@ -45,6 +45,7 @@ from repro.core.errors import ConfigError
 from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
+from repro.ingest.report import collecting_ingest_reports
 
 __all__ = [
     "EXIT_OK",
@@ -192,7 +193,17 @@ def run_many(
         else:
             start = time.time()
             try:
-                result = run_fn(experiment_id, scale)
+                # Every dataset load inside the experiment reports to the
+                # collector; the reports land in result.provenance["ingest"]
+                # alongside the shard reports, so a result JSON records
+                # exactly which files fed it, under which policy, with
+                # which record fates.
+                with collecting_ingest_reports() as ingest_reports:
+                    result = run_fn(experiment_id, scale)
+                if ingest_reports:
+                    result.provenance["ingest"] = [
+                        report.as_dict() for report in ingest_reports
+                    ]
             except KeyboardInterrupt:
                 raise
             except Exception as exc:  # noqa: BLE001 — the whole point is containment

@@ -1,0 +1,166 @@
+"""Ingest accounting: record fates, policies, and provenance reports.
+
+Every ingestion run must account for every input record — the chaos
+suite's core invariant is ``ok + repaired + quarantined == n_records``
+for any corruption the injector can produce.  An :class:`IngestReport`
+carries that ledger plus the source checksum and policy, and is folded
+into ``ExperimentResult.provenance["ingest"]`` through the collector in
+this module, exactly the way shard supervision folds its
+``ShardReport`` list in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "POLICIES",
+    "FATES",
+    "IngestReport",
+    "RecordIssue",
+    "collecting_ingest_reports",
+    "record_ingest_report",
+]
+
+#: The three ingestion policies.  ``strict`` raises a typed
+#: :class:`~repro.core.errors.IngestError` at the first fault; ``repair``
+#: applies deterministic fixes (clamp out-of-bounds coordinates, restore
+#: ID order, drop exact duplicates, strip whitespace damage) and raises
+#: on anything it cannot fix; ``quarantine`` diverts every bad record to
+#: a sidecar file and continues.  File-scoped damage (truncation,
+#: undecodable bytes in strict/repair, a torn sidecar) always raises:
+#: records that never made it to disk cannot be repaired or quarantined.
+POLICIES = ("strict", "repair", "quarantine")
+
+#: Per-record fates an ingestion can assign.
+FATES = ("ok", "repaired", "quarantined")
+
+#: Issue lists are capped so a pathological file cannot balloon the
+#: report (and the provenance JSON it lands in); counts stay exact.
+_MAX_ISSUES = 50
+
+
+@dataclass(frozen=True, slots=True)
+class RecordIssue:
+    """One damaged record: where it was, what was wrong, what happened."""
+
+    record: int  # 1-based data record number in the source file
+    error: str  # IngestError subtype name (the taxonomy class)
+    detail: str  # human-readable description of the damage
+    fate: str  # "repaired" | "quarantined"
+
+
+@dataclass
+class IngestReport:
+    """The ledger of one ingestion run.
+
+    ``n_records`` counts every data record the source presented;
+    ``counts`` splits them by fate and must sum back to ``n_records``
+    (:attr:`accounted`).  ``error_counts`` tallies damaged records by
+    taxonomy class — a record that is repaired or quarantined appears in
+    both its fate count and its error-class count.
+    """
+
+    path: str
+    format: str  # "poi-csv" | "osm-xml" | "trajectory-log"
+    policy: str
+    source_sha256: str = ""
+    n_records: int = 0
+    counts: dict[str, int] = field(default_factory=lambda: dict.fromkeys(FATES, 0))
+    error_counts: dict[str, int] = field(default_factory=dict)
+    issues: list[RecordIssue] = field(default_factory=list)
+    quarantine_path: "str | None" = None
+    cache: "str | None" = None  # "hit" | "miss" | None (no cache in play)
+
+    def tally(self, fate: str, issue: "RecordIssue | None" = None) -> None:
+        """Count one record under *fate* (and its issue, when damaged)."""
+        self.n_records += 1
+        self.counts[fate] += 1
+        if issue is not None:
+            self.error_counts[issue.error] = self.error_counts.get(issue.error, 0) + 1
+            if len(self.issues) < _MAX_ISSUES:
+                self.issues.append(issue)
+
+    def refate(self, old: str, issue: RecordIssue) -> None:
+        """Move one already-tallied record from *old* to the issue's fate.
+
+        Used by post-stream fixes (ID-order restoration) that discover a
+        record was damaged after it was provisionally counted ``ok``.
+        """
+        self.counts[old] -= 1
+        self.counts[issue.fate] += 1
+        self.error_counts[issue.error] = self.error_counts.get(issue.error, 0) + 1
+        if len(self.issues) < _MAX_ISSUES:
+            self.issues.append(issue)
+
+    def note(self, issue: RecordIssue) -> None:
+        """Record an additional issue on an already-fated record.
+
+        A record can carry several damages (a whitespace-mangled id *and*
+        an out-of-bounds coordinate); it still lands in exactly one fate,
+        but every issue is listed and counted by taxonomy class.
+        """
+        self.error_counts[issue.error] = self.error_counts.get(issue.error, 0) + 1
+        if len(self.issues) < _MAX_ISSUES:
+            self.issues.append(issue)
+
+    @property
+    def accounted(self) -> bool:
+        """Whether every input record landed in exactly one fate."""
+        return sum(self.counts.values()) == self.n_records
+
+    @property
+    def clean(self) -> bool:
+        """Whether every record was ok (no repairs, no quarantines)."""
+        return self.counts.get("ok", 0) == self.n_records and self.accounted
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what lands in provenance and ``--report``)."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-paragraph human summary for the CLI."""
+        parts = [
+            f"{self.format} {self.path} [{self.policy}]:",
+            f"{self.n_records} records —",
+            ", ".join(f"{self.counts[f]} {f}" for f in FATES),
+        ]
+        if self.error_counts:
+            errors = ", ".join(f"{k}×{v}" for k, v in sorted(self.error_counts.items()))
+            parts.append(f"({errors})")
+        if self.quarantine_path is not None:
+            parts.append(f"quarantine → {self.quarantine_path}")
+        if self.cache is not None:
+            parts.append(f"cache {self.cache}")
+        return " ".join(parts)
+
+
+# --- provenance collection -------------------------------------------------
+#
+# Loaders call record_ingest_report() on every completed ingestion; the
+# experiment runner wraps each run in collecting_ingest_reports() and
+# folds whatever was collected into ExperimentResult.provenance.  When no
+# collector is active, reports are simply dropped — ad-hoc library use
+# pays nothing.  The stack nests so a runner inside a runner (tests)
+# collects into the innermost scope only.
+
+_COLLECTOR_STACK: list[list[IngestReport]] = []
+
+
+def record_ingest_report(report: IngestReport) -> None:
+    """Hand a completed report to the innermost active collector (if any)."""
+    if _COLLECTOR_STACK:
+        _COLLECTOR_STACK[-1].append(report)
+
+
+@contextmanager
+def collecting_ingest_reports() -> Iterator[list[IngestReport]]:
+    """Collect every report recorded inside the ``with`` body."""
+    collected: list[IngestReport] = []
+    _COLLECTOR_STACK.append(collected)
+    try:
+        yield collected
+    finally:
+        _COLLECTOR_STACK.pop()

@@ -498,6 +498,131 @@ class DeprecatedPositionalShim(Rule):
                 )
 
 
+#: Role keywords marking a write as crash-safety-critical: files other
+#: code resumes from or trusts (caches, checkpoints, quarantine sidecars).
+_ROLE_KEYWORDS = ("cache", "checkpoint", "quarantine")
+
+#: Path methods that replace a file's content wholesale.
+_WRITE_ATTRS = {"write_text", "write_bytes"}
+
+#: Modes that (re)write content.  Append is deliberately out of scope:
+#: append-only event logs are incremental by design and cannot be
+#: committed by rename.
+_WRITE_MODES = ("w", "x")
+
+
+class NonAtomicRoleWrite(Rule):
+    """PL007 — cache/checkpoint/quarantine writes must be atomic."""
+
+    id = "PL007"
+    name = "atomic-role-write"
+    summary = "cache/checkpoint/quarantine files must be written via temp-file + rename"
+    rationale = (
+        "Crash-safe resume and the dataset cache's integrity guarantee "
+        "both rest on readers never observing a torn file: checkpoints "
+        "are trusted on re-run, cache entries are checksummed, quarantine "
+        "sidecars account for diverted records. A direct write_text/open "
+        "to such a file can be interrupted half-written and then be "
+        "consumed as truth. Route these writes through "
+        "repro.ingest.atomic (atomic_writer / atomic_write_text / "
+        "atomic_write_bytes) or pair them with os.replace in the same "
+        "function, as runner.write_checkpoint does."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # The atomic helpers themselves necessarily open temp files.
+        if ctx.is_test or ctx.module == "repro.ingest.atomic":
+            return
+        yield from self._scan(ctx, ctx.tree, fn_names=(), commits=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, fn_names: tuple[str, ...], commits: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_names, child_commits = fn_names, commits
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_names = fn_names + (child.name,)
+                child_commits = commits or self._commits(ctx, child)
+            elif isinstance(child, ast.Call):
+                yield from self._check_write(ctx, child, fn_names, commits)
+            yield from self._scan(ctx, child, child_names, child_commits)
+
+    def _commits(self, ctx: FileContext, fn: ast.AST) -> bool:
+        """Does *fn* rename into place or delegate to an atomic helper?"""
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target == "os.replace":
+                return True
+            if target is not None:
+                name = target.rsplit(".", 1)[-1]
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            else:
+                continue
+            if name == "atomic_writer" or name.startswith("atomic_write"):
+                return True
+        return False
+
+    def _check_write(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        fn_names: tuple[str, ...],
+        commits: bool,
+    ) -> Iterator[Violation]:
+        target = self._write_target(node)
+        if target is None or commits:
+            return
+        scope = " ".join(fn_names).lower()
+        spelled = ast.unparse(target).lower()
+        matched = [kw for kw in _ROLE_KEYWORDS if kw in scope or kw in spelled]
+        if not matched:
+            return
+        yield self.violation(
+            ctx,
+            node,
+            f"direct write to a {matched[0]}-role file; a crash here leaves "
+            "a torn file that resume/integrity checks will trust — write "
+            "via repro.ingest.atomic or os.replace a temp file into place",
+        )
+
+    def _write_target(self, node: ast.Call) -> "ast.expr | None":
+        """The path expression a call writes to, or None for non-writes."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_ATTRS:
+            return func.value
+        mode: "str | None" = None
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._mode_of(node, mode_pos=1)
+            receiver = node.args[0] if node.args else None
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            mode = self._mode_of(node, mode_pos=0)
+            receiver = func.value
+        else:
+            return None
+        if mode is None or not any(flag in mode for flag in _WRITE_MODES):
+            return None
+        return receiver
+
+    @staticmethod
+    def _mode_of(node: ast.Call, mode_pos: int) -> "str | None":
+        mode_arg: "ast.expr | None" = None
+        if len(node.args) > mode_pos:
+            mode_arg = node.args[mode_pos]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode_arg = kw.value
+        if mode_arg is None:
+            return "r"  # open() default: a read, not a write
+        if isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str):
+            return mode_arg.value
+        return None  # dynamic mode: cannot prove a write
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     AccountantBypass(),
@@ -505,6 +630,7 @@ RULES: tuple[Rule, ...] = (
     NonPicklableShardWorker(),
     WallClockInExperimentPath(),
     DeprecatedPositionalShim(),
+    NonAtomicRoleWrite(),
 )
 
 

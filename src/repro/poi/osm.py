@@ -2,42 +2,33 @@
 
 The paper's datasets are OSM extracts; when a user *does* have network
 access they can export an ``.osm`` XML file (e.g. via the Overpass API)
-and load it here.  The importer reads node elements, takes the POI type
-from the first matching tag key (``amenity`` by default, then ``shop``,
-``leisure``, ``tourism``), projects coordinates into a local planar frame
-anchored at the extract's centroid, and builds a regular
+and load it here.  The importer streams node elements, takes the POI
+type from the first matching tag key (``amenity`` by default, then
+``shop``, ``leisure``, ``tourism``), projects coordinates into a local
+planar frame anchored at the extract's centroid, and builds a regular
 :class:`~repro.poi.database.POIDatabase` — after which every attack,
 defense, and experiment in this package runs on the real city unchanged.
 
-Only stdlib XML parsing is used, so the importer works offline.
+Parsing and validation live in :mod:`repro.ingest.loaders`: real-world
+extracts are messy, so every node is validated (missing ``lat``/``lon``
+on a POI node, unparsable or out-of-range coordinates, duplicate node
+ids, truncated XML) and classified into the typed
+:class:`~repro.core.errors.IngestError` taxonomy under the selected
+policy.  Only stdlib XML parsing is used, so the importer works offline.
 """
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
 from collections.abc import Sequence
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.errors import DatasetError
 from repro.geo.point import GeoPoint
-from repro.geo.projection import LocalProjection
+from repro.ingest.cache import DatasetCache
+from repro.ingest.loaders import DEFAULT_TYPE_KEYS, ingest_osm_xml
+from repro.ingest.report import IngestReport, record_ingest_report
 from repro.poi.database import POIDatabase
-from repro.poi.vocabulary import TypeVocabulary
 
 __all__ = ["load_osm_xml", "DEFAULT_TYPE_KEYS"]
-
-#: Tag keys consulted for a node's POI type, in priority order.
-DEFAULT_TYPE_KEYS = ("amenity", "shop", "leisure", "tourism")
-
-
-def _node_type(tags: dict[str, str], type_keys: Sequence[str]) -> "str | None":
-    for key in type_keys:
-        value = tags.get(key)
-        if value:
-            return f"{key}:{value}"
-    return None
 
 
 def load_osm_xml(
@@ -45,6 +36,10 @@ def load_osm_xml(
     type_keys: Sequence[str] = DEFAULT_TYPE_KEYS,
     anchor: "GeoPoint | None" = None,
     cell_size: float = 500.0,
+    *,
+    policy: str = "strict",
+    quarantine_path: "str | Path | None" = None,
+    cache_dir: "str | Path | None" = None,
 ) -> POIDatabase:
     """Parse an ``.osm`` XML file into a :class:`POIDatabase`.
 
@@ -59,48 +54,55 @@ def load_osm_xml(
         Projection anchor; defaults to the centroid of the kept nodes.
     cell_size:
         Grid-index cell size for the resulting database.
+    policy:
+        Ingest policy (``strict`` / ``repair`` / ``quarantine``); see
+        :mod:`repro.ingest`.
+    quarantine_path:
+        Override for the quarantine sidecar location.
+    cache_dir:
+        With a directory set, serve/commit the parsed database through
+        the checksummed atomic :class:`~repro.ingest.cache.DatasetCache`
+        keyed on the extract's content digest.
     """
     path = Path(path)
-    if not path.exists():
-        raise DatasetError(f"OSM file not found: {path}")
-    try:
-        root = ET.parse(path).getroot()
-    except ET.ParseError as exc:
-        raise DatasetError(f"malformed OSM XML in {path}: {exc}") from exc
-
-    geos: list[GeoPoint] = []
-    type_names: list[str] = []
-    for node in root.iter("node"):
-        lat = node.get("lat")
-        lon = node.get("lon")
-        if lat is None or lon is None:
-            continue
-        tags = {
-            tag.get("k", ""): tag.get("v", "")
-            for tag in node.findall("tag")
-        }
-        name = _node_type(tags, type_keys)
-        if name is None:
-            continue
-        try:
-            geos.append(GeoPoint(float(lat), float(lon)))
-        except ValueError as exc:
-            raise DatasetError(f"invalid coordinates in {path}: {exc}") from exc
-        type_names.append(name)
-
-    if not geos:
-        raise DatasetError(
-            f"no POI nodes found in {path} (looked for tags {tuple(type_keys)})"
+    if cache_dir is None:
+        db, _report = ingest_osm_xml(
+            path,
+            policy=policy,
+            type_keys=type_keys,
+            anchor=anchor,
+            cell_size=cell_size,
+            quarantine_path=quarantine_path,
         )
+        return db
 
-    if anchor is None:
-        anchor = GeoPoint(
-            float(np.mean([g.lat for g in geos])),
-            float(np.mean([g.lon for g in geos])),
+    cache = DatasetCache(cache_dir)
+    parse_reports: list[IngestReport] = []
+
+    def build() -> POIDatabase:
+        db, report = ingest_osm_xml(
+            path,
+            policy=policy,
+            type_keys=type_keys,
+            anchor=anchor,
+            cell_size=cell_size,
+            quarantine_path=quarantine_path,
         )
-    projection = LocalProjection(anchor)
-    xy = np.array([[p.x, p.y] for p in (projection.to_plane(g) for g in geos)])
+        parse_reports.append(report)
+        return db
 
-    vocabulary = TypeVocabulary(sorted(set(type_names)))
-    type_ids = np.array([vocabulary.id_of(n) for n in type_names], dtype=np.intp)
-    return POIDatabase(xy, type_ids, vocabulary, cell_size=cell_size)
+    db, status = cache.load_or_build(path, build, cell_size=cell_size)
+    if parse_reports:
+        parse_reports[0].cache = status
+    else:
+        record_ingest_report(
+            IngestReport(
+                path=str(path),
+                format="osm-xml",
+                policy=policy,
+                n_records=len(db),
+                counts={"ok": len(db), "repaired": 0, "quarantined": 0},
+                cache="hit",
+            )
+        )
+    return db

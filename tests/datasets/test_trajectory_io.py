@@ -1,0 +1,93 @@
+"""Trajectory log persistence: exact round-trips and atomic writes."""
+
+import pytest
+
+from repro.core.errors import IngestError
+from repro.datasets.trajectory import Trajectory, TrajectoryPoint
+from repro.datasets.trajectory_io import load_trajectory_log, save_trajectory_log
+from repro.geo.point import Point
+
+
+@pytest.fixture
+def fleet():
+    return [
+        Trajectory(
+            user_id=0,
+            points=(
+                TrajectoryPoint(Point(100.125, 200.0625), 0.0),
+                TrajectoryPoint(Point(150.333333333333, 220.1), 3600.5),
+            ),
+        ),
+        Trajectory(
+            user_id=7,
+            points=(TrajectoryPoint(Point(0.1 + 0.2, 9.0), 42.0),),
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_bit_identical(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_trajectory_log(fleet, path)
+        loaded = load_trajectory_log(path)
+        assert sorted(t.user_id for t in loaded) == [0, 7]
+        by_user = {t.user_id: t for t in loaded}
+        for original in fleet:
+            restored = by_user[original.user_id]
+            assert len(restored) == len(original)
+            for a, b in zip(original.points, restored.points):
+                # repr-precision serialization: exact equality, not approx.
+                assert a.timestamp == b.timestamp
+                assert a.location.x == b.location.x
+                assert a.location.y == b.location.y
+
+    def test_save_is_deterministic(self, fleet, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        save_trajectory_log(fleet, a)
+        save_trajectory_log(fleet, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_reload_of_resave_is_stable(self, fleet, tmp_path):
+        path, again = tmp_path / "fleet.csv", tmp_path / "again.csv"
+        save_trajectory_log(fleet, path)
+        save_trajectory_log(load_trajectory_log(path), again)
+        assert path.read_bytes() == again.read_bytes()
+
+
+class TestAtomicity:
+    def test_no_temp_file_survives(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_trajectory_log(fleet, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet.csv"]
+
+    def test_crash_mid_write_preserves_old_log(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_trajectory_log(fleet, path)
+        before = path.read_bytes()
+
+        class Exploding:
+            user_id = 9
+
+            @property
+            def points(self):
+                raise RuntimeError("simulated crash mid-write")
+
+        with pytest.raises(RuntimeError):
+            save_trajectory_log([fleet[0], Exploding()], path)
+        assert path.read_bytes() == before
+
+
+class TestLoadErrors:
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(IngestError, match="not found"):
+            load_trajectory_log(tmp_path / "absent.csv")
+
+    def test_malformed_row_is_typed_with_location(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_trajectory_log(fleet, path)
+        lines = path.read_text().splitlines()
+        lines[2] = "0,not-a-time,1.0,2.0"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(IngestError, match=r"record 2\]") as err:
+            load_trajectory_log(path)
+        assert err.value.record == 2

@@ -146,3 +146,41 @@ class TestRunSummary:
 
     def test_empty_summary_is_ok(self):
         assert RunSummary().exit_code == EXIT_OK
+
+
+class TestIngestProvenance:
+    def test_ingest_reports_fold_into_result_provenance(self, tmp_path, tiny_db):
+        from repro.poi.io import load_database, save_database
+
+        csv_path = tmp_path / "pois.csv"
+        save_database(tiny_db, csv_path)
+
+        def run_with_ingest(experiment_id, scale):
+            load_database(csv_path)
+            return _result(experiment_id)
+
+        summary = run_many(["a"], SCALE, run_fn=run_with_ingest)
+        [run] = summary.runs
+        ingest = run.result.provenance["ingest"]
+        assert len(ingest) == 1
+        assert ingest[0]["path"] == str(csv_path)
+        assert ingest[0]["counts"] == {"ok": 6, "repaired": 0, "quarantined": 0}
+        assert len(ingest[0]["source_sha256"]) == 64
+
+    def test_no_ingest_leaves_provenance_untouched(self):
+        summary = run_many(["a"], SCALE, run_fn=_ok)
+        assert "ingest" not in summary.runs[0].result.provenance
+
+    def test_provenance_survives_the_result_json(self, tmp_path, tiny_db):
+        from repro.poi.io import load_database, save_database
+
+        csv_path = tmp_path / "pois.csv"
+        save_database(tiny_db, csv_path)
+
+        def run_with_ingest(experiment_id, scale):
+            load_database(csv_path, policy="repair")
+            return _result(experiment_id)
+
+        run_many(["a"], SCALE, run_fn=run_with_ingest, out=tmp_path / "results")
+        payload = json.loads((tmp_path / "results" / f"a_{SCALE.name}.json").read_text())
+        assert payload["provenance"]["ingest"][0]["policy"] == "repair"

@@ -1,0 +1,52 @@
+"""Shared fixtures for the ingestion suite: small valid source files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.poi.io import save_database
+
+OSM_SAMPLE = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="39.9000" lon="116.4000">
+    <tag k="amenity" v="pharmacy"/>
+  </node>
+  <node id="2" lat="39.9010" lon="116.4010">
+    <tag k="amenity" v="restaurant"/>
+  </node>
+  <node id="3" lat="39.9020" lon="116.4020">
+    <tag k="shop" v="bakery"/>
+  </node>
+  <node id="4" lat="39.9030" lon="116.4030"/>
+</osm>
+"""
+
+
+@pytest.fixture()
+def poi_csv(tiny_db, tmp_path):
+    """A valid 6-row POI CSV (+ sidecar) written by save_database."""
+    path = tmp_path / "pois.csv"
+    save_database(tiny_db, path)
+    return path
+
+
+@pytest.fixture()
+def osm_file(tmp_path):
+    path = tmp_path / "extract.osm"
+    path.write_text(OSM_SAMPLE)
+    return path
+
+
+@pytest.fixture()
+def trajectory_log(tmp_path):
+    """A valid two-user trajectory log."""
+    path = tmp_path / "log.csv"
+    path.write_text(
+        "user_id,t,x,y\n"
+        "0,0.0,100.0,100.0\n"
+        "0,60.0,150.0,120.0\n"
+        "0,120.0,200.0,140.0\n"
+        "1,10.0,500.0,500.0\n"
+        "1,70.0,520.0,540.0\n"
+    )
+    return path

@@ -1,0 +1,117 @@
+"""DatasetCache: content keying, integrity checks, crash-resume safety."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CacheIntegrityError
+from repro.ingest.cache import DatasetCache
+from repro.poi.io import load_database
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DatasetCache(tmp_path / "cache")
+
+
+class TestHitMiss:
+    def test_get_before_put_is_a_miss(self, cache, poi_csv):
+        assert cache.get(poi_csv) is None
+
+    def test_round_trip_is_bit_identical(self, cache, poi_csv, tiny_db):
+        cache.put(poi_csv, tiny_db, cell_size=100.0)
+        served = cache.get(poi_csv)
+        assert served is not None
+        assert np.array_equal(served.positions, tiny_db.positions)
+        assert np.array_equal(served.type_ids, tiny_db.type_ids)
+        assert list(served.vocabulary.names) == list(tiny_db.vocabulary.names)
+        assert served.bounds == tiny_db.bounds
+
+    def test_entry_dir_is_keyed_by_content(self, cache, poi_csv, tiny_db):
+        before = cache.entry_dir(poi_csv)
+        cache.put(poi_csv, tiny_db)
+        # Editing the source changes the digest: the old entry is simply
+        # never looked up again.
+        poi_csv.write_text(poi_csv.read_text().replace("100.000", "101.000"))
+        assert cache.entry_dir(poi_csv) != before
+        assert cache.get(poi_csv) is None
+
+    def test_load_or_build_statuses(self, cache, poi_csv, tiny_db):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return tiny_db
+
+        _db, status = cache.load_or_build(poi_csv, build)
+        assert (status, len(calls)) == ("miss", 1)
+        _db, status = cache.load_or_build(poi_csv, build)
+        assert (status, len(calls)) == ("hit", 1)  # no re-parse on hit
+
+
+class TestIntegrity:
+    def test_corrupted_payload_is_detected(self, cache, poi_csv, tiny_db):
+        entry = cache.put(poi_csv, tiny_db)
+        payload = entry / "payload.npz"
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.raises(CacheIntegrityError, match="failed its checksum"):
+            cache.get(poi_csv)
+
+    def test_torn_manifest_is_detected(self, cache, poi_csv, tiny_db):
+        entry = cache.put(poi_csv, tiny_db)
+        manifest = entry / "manifest.json"
+        manifest.write_text(manifest.read_text()[:25])
+        with pytest.raises(CacheIntegrityError, match="not valid JSON"):
+            cache.get(poi_csv)
+
+    def test_wrong_schema_version_is_detected(self, cache, poi_csv, tiny_db):
+        entry = cache.put(poi_csv, tiny_db)
+        manifest = entry / "manifest.json"
+        meta = json.loads(manifest.read_text())
+        meta["version"] = 99
+        manifest.write_text(json.dumps(meta))
+        with pytest.raises(CacheIntegrityError, match="schema version"):
+            cache.get(poi_csv)
+
+    def test_missing_payload_is_detected(self, cache, poi_csv, tiny_db):
+        entry = cache.put(poi_csv, tiny_db)
+        (entry / "payload.npz").unlink()
+        with pytest.raises(CacheIntegrityError, match="missing its payload"):
+            cache.get(poi_csv)
+
+    def test_corrupt_entry_is_rebuilt_not_served(self, cache, poi_csv, tiny_db):
+        entry = cache.put(poi_csv, tiny_db)
+        (entry / "payload.npz").write_bytes(b"garbage")
+        db, status = cache.load_or_build(poi_csv, lambda: tiny_db)
+        assert status == "rebuilt"
+        # The rebuilt entry is whole again.
+        assert cache.get(poi_csv) is not None
+
+    def test_payload_without_manifest_is_an_invisible_entry(
+        self, cache, poi_csv, tiny_db
+    ):
+        """A crash between payload and manifest writes must read as a miss."""
+        entry = cache.put(poi_csv, tiny_db)
+        (entry / "manifest.json").unlink()
+        assert cache.get(poi_csv) is None
+        _db, status = cache.load_or_build(poi_csv, lambda: tiny_db)
+        assert status == "miss"
+
+
+class TestLoadDatabaseIntegration:
+    def test_miss_then_hit_is_bit_identical(self, poi_csv, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = load_database(poi_csv, cache_dir=cache_dir)
+        second = load_database(poi_csv, cache_dir=cache_dir)
+        assert np.array_equal(first.positions, second.positions)
+        assert np.array_equal(first.type_ids, second.type_ids)
+        assert list(first.vocabulary.names) == list(second.vocabulary.names)
+
+    def test_cache_dir_matches_uncached_load(self, poi_csv, tmp_path):
+        cached = load_database(poi_csv, cache_dir=tmp_path / "cache")
+        direct = load_database(poi_csv)
+        assert np.array_equal(cached.positions, direct.positions)
+        assert np.array_equal(cached.type_ids, direct.type_ids)

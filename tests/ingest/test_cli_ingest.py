@@ -1,0 +1,109 @@
+"""`poiagg ingest` CLI contract: detection, policies, exit codes, reports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def damage_row(path, row_index: int, new_line: str) -> None:
+    lines = path.read_text().splitlines()
+    lines[1 + row_index] = new_line
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestExitCodes:
+    def test_clean_csv_exits_zero_with_report(self, poi_csv, capsys):
+        assert main(["ingest", str(poi_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "poi-csv" in out
+        assert "6 records" in out
+        assert "6 ok" in out
+
+    def test_strict_rejection_exits_one(self, poi_csv, capsys):
+        damage_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        assert main(["ingest", str(poi_csv)]) == 1
+        err = capsys.readouterr().err
+        assert "REJECTED [SchemaDriftError]" in err
+        assert "record 2" in err
+
+    def test_missing_source_exits_one(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "absent.csv")]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+    def test_undetectable_format_exits_two(self, tmp_path, capsys):
+        mystery = tmp_path / "mystery.dat"
+        mystery.write_text("a;b;c\n1;2;3\n")
+        assert main(["ingest", str(mystery)]) == 2
+        assert "cannot detect" in capsys.readouterr().err
+
+    def test_trajectory_with_cache_dir_exits_two(
+        self, trajectory_log, tmp_path, capsys
+    ):
+        code = main(
+            ["ingest", str(trajectory_log), "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 2
+        assert "POI databases only" in capsys.readouterr().err
+
+
+class TestFormatDetection:
+    def test_osm_by_suffix(self, osm_file, capsys):
+        assert main(["ingest", str(osm_file)]) == 0
+        assert "osm-xml" in capsys.readouterr().out
+
+    def test_trajectory_by_header(self, trajectory_log, capsys):
+        assert main(["ingest", str(trajectory_log)]) == 0
+        assert "trajectory-log" in capsys.readouterr().out
+
+    def test_explicit_format_overrides_detection(self, trajectory_log, capsys):
+        # Forcing the wrong format is a typed rejection, not a crash.
+        assert main(["ingest", str(trajectory_log), "--format", "poi-csv"]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+
+class TestPolicies:
+    def test_repair_policy_fixes_and_exits_zero(self, poi_csv, capsys):
+        damage_row(poi_csv, 1, "1,1200.000,100.000,a")
+        assert main(["ingest", str(poi_csv), "--policy", "repair"]) == 0
+        assert "1 repaired" in capsys.readouterr().out
+
+    def test_quarantine_policy_diverts(self, poi_csv, tmp_path, capsys):
+        damage_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        qpath = tmp_path / "diverted.jsonl"
+        code = main(
+            [
+                "ingest",
+                str(poi_csv),
+                "--policy",
+                "quarantine",
+                "--quarantine",
+                str(qpath),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert str(qpath) in out
+        assert qpath.exists()
+
+
+class TestReportAndCache:
+    def test_report_json_is_written_atomically(self, poi_csv, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["ingest", str(poi_csv), "--report", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["counts"]["ok"] == 6
+        assert payload["format"] == "poi-csv"
+        assert len(payload["source_sha256"]) == 64
+        assert not list(tmp_path.glob("*.tmp"))
+
+    @pytest.mark.parametrize("fixture_name", ["poi_csv", "osm_file"])
+    def test_cache_miss_then_hit(self, fixture_name, tmp_path, capsys, request):
+        source = request.getfixturevalue(fixture_name)
+        cache_dir = tmp_path / "cache"
+        assert main(["ingest", str(source), "--cache-dir", str(cache_dir)]) == 0
+        assert "cache miss" in capsys.readouterr().out
+        assert main(["ingest", str(source), "--cache-dir", str(cache_dir)]) == 0
+        assert "cache hit" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""OSM XML ingestion: node-level taxonomy under all three policies."""
+
+import pytest
+
+from repro.core.errors import (
+    CoordinateBoundsError,
+    DuplicateRecordError,
+    SchemaDriftError,
+    TruncatedInputError,
+)
+from repro.ingest.loaders import ingest_osm_xml
+
+BROKEN_NODE = '  <node id="9" lon="116.5"><tag k="amenity" v="cafe"/></node>\n'
+
+
+def insert_node(path, node_xml: str) -> None:
+    """Splice *node_xml* in before the closing ``</osm>`` tag."""
+    text = path.read_text()
+    path.write_text(text.replace("</osm>", node_xml + "</osm>"))
+
+
+class TestCleanInput:
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_tagless_nodes_stay_out_of_the_ledger(self, osm_file, policy):
+        db, report = ingest_osm_xml(osm_file, policy=policy)
+        assert len(db) == 3  # node 4 is geometry, not a POI record
+        assert report.n_records == 3
+        assert report.clean
+        assert report.format == "osm-xml"
+
+    def test_type_names_are_key_value_pairs(self, osm_file):
+        db, _report = ingest_osm_xml(osm_file)
+        assert set(db.vocabulary.names) == {
+            "amenity:pharmacy",
+            "amenity:restaurant",
+            "shop:bakery",
+        }
+
+
+class TestStrictErrors:
+    def test_missing_lat_names_the_node(self, osm_file):
+        insert_node(osm_file, BROKEN_NODE)
+        with pytest.raises(SchemaDriftError, match="node 9.*missing the 'lat'"):
+            ingest_osm_xml(osm_file)
+
+    def test_unparsable_coordinate_names_the_node(self, osm_file):
+        insert_node(
+            osm_file,
+            '  <node id="9" lat="39.x" lon="116.5">'
+            '<tag k="amenity" v="cafe"/></node>\n',
+        )
+        with pytest.raises(SchemaDriftError, match="node 9 has unparsable"):
+            ingest_osm_xml(osm_file)
+
+    def test_out_of_wgs84_range(self, osm_file):
+        insert_node(
+            osm_file,
+            '  <node id="9" lat="95.0" lon="116.5">'
+            '<tag k="amenity" v="cafe"/></node>\n',
+        )
+        with pytest.raises(CoordinateBoundsError, match="outside WGS-84 range"):
+            ingest_osm_xml(osm_file)
+
+    def test_duplicate_node_id_different_payload(self, osm_file):
+        insert_node(
+            osm_file,
+            '  <node id="1" lat="39.95" lon="116.45">'
+            '<tag k="amenity" v="cafe"/></node>\n',
+        )
+        with pytest.raises(DuplicateRecordError, match="duplicate node id 1"):
+            ingest_osm_xml(osm_file)
+
+    def test_mid_element_truncation(self, osm_file):
+        osm_file.write_bytes(osm_file.read_bytes()[:-30])
+        with pytest.raises(TruncatedInputError, match="malformed OSM XML"):
+            ingest_osm_xml(osm_file)
+
+    def test_syntax_damage_is_schema_drift(self, osm_file):
+        osm_file.write_text(osm_file.read_text().replace('lat="39.9010"', "lat=39"))
+        with pytest.raises(SchemaDriftError, match="malformed OSM XML"):
+            ingest_osm_xml(osm_file)
+
+
+class TestRepairPolicy:
+    def test_clamps_out_of_range_coordinates(self, osm_file):
+        insert_node(
+            osm_file,
+            '  <node id="9" lat="95.0" lon="200.0">'
+            '<tag k="amenity" v="cafe"/></node>\n',
+        )
+        db, report = ingest_osm_xml(osm_file, policy="repair")
+        assert len(db) == 4
+        assert report.counts == {"ok": 3, "repaired": 1, "quarantined": 0}
+        assert report.error_counts == {"CoordinateBoundsError": 1}
+
+    def test_drops_exact_duplicate_node(self, osm_file):
+        insert_node(
+            osm_file,
+            '  <node id="1" lat="39.9000" lon="116.4000">'
+            '<tag k="amenity" v="pharmacy"/></node>\n',
+        )
+        db, report = ingest_osm_xml(osm_file, policy="repair")
+        assert len(db) == 3
+        assert report.n_records == 4
+        assert report.counts == {"ok": 3, "repaired": 1, "quarantined": 0}
+
+    def test_missing_coordinate_still_raises(self, osm_file):
+        insert_node(osm_file, BROKEN_NODE)
+        with pytest.raises(SchemaDriftError):
+            ingest_osm_xml(osm_file, policy="repair")
+
+
+class TestQuarantinePolicy:
+    def test_diverts_broken_nodes(self, osm_file, tmp_path):
+        insert_node(osm_file, BROKEN_NODE)
+        qpath = tmp_path / "bad-nodes.jsonl"
+        db, report = ingest_osm_xml(
+            osm_file, policy="quarantine", quarantine_path=qpath
+        )
+        assert len(db) == 3
+        assert report.counts == {"ok": 3, "repaired": 0, "quarantined": 1}
+        assert report.accounted
+        assert qpath.exists()
+        assert '"id": "9"' in qpath.read_text()
+
+    def test_file_scoped_damage_still_raises(self, osm_file):
+        osm_file.write_bytes(osm_file.read_bytes()[:-30])
+        with pytest.raises(TruncatedInputError):
+            ingest_osm_xml(osm_file, policy="quarantine")

@@ -1,0 +1,260 @@
+"""POI CSV ingestion: the error taxonomy and all three policies.
+
+The fixture CSV (``poi_csv``) holds the 6-row tiny_db written by
+``save_database``; each test mutates a copy and asserts the loader's
+exact behavior per policy.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import (
+    CoordinateBoundsError,
+    DuplicateRecordError,
+    EncodingDamageError,
+    IngestError,
+    SchemaDriftError,
+    TruncatedInputError,
+)
+from repro.ingest.loaders import QUARANTINE_SUFFIX, ingest_poi_csv
+
+
+def mutate_row(path, row_index: int, new_line: str) -> None:
+    """Replace 0-based data row *row_index* (header preserved)."""
+    lines = path.read_text().splitlines()
+    lines[1 + row_index] = new_line
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCleanInput:
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_clean_file_reports_all_ok(self, poi_csv, policy):
+        db, report = ingest_poi_csv(poi_csv, policy=policy)
+        assert len(db) == 6
+        assert report.clean
+        assert report.counts == {"ok": 6, "repaired": 0, "quarantined": 0}
+        assert report.n_records == 6
+        assert report.quarantine_path is None
+        assert len(report.source_sha256) == 64
+
+    def test_unknown_policy_is_typed_error(self, poi_csv):
+        with pytest.raises(IngestError, match="unknown ingest policy"):
+            ingest_poi_csv(poi_csv, policy="yolo")
+
+
+class TestStrictErrors:
+    """Every damage class raises its taxonomy type with row location."""
+
+    def test_malformed_id_names_file_and_row(self, poi_csv):
+        mutate_row(poi_csv, 2, "xx,500.0,500.0,b")
+        with pytest.raises(SchemaDriftError, match=r"record 3\]") as err:
+            ingest_poi_csv(poi_csv)
+        assert str(poi_csv) in str(err.value)
+        assert err.value.record == 3
+
+    def test_wrong_field_count(self, poi_csv):
+        mutate_row(poi_csv, 0, "0,100.000,100.000")
+        with pytest.raises(SchemaDriftError, match="expected 4 fields, got 3"):
+            ingest_poi_csv(poi_csv)
+
+    def test_unparsable_coordinate(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        with pytest.raises(SchemaDriftError, match="is not a number"):
+            ingest_poi_csv(poi_csv)
+
+    def test_out_of_bounds_coordinate(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,9.9e12,100.000,a")
+        with pytest.raises(CoordinateBoundsError, match="outside sidecar bounds"):
+            ingest_poi_csv(poi_csv)
+
+    def test_non_finite_coordinate(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,nan,100.000,a")
+        with pytest.raises(CoordinateBoundsError, match="non-finite"):
+            ingest_poi_csv(poi_csv)
+
+    def test_unknown_type_name(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,900.000,100.000,zz_undeclared")
+        with pytest.raises(SchemaDriftError, match="unknown type name"):
+            ingest_poi_csv(poi_csv)
+
+    def test_duplicate_id_different_payload(self, poi_csv):
+        mutate_row(poi_csv, 1, "0,900.000,100.000,a")
+        with pytest.raises(DuplicateRecordError, match="duplicate poi_id 0"):
+            ingest_poi_csv(poi_csv)
+
+    def test_reordered_ids(self, poi_csv):
+        lines = poi_csv.read_text().splitlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        poi_csv.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DuplicateRecordError, match="order violated"):
+            ingest_poi_csv(poi_csv)
+
+    def test_truncated_final_record(self, poi_csv):
+        data = poi_csv.read_bytes()
+        poi_csv.write_bytes(data[:-3])  # cut mid-row, newline lost
+        with pytest.raises(TruncatedInputError, match="ends mid-record"):
+            ingest_poi_csv(poi_csv)
+
+    def test_missing_rows_vs_sidecar(self, poi_csv):
+        lines = poi_csv.read_text().splitlines()
+        poi_csv.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(TruncatedInputError, match="count mismatch"):
+            ingest_poi_csv(poi_csv)
+
+    def test_encoding_damage(self, poi_csv):
+        lines = poi_csv.read_bytes().splitlines(keepends=True)
+        lines[3] = b"2,\xff\xfe00.000,500.000,b\n"
+        poi_csv.write_bytes(b"".join(lines))
+        with pytest.raises(EncodingDamageError, match="does not decode as UTF-8"):
+            ingest_poi_csv(poi_csv)
+
+    def test_bad_header(self, poi_csv):
+        lines = poi_csv.read_text().splitlines()
+        lines[0] = "id,lon,lat,kind"
+        poi_csv.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaDriftError, match="header mismatch"):
+            ingest_poi_csv(poi_csv)
+
+    def test_empty_file(self, tmp_path, poi_csv):
+        poi_csv.write_text("")
+        with pytest.raises(TruncatedInputError, match="empty POI CSV"):
+            ingest_poi_csv(poi_csv)
+
+    def test_error_carries_path_attribute(self, poi_csv):
+        mutate_row(poi_csv, 2, "xx,500.0,500.0,b")
+        with pytest.raises(SchemaDriftError) as err:
+            ingest_poi_csv(poi_csv)
+        assert err.value.path == str(poi_csv)
+
+
+class TestSidecarErrors:
+    def test_missing_sidecar(self, poi_csv):
+        poi_csv.with_name(poi_csv.name + ".meta.json").unlink()
+        with pytest.raises(IngestError, match="sidecar not found"):
+            ingest_poi_csv(poi_csv)
+
+    def test_torn_sidecar_json(self, poi_csv):
+        meta = poi_csv.with_name(poi_csv.name + ".meta.json")
+        meta.write_text(meta.read_text()[:20])
+        with pytest.raises(SchemaDriftError, match="not valid JSON"):
+            ingest_poi_csv(poi_csv)
+
+    @pytest.mark.parametrize("missing", ["n_pois", "types", "bounds"])
+    def test_missing_required_key(self, poi_csv, missing):
+        meta_path = poi_csv.with_name(poi_csv.name + ".meta.json")
+        meta = json.loads(meta_path.read_text())
+        del meta[missing]
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(SchemaDriftError, match=f"missing key '{missing}'"):
+            ingest_poi_csv(poi_csv)
+
+    def test_inverted_bounds(self, poi_csv):
+        meta_path = poi_csv.with_name(poi_csv.name + ".meta.json")
+        meta = json.loads(meta_path.read_text())
+        meta["bounds"] = [1000.0, 1000.0, 0.0, 0.0]
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(SchemaDriftError, match="inverted"):
+            ingest_poi_csv(poi_csv)
+
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_sidecar_damage_raises_under_every_policy(self, poi_csv, policy):
+        """File-scoped damage is never repairable or quarantinable."""
+        meta_path = poi_csv.with_name(poi_csv.name + ".meta.json")
+        meta = json.loads(meta_path.read_text())
+        meta["n_pois"] = 9  # declares more rows than exist
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(TruncatedInputError, match="count mismatch"):
+            ingest_poi_csv(poi_csv, policy=policy)
+
+
+class TestRepairPolicy:
+    def test_clamps_out_of_bounds(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,1200.000,100.000,a")
+        db, report = ingest_poi_csv(poi_csv, policy="repair")
+        assert len(db) == 6
+        assert report.counts == {"ok": 5, "repaired": 1, "quarantined": 0}
+        assert report.error_counts == {"CoordinateBoundsError": 1}
+        # Clamped onto the bounds edge.
+        assert float(db.positions[:, 0].max()) == 1000.0
+
+    def test_strips_whitespace_damage(self, poi_csv):
+        mutate_row(poi_csv, 1, " 1 , 900.000 ,100.000, a ")
+        db, report = ingest_poi_csv(poi_csv, policy="repair")
+        assert len(db) == 6
+        assert report.counts["repaired"] >= 1
+
+    def test_drops_exact_duplicate(self, poi_csv):
+        lines = poi_csv.read_text().splitlines()
+        lines.insert(3, lines[2])  # duplicate data row 1 verbatim
+        poi_csv.write_text("\n".join(lines) + "\n")
+        db, report = ingest_poi_csv(poi_csv, policy="repair")
+        assert len(db) == 6
+        assert report.n_records == 7
+        assert report.counts == {"ok": 6, "repaired": 1, "quarantined": 0}
+
+    def test_restores_swapped_rows(self, poi_csv, tiny_db):
+        import numpy as np
+
+        lines = poi_csv.read_text().splitlines()
+        lines[1], lines[4] = lines[4], lines[1]
+        poi_csv.write_text("\n".join(lines) + "\n")
+        db, report = ingest_poi_csv(poi_csv, policy="repair")
+        assert report.accounted
+        assert report.counts["repaired"] >= 1
+        assert report.error_counts.get("DuplicateRecordError", 0) >= 1
+        # Sorted back into declared order: geometry matches the original.
+        np.testing.assert_allclose(db.positions, tiny_db.positions, atol=1e-3)
+
+    def test_unrepairable_damage_still_raises(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        with pytest.raises(SchemaDriftError):
+            ingest_poi_csv(poi_csv, policy="repair")
+
+
+class TestQuarantinePolicy:
+    def test_diverts_unfixable_rows(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        db, report = ingest_poi_csv(poi_csv, policy="quarantine")
+        assert len(db) == 5
+        assert report.counts == {"ok": 5, "repaired": 0, "quarantined": 1}
+        assert report.accounted
+
+    def test_sidecar_file_contents(self, poi_csv):
+        mutate_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        _db, report = ingest_poi_csv(poi_csv, policy="quarantine")
+        qpath = poi_csv.with_name(poi_csv.name + QUARANTINE_SUFFIX)
+        assert report.quarantine_path == str(qpath)
+        entries = [json.loads(line) for line in qpath.read_text().splitlines()]
+        assert len(entries) == 1
+        assert entries[0]["record"] == 2
+        assert entries[0]["error"] == "SchemaDriftError"
+        assert "NOT#A#NUM" in entries[0]["raw"]
+
+    def test_no_sidecar_written_when_clean(self, poi_csv):
+        ingest_poi_csv(poi_csv, policy="quarantine")
+        assert not poi_csv.with_name(poi_csv.name + QUARANTINE_SUFFIX).exists()
+
+    def test_custom_quarantine_path(self, poi_csv, tmp_path):
+        mutate_row(poi_csv, 1, "1,NOT#A#NUM,100.000,a")
+        custom = tmp_path / "diverted.jsonl"
+        _db, report = ingest_poi_csv(
+            poi_csv, policy="quarantine", quarantine_path=custom
+        )
+        assert report.quarantine_path == str(custom)
+        assert custom.exists()
+
+    def test_also_applies_repairs(self, poi_csv):
+        """Quarantine is a superset of repair: fixable rows are fixed."""
+        mutate_row(poi_csv, 1, "1,1200.000,100.000,a")  # clampable
+        mutate_row(poi_csv, 2, "2,NOT#A#NUM,500.000,b")  # unfixable
+        db, report = ingest_poi_csv(poi_csv, policy="quarantine")
+        assert len(db) == 5
+        assert report.counts == {"ok": 4, "repaired": 1, "quarantined": 1}
+
+    def test_all_rows_quarantined_raises(self, poi_csv):
+        lines = poi_csv.read_text().splitlines()
+        rewritten = [lines[0]] + [f"{i},bad,bad,zz" for i in range(6)]
+        poi_csv.write_text("\n".join(rewritten) + "\n")
+        with pytest.raises(TruncatedInputError, match="no loadable POI rows"):
+            ingest_poi_csv(poi_csv, policy="quarantine")

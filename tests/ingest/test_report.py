@@ -1,0 +1,105 @@
+"""IngestReport ledger arithmetic and the provenance collector."""
+
+from repro.ingest.report import (
+    FATES,
+    POLICIES,
+    IngestReport,
+    RecordIssue,
+    collecting_ingest_reports,
+    record_ingest_report,
+)
+
+
+def make_report(**kwargs) -> IngestReport:
+    defaults = dict(path="x.csv", format="poi-csv", policy="strict")
+    defaults.update(kwargs)
+    return IngestReport(**defaults)
+
+
+class TestLedger:
+    def test_constants(self):
+        assert POLICIES == ("strict", "repair", "quarantine")
+        assert FATES == ("ok", "repaired", "quarantined")
+
+    def test_tally_accounts_every_fate(self):
+        report = make_report()
+        report.tally("ok")
+        report.tally("repaired", RecordIssue(2, "SchemaDriftError", "d", "repaired"))
+        report.tally(
+            "quarantined", RecordIssue(3, "SchemaDriftError", "d", "quarantined")
+        )
+        assert report.n_records == 3
+        assert report.counts == {"ok": 1, "repaired": 1, "quarantined": 1}
+        assert report.accounted
+        assert not report.clean
+        assert report.error_counts == {"SchemaDriftError": 2}
+
+    def test_clean_requires_all_ok(self):
+        report = make_report()
+        for _ in range(5):
+            report.tally("ok")
+        assert report.clean
+
+    def test_refate_moves_without_recounting(self):
+        report = make_report()
+        report.tally("ok")
+        report.tally("ok")
+        report.refate("ok", RecordIssue(2, "DuplicateRecordError", "d", "repaired"))
+        assert report.n_records == 2
+        assert report.counts == {"ok": 1, "repaired": 1, "quarantined": 0}
+        assert report.accounted
+
+    def test_issue_list_is_capped_but_counts_exact(self):
+        report = make_report()
+        for i in range(200):
+            report.tally(
+                "quarantined", RecordIssue(i, "SchemaDriftError", "d", "quarantined")
+            )
+        assert report.counts["quarantined"] == 200
+        assert report.error_counts["SchemaDriftError"] == 200
+        assert len(report.issues) < 200
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        report = make_report(source_sha256="ab" * 32)
+        report.tally("ok")
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["path"] == "x.csv"
+        assert payload["counts"]["ok"] == 1
+
+    def test_render_mentions_fates_and_policy(self):
+        report = make_report(policy="repair")
+        report.tally("ok")
+        text = report.render()
+        assert "repair" in text and "1 ok" in text
+
+
+class TestCollector:
+    def test_no_collector_drops_reports(self):
+        record_ingest_report(make_report())  # must not raise
+
+    def test_collects_inside_scope(self):
+        with collecting_ingest_reports() as reports:
+            record_ingest_report(make_report())
+            record_ingest_report(make_report())
+        assert len(reports) == 2
+
+    def test_nested_scopes_collect_innermost(self):
+        with collecting_ingest_reports() as outer:
+            record_ingest_report(make_report())
+            with collecting_ingest_reports() as inner:
+                record_ingest_report(make_report())
+            record_ingest_report(make_report())
+        assert len(inner) == 1
+        assert len(outer) == 2
+
+    def test_scope_pops_on_exception(self):
+        try:
+            with collecting_ingest_reports():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with collecting_ingest_reports() as reports:
+            record_ingest_report(make_report())
+        assert len(reports) == 1

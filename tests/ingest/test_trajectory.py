@@ -1,0 +1,149 @@
+"""Trajectory log ingestion: per-row validation and per-user ordering."""
+
+import json
+
+import pytest
+
+from repro.core.errors import (
+    CoordinateBoundsError,
+    DuplicateRecordError,
+    IngestError,
+    SchemaDriftError,
+    TruncatedInputError,
+)
+from repro.ingest.loaders import QUARANTINE_SUFFIX, ingest_trajectory_log
+
+
+def mutate_row(path, row_index: int, new_line: str) -> None:
+    """Replace 0-based data row *row_index* (header preserved)."""
+    lines = path.read_text().splitlines()
+    lines[1 + row_index] = new_line
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCleanInput:
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_clean_log_reports_all_ok(self, trajectory_log, policy):
+        trajectories, report = ingest_trajectory_log(trajectory_log, policy=policy)
+        assert report.clean
+        assert report.n_records == 5
+        assert sorted(t.user_id for t in trajectories) == [0, 1]
+        by_user = {t.user_id: t for t in trajectories}
+        assert len(by_user[0]) == 3
+        assert len(by_user[1]) == 2
+
+    def test_samples_are_time_ordered(self, trajectory_log):
+        trajectories, _report = ingest_trajectory_log(trajectory_log)
+        for traj in trajectories:
+            times = [p.timestamp for p in traj.points]
+            assert times == sorted(times)
+
+
+class TestStrictErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IngestError, match="not found"):
+            ingest_trajectory_log(tmp_path / "nope.csv")
+
+    def test_empty_file(self, trajectory_log):
+        trajectory_log.write_text("")
+        with pytest.raises(TruncatedInputError, match="empty trajectory log"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_bad_header(self, trajectory_log):
+        lines = trajectory_log.read_text().splitlines()
+        lines[0] = "uid,time,lon,lat"
+        trajectory_log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaDriftError, match="header mismatch"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_wrong_field_count_names_row(self, trajectory_log):
+        mutate_row(trajectory_log, 1, "0,60.0,150.0")
+        with pytest.raises(SchemaDriftError, match="expected 4 fields, got 3") as err:
+            ingest_trajectory_log(trajectory_log)
+        assert err.value.record == 2
+
+    def test_unparsable_field(self, trajectory_log):
+        mutate_row(trajectory_log, 0, "0,zero,100.0,100.0")
+        with pytest.raises(SchemaDriftError, match="unparsable field"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_non_finite_sample(self, trajectory_log):
+        mutate_row(trajectory_log, 0, "0,0.0,inf,100.0")
+        with pytest.raises(CoordinateBoundsError, match="non-finite sample"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_exact_duplicate_sample(self, trajectory_log):
+        lines = trajectory_log.read_text().splitlines()
+        lines.insert(3, lines[2])
+        trajectory_log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DuplicateRecordError, match="exact duplicate sample"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_conflicting_samples_at_one_timestamp(self, trajectory_log):
+        mutate_row(trajectory_log, 1, "0,0.0,999.0,999.0")
+        with pytest.raises(DuplicateRecordError, match="two different samples"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_out_of_order_sample(self, trajectory_log):
+        lines = trajectory_log.read_text().splitlines()
+        lines[2], lines[3] = lines[3], lines[2]  # user 0: t goes 0, 120, 60
+        trajectory_log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DuplicateRecordError, match="out-of-order sample"):
+            ingest_trajectory_log(trajectory_log)
+
+    def test_truncated_final_record(self, trajectory_log):
+        trajectory_log.write_bytes(trajectory_log.read_bytes()[:-4])
+        with pytest.raises(TruncatedInputError, match="ends mid-record"):
+            ingest_trajectory_log(trajectory_log)
+
+
+class TestRepairPolicy:
+    def test_sorts_out_of_order_samples(self, trajectory_log):
+        lines = trajectory_log.read_text().splitlines()
+        lines[2], lines[3] = lines[3], lines[2]
+        trajectory_log.write_text("\n".join(lines) + "\n")
+        trajectories, report = ingest_trajectory_log(trajectory_log, policy="repair")
+        assert report.accounted
+        assert report.counts["repaired"] == 1
+        assert report.error_counts == {"DuplicateRecordError": 1}
+        user0 = next(t for t in trajectories if t.user_id == 0)
+        assert [p.timestamp for p in user0.points] == [0.0, 60.0, 120.0]
+
+    def test_drops_exact_duplicate(self, trajectory_log):
+        lines = trajectory_log.read_text().splitlines()
+        lines.insert(3, lines[2])
+        trajectory_log.write_text("\n".join(lines) + "\n")
+        trajectories, report = ingest_trajectory_log(trajectory_log, policy="repair")
+        assert report.n_records == 6
+        assert report.counts == {"ok": 5, "repaired": 1, "quarantined": 0}
+        user0 = next(t for t in trajectories if t.user_id == 0)
+        assert len(user0) == 3
+
+    def test_unrepairable_damage_still_raises(self, trajectory_log):
+        mutate_row(trajectory_log, 0, "0,zero,100.0,100.0")
+        with pytest.raises(SchemaDriftError):
+            ingest_trajectory_log(trajectory_log, policy="repair")
+
+
+class TestQuarantinePolicy:
+    def test_diverts_unfixable_rows(self, trajectory_log):
+        mutate_row(trajectory_log, 0, "0,zero,100.0,100.0")
+        trajectories, report = ingest_trajectory_log(
+            trajectory_log, policy="quarantine"
+        )
+        assert report.counts == {"ok": 4, "repaired": 0, "quarantined": 1}
+        assert report.accounted
+        user0 = next(t for t in trajectories if t.user_id == 0)
+        assert len(user0) == 2
+
+    def test_sidecar_records_the_raw_row(self, trajectory_log):
+        mutate_row(trajectory_log, 0, "0,zero,100.0,100.0")
+        _trajectories, report = ingest_trajectory_log(
+            trajectory_log, policy="quarantine"
+        )
+        qpath = trajectory_log.with_name(trajectory_log.name + QUARANTINE_SUFFIX)
+        assert report.quarantine_path == str(qpath)
+        entries = [json.loads(line) for line in qpath.read_text().splitlines()]
+        assert entries[0]["record"] == 1
+        assert entries[0]["error"] == "SchemaDriftError"
+        assert "zero" in entries[0]["raw"]

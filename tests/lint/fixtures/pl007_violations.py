@@ -1,0 +1,22 @@
+"""PL007 positive cases (linted as library code under repro.experiments)."""
+
+import json
+
+
+def write_checkpoint(path, payload) -> None:
+    path.write_text(json.dumps(payload))  # PL007: torn checkpoint on crash
+
+
+def save_cache_entry(path, blob: bytes) -> None:
+    path.write_bytes(blob)  # PL007: torn cache entry on crash
+
+
+def divert_records(quarantine_path, rows) -> None:
+    with open(quarantine_path, "w") as fh:  # PL007: torn quarantine sidecar
+        fh.writelines(rows)
+
+
+def persist(entry, manifest: str) -> None:
+    cache_manifest = entry / "manifest.json"
+    with cache_manifest.open(mode="w") as fh:  # PL007: role spelled in target
+        fh.write(manifest)

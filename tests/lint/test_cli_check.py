@@ -66,5 +66,5 @@ def test_missing_path_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+    for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006", "PL007"):
         assert rule_id in out

@@ -65,6 +65,13 @@ REGRESSIONS = [
         "    return RegionAttack(db).run(freq, radius)\n",
         "examples/planted.py",
     ),
+    (
+        "PL007",
+        "import json\n\n"
+        "def write_checkpoint(path, payload):\n"
+        "    path.write_text(json.dumps(payload))\n",
+        "src/repro/experiments/planted.py",
+    ),
 ]
 
 

@@ -94,3 +94,77 @@ class TestLoadOsmXml:
         path.write_text("<osm><node id='1' lat='0' lon='0'/></osm>")
         with pytest.raises(DatasetError, match="no POI nodes"):
             load_osm_xml(path)
+
+
+class TestEdgeCases:
+    """Satellite coverage: damage that must raise typed, element-naming errors."""
+
+    def test_poi_node_missing_lat_names_the_node(self, tmp_path):
+        path = tmp_path / "missing-lat.osm"
+        path.write_text(
+            """<osm><node id="77" lon="116.4"><tag k="amenity" v="cafe"/></node>
+            <node id="78" lat="39.9" lon="116.4"><tag k="shop" v="bakery"/></node>
+            </osm>"""
+        )
+        from repro.core.errors import SchemaDriftError
+
+        with pytest.raises(SchemaDriftError, match="node 77.*missing the 'lat'"):
+            load_osm_xml(path)
+
+    def test_poi_node_missing_lon_names_the_node(self, tmp_path):
+        path = tmp_path / "missing-lon.osm"
+        path.write_text(
+            '<osm><node id="88" lat="39.9"><tag k="amenity" v="cafe"/></node></osm>'
+        )
+        from repro.core.errors import SchemaDriftError
+
+        with pytest.raises(SchemaDriftError, match="node 88.*missing the 'lon'"):
+            load_osm_xml(path)
+
+    def test_zero_matching_tag_keys_names_the_keys(self, osm_file):
+        from repro.core.errors import SchemaDriftError
+
+        with pytest.raises(SchemaDriftError, match="no POI nodes") as err:
+            load_osm_xml(osm_file, type_keys=("craft",))
+        assert "craft" in str(err.value)
+
+    def test_duplicate_node_ids_name_the_id(self, tmp_path):
+        path = tmp_path / "dup.osm"
+        path.write_text(
+            """<osm>
+            <node id="5" lat="39.90" lon="116.40"><tag k="amenity" v="cafe"/></node>
+            <node id="5" lat="39.91" lon="116.41"><tag k="amenity" v="bar"/></node>
+            </osm>"""
+        )
+        from repro.core.errors import DuplicateRecordError
+
+        with pytest.raises(DuplicateRecordError, match="duplicate node id 5"):
+            load_osm_xml(path)
+
+    def test_exact_duplicate_node_is_droppable_under_repair(self, tmp_path):
+        path = tmp_path / "dup-exact.osm"
+        path.write_text(
+            """<osm>
+            <node id="5" lat="39.90" lon="116.40"><tag k="amenity" v="cafe"/></node>
+            <node id="5" lat="39.90" lon="116.40"><tag k="amenity" v="cafe"/></node>
+            <node id="6" lat="39.91" lon="116.41"><tag k="amenity" v="bar"/></node>
+            </osm>"""
+        )
+        db = load_osm_xml(path, policy="repair")
+        assert len(db) == 2
+
+    def test_empty_file_is_truncation(self, tmp_path):
+        path = tmp_path / "empty.osm"
+        path.write_text("")
+        from repro.core.errors import TruncatedInputError
+
+        with pytest.raises(TruncatedInputError, match="empty OSM file"):
+            load_osm_xml(path)
+
+    def test_whitespace_only_file_is_truncation(self, tmp_path):
+        path = tmp_path / "blank.osm"
+        path.write_text("   \n\n  ")
+        from repro.core.errors import TruncatedInputError
+
+        with pytest.raises(TruncatedInputError, match="empty OSM file"):
+            load_osm_xml(path)
