@@ -213,14 +213,88 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the online release-and-defense HTTP service",
+        description=(
+            "Serve frequency releases over HTTP with per-user privacy-"
+            "budget ledgers (durable; a crash-and-restart never double-"
+            "spends), bounded-queue backpressure, and a load-shedding "
+            "ladder. Endpoints: POST /v1/submit, GET /v1/status, "
+            "GET /v1/jobs/<id>, GET /v1/result/<id>. Runs until "
+            "interrupted. Exit codes: 0 = clean shutdown, 2 = bad "
+            "invocation."
+        ),
+    )
+    serve.add_argument("--city", default="small", choices=["beijing", "nyc", "small"])
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377, help="0 picks a free port")
+    serve.add_argument(
+        "--budget-epsilon", type=float, default=5.0, help="per-user epsilon budget"
+    )
+    serve.add_argument(
+        "--budget-delta", type=float, default=0.0, help="per-user delta budget"
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=1.0, help="per-release laplace epsilon"
+    )
+    serve.add_argument(
+        "--ledger-dir",
+        type=Path,
+        default=None,
+        help="durable budget-ledger directory (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="JSONL heartbeat/audit journal path (default: off)",
+    )
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--batch-max", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--attack-audit",
+        action="store_true",
+        help="audit completed releases with the batched region attack",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the serve HTTP API with a seeded load profile",
+        description=(
+            "Generate a deterministic request stream against a running "
+            "'poiagg serve' instance, wait for every accepted request to "
+            "reach a terminal fate, and write latency/throughput "
+            "percentiles to a JSON report. Exit codes: 0 = drained and "
+            "every fate accounted, 1 = fates unaccounted or drain timed "
+            "out, 2 = bad invocation."
+        ),
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8377", help="server base URL")
+    loadgen.add_argument(
+        "--profile",
+        default="smoke",
+        choices=["smoke", "small", "bench", "flood"],
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="JSON report path (default: BENCH_serve.json)",
+    )
+
     check = sub.add_parser(
         "check",
         help="run the PL invariant linter over first-party code",
         description=(
-            "AST-based invariant linter (rules PL001-PL007): seed "
+            "AST-based invariant linter (rules PL001-PL008): seed "
             "discipline, DP accounting, Freq dtype/hypot discipline, "
             "picklable shard workers, wall-clock-free experiment paths, "
-            "no deprecated attack shims, atomic cache/checkpoint writes. "
+            "no deprecated attack shims, atomic cache/checkpoint writes, "
+            "timeout-bounded blocking in the serve path. "
             "Exit codes: 0 = clean, 1 = violations, 2 = bad invocation."
         ),
     )
@@ -342,11 +416,107 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_attack(args)
     if args.command == "uniqueness":
         return _cmd_uniqueness(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "check":
         from repro.lint.cli import run_check
 
         return run_check(args)
     return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dp.mechanisms import PrivacyParams
+    from repro.serve.config import ServeConfig
+    from repro.serve.httpapi import make_server
+    from repro.serve.service import ReleaseService
+
+    if args.budget_epsilon <= 0:
+        print("poiagg serve: --budget-epsilon must be positive", file=sys.stderr)
+        return 2
+    if args.queue_capacity < 1 or args.workers < 1 or args.batch_max < 1:
+        print(
+            "poiagg serve: --queue-capacity, --workers and --batch-max "
+            "must be at least 1",
+            file=sys.stderr,
+        )
+        return 2
+    city = _city_for(args)
+    config = ServeConfig(
+        queue_capacity=args.queue_capacity,
+        n_workers=args.workers,
+        batch_max=args.batch_max,
+        attack_audit=args.attack_audit,
+    )
+    service = ReleaseService(
+        city.database,
+        PrivacyParams(args.budget_epsilon, args.budget_delta),
+        config=config,
+        ledger_dir=None if args.ledger_dir is None else str(args.ledger_dir),
+        journal_path=None if args.journal is None else str(args.journal),
+        seed=args.seed if args.seed is not None else 0,
+        epsilon=args.epsilon,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"[poiagg serve: {city.name} on http://{host}:{port} ]", flush=True)
+
+    # SIGTERM (the `kill` default, and what CI uses to stop the smoke
+    # server) gets the same graceful drain as Ctrl-C.  Background jobs
+    # of non-interactive shells start with SIGINT ignored, so SIGTERM
+    # is the only reliable stop signal there.  Handlers can only be
+    # installed from the main thread; anywhere else (in-process tests)
+    # the caller stops the server directly.
+    import signal
+    import threading
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _on_sigterm)
+
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    print("[poiagg serve: stopped]")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.loadgen import LOAD_PROFILES, run_loadgen_http
+
+    profile = LOAD_PROFILES[args.profile]
+    report = run_loadgen_http(args.url, profile, seed=args.seed)
+    from repro.ingest.atomic import atomic_write_text
+
+    atomic_write_text(args.out, json.dumps(report.as_dict(), indent=2) + "\n")
+    print(
+        f"[loadgen {profile.name}: {report.n_submitted} submitted, "
+        f"{report.fates.get('completed', 0)} completed, "
+        f"p50={report.latency_s['p50'] * 1e3:.1f}ms "
+        f"p95={report.latency_s['p95'] * 1e3:.1f}ms "
+        f"p99={report.latency_s['p99'] * 1e3:.1f}ms, "
+        f"{report.throughput_rps:.0f} req/s]"
+    )
+    print(f"[report written to {args.out}]")
+    if not report.drained:
+        print("poiagg loadgen: drain timed out", file=sys.stderr)
+        return 1
+    if not report.fates_accounted:
+        print("poiagg loadgen: fates unaccounted", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _detect_format(path: Path) -> "str | None":

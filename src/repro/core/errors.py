@@ -149,6 +149,83 @@ class CacheIntegrityError(IngestError):
     """
 
 
+class BudgetExhaustedError(PrivacyError):
+    """A per-user privacy-budget spend was refused by the ledger.
+
+    The serve layer's hard-refusal contract: once a user's cumulative
+    ``(epsilon, delta)`` would exceed their ledger total, the release is
+    refused — never served and never partially charged.  Carries the
+    typed payload the HTTP 429-analog response body is built from.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        *,
+        requested_epsilon: float,
+        requested_delta: float,
+        spent_epsilon: float,
+        spent_delta: float,
+        budget_epsilon: float,
+        budget_delta: float,
+    ) -> None:
+        super().__init__(
+            f"budget exhausted for user {user_id!r}: spending "
+            f"({requested_epsilon:.4g}, {requested_delta:.4g}) on top of "
+            f"({spent_epsilon:.4g}, {spent_delta:.4g}) exceeds "
+            f"({budget_epsilon:.4g}, {budget_delta:.4g})"
+        )
+        self.user_id = user_id
+        self.requested_epsilon = requested_epsilon
+        self.requested_delta = requested_delta
+        self.spent_epsilon = spent_epsilon
+        self.spent_delta = spent_delta
+        self.budget_epsilon = budget_epsilon
+        self.budget_delta = budget_delta
+
+    def payload(self) -> dict[str, "str | float"]:
+        """The JSON body a refusal response carries."""
+        return {
+            "error": "BudgetExhausted",
+            "user_id": self.user_id,
+            "requested_epsilon": self.requested_epsilon,
+            "requested_delta": self.requested_delta,
+            "spent_epsilon": self.spent_epsilon,
+            "spent_delta": self.spent_delta,
+            "budget_epsilon": self.budget_epsilon,
+            "budget_delta": self.budget_delta,
+        }
+
+
+class LedgerIntegrityError(ReproError):
+    """A persisted budget ledger failed validation on restore.
+
+    Raised when the snapshot or write-ahead log is internally
+    inconsistent (bad schema, non-monotonic sequence numbers).  A torn
+    *trailing* WAL record is not an integrity error — it means the
+    process died mid-append before the corresponding release was served,
+    so the record is safely dropped.
+    """
+
+
+class ServeFaultError(ReproError):
+    """Base class for faults the serve chaos injector fires in workers."""
+
+
+class WorkerCrashFault(ServeFaultError):
+    """An injected dispatcher-worker crash (seeded chaos)."""
+
+
+class MidCommitKillFault(ServeFaultError):
+    """An injected kill between the ledger commit and the job completing.
+
+    Simulates the worst crash window in-process: the spend is durable
+    but the response never leaves.  The invariant tests assert the job
+    lands in the ``failed`` fate and the budget is never refunded (a
+    refund could double-spend if the release had actually escaped).
+    """
+
+
 class ReleaseValidationError(ReproError):
     """A released frequency vector violates the release contract.
 

@@ -12,6 +12,8 @@ nothing) — rather than silently blowing past the guarantee.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.errors import DefenseError, PrivacyError
@@ -97,3 +99,46 @@ class BudgetedDefense(Defense):
             return np.zeros(database.n_types, dtype=np.int64)
         self.n_released += 1
         return self._mechanism.release(database, location, radius, rng)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore — the serve layer persists per-user ledgers and
+    # the offline runners checkpoint mid-experiment through the same
+    # accountant state, so there is exactly one budget-accounting
+    # implementation (:class:`~repro.dp.accountant.PrivacyAccountant`).
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of this wrapper's ledger.
+
+        Captures the accountant's full spend history plus the wrapper's
+        release/suppression tallies.  The wrapped mechanism and fallback
+        are configuration, not state, and are reattached on restore.
+        """
+        return {
+            "accountant": self._accountant.to_state(),
+            "n_released": self.n_released,
+            "n_suppressed": self.n_suppressed,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        mechanism: Defense,
+        state: dict[str, Any],
+        fallback: "Defense | None" = None,
+    ) -> "BudgetedDefense":
+        """Rebuild a wrapper around *mechanism* from a :meth:`to_state` dict.
+
+        The restored wrapper continues spending exactly where the
+        snapshot left off: a user exhausted at snapshot time stays
+        exhausted, and the next release is refused or served identically
+        to an uninterrupted run.
+        """
+        accountant = PrivacyAccountant.from_state(state["accountant"])
+        if accountant.budget is None:
+            raise DefenseError("BudgetedDefense state must carry a budget")
+        defense = cls(mechanism, accountant.budget, fallback=fallback)
+        defense._accountant = accountant
+        defense.n_released = int(state.get("n_released", 0))
+        defense.n_suppressed = int(state.get("n_suppressed", 0))
+        return defense

@@ -29,7 +29,16 @@ __all__ = ["LaplaceHistogramDefense"]
 
 
 class LaplaceHistogramDefense(Defense):
-    """Per-bin Laplace noise on the frequency vector (pure epsilon-DP)."""
+    """Per-bin Laplace noise on the frequency vector (pure epsilon-DP).
+
+    Exposes ``epsilon``/``delta`` as the per-release cost (pure DP, so
+    ``delta`` is 0), which makes it directly wrappable by
+    :class:`~repro.defense.budget.BudgetedDefense` and chargeable by the
+    serve layer's per-user ledgers.
+    """
+
+    #: Pure epsilon-DP: one release costs (epsilon, 0).
+    delta: float = 0.0
 
     def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
         if epsilon <= 0:
@@ -43,6 +52,19 @@ class LaplaceHistogramDefense(Defense):
     def name(self) -> str:
         return f"LaplaceHistogram(eps={self.epsilon})"
 
+    def apply(self, freq_vector: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Noise an already-computed ``Freq`` vector.
+
+        The serve dispatcher amortizes ``Freq`` across a micro-batch via
+        :meth:`~repro.poi.database.POIDatabase.freq_batch` and then calls
+        this per request, so the mechanism invocation stays inside the
+        defense layer (rule PL002) while the geometry is batched.
+        """
+        noisy = laplace_mechanism(
+            np.asarray(freq_vector, dtype=float), self.sensitivity, self.epsilon, rng
+        )
+        return np.rint(np.clip(noisy, 0.0, None)).astype(np.int64)
+
     def release(
         self,
         database: POIDatabase,
@@ -50,6 +72,4 @@ class LaplaceHistogramDefense(Defense):
         radius: float,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        freq = database.freq(location, radius).astype(float)
-        noisy = laplace_mechanism(freq, self.sensitivity, self.epsilon, rng)
-        return np.rint(np.clip(noisy, 0.0, None)).astype(np.int64)
+        return self.apply(database.freq(location, radius), rng)

@@ -10,6 +10,7 @@ which is exactly why the optimization step of the paper's defense is free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.errors import PrivacyError
 from repro.dp.mechanisms import PrivacyParams
@@ -62,3 +63,51 @@ class PrivacyAccountant:
         if self.budget is None:
             return float("inf")
         return max(0.0, self.budget.epsilon - self.total_epsilon)
+
+    def remaining_delta(self) -> float:
+        """Delta budget left, or ``inf`` when no budget was set."""
+        if self.budget is None:
+            return float("inf")
+        return max(0.0, self.budget.delta - self.total_delta)
+
+    def would_exceed(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Whether spending ``(epsilon, delta)`` now would bust the budget.
+
+        The check mirrors :meth:`spend` exactly (including its floating
+        tolerance), so refusal is deterministic at the boundary: a spend
+        is refused iff this predicate is true at the moment of the spend.
+        """
+        if self.budget is None:
+            return False
+        return (
+            self.total_epsilon + epsilon > self.budget.epsilon + 1e-12
+            or self.total_delta + delta > self.budget.delta + 1e-12
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore — one accounting implementation for the offline
+    # runners and the serve layer's persisted per-user ledgers.
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of budget and every spend."""
+        return {
+            "budget": None
+            if self.budget is None
+            else [self.budget.epsilon, self.budget.delta],
+            "spent": [[p.epsilon, p.delta] for p in self._spent],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "PrivacyAccountant":
+        """Rebuild an accountant from a :meth:`to_state` snapshot."""
+        raw_budget = state.get("budget")
+        budget = (
+            None
+            if raw_budget is None
+            else PrivacyParams(float(raw_budget[0]), float(raw_budget[1]))
+        )
+        accountant = cls(budget=budget)
+        for entry in state.get("spent", []):
+            accountant._spent.append(PrivacyParams(float(entry[0]), float(entry[1])))
+        return accountant

@@ -70,11 +70,11 @@ class CircuitBreaker:
     """A three-state (closed/open/half-open) breaker guarding the GSP.
 
     ``failure_threshold`` consecutive failures trip it open; after
-    ``reset_timeout_s`` of clock time one probe call is let through
-    (half-open) — success closes the breaker, failure re-opens it and
-    restarts the window.  All timing goes through the injected
-    :class:`~repro.core.clock.Clock`, so breaker behaviour is exactly
-    reproducible in simulation.
+    ``reset_timeout_s`` of clock time up to ``half_open_max_probes``
+    probe calls are let through (half-open) — a success closes the
+    breaker, a failure re-opens it and restarts the window.  All timing
+    goes through the injected :class:`~repro.core.clock.Clock`, so
+    breaker behaviour is exactly reproducible in simulation.
     """
 
     def __init__(
@@ -82,6 +82,7 @@ class CircuitBreaker:
         clock: Clock,
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
+        half_open_max_probes: int = 1,
     ) -> None:
         if failure_threshold < 1:
             raise ConfigError(
@@ -91,9 +92,15 @@ class CircuitBreaker:
             raise ConfigError(
                 f"reset_timeout_s must be positive, got {reset_timeout_s}"
             )
+        if half_open_max_probes < 1:
+            raise ConfigError(
+                f"half_open_max_probes must be >= 1, got {half_open_max_probes}"
+            )
         self._clock = clock
         self._failure_threshold = failure_threshold
         self._reset_timeout_s = reset_timeout_s
+        self._half_open_max_probes = half_open_max_probes
+        self._half_open_probes = 0
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -105,16 +112,47 @@ class CircuitBreaker:
         self._maybe_half_open()
         return self._state
 
+    def snapshot(self) -> dict[str, "str | int | float"]:
+        """Inspectable breaker state for status endpoints and telemetry.
+
+        Returns a plain JSON-friendly dict rather than internals, so the
+        serve layer's ``/status`` response and the shed ladder can
+        surface the breaker without reaching into private attributes.
+        """
+        self._maybe_half_open()
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self._failure_threshold,
+            "reset_timeout_s": self._reset_timeout_s,
+            "opened_at": self._opened_at,
+            "n_opens": self.n_opens,
+            "half_open_max_probes": self._half_open_max_probes,
+            "half_open_probes_used": self._half_open_probes,
+        }
+
     def _maybe_half_open(self) -> None:
         if (
             self._state == "open"
             and self._clock.now() - self._opened_at >= self._reset_timeout_s
         ):
             self._state = "half_open"
+            self._half_open_probes = 0
 
     def allow(self) -> bool:
-        """Whether a call may proceed right now."""
+        """Whether a call may proceed right now.
+
+        In the half-open state each ``True`` consumes one of the
+        ``half_open_max_probes`` probe slots; further calls are refused
+        until a probe resolves via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
         self._maybe_half_open()
+        if self._state == "half_open":
+            if self._half_open_probes >= self._half_open_max_probes:
+                return False
+            self._half_open_probes += 1
+            return True
         return self._state != "open"
 
     def guard(self) -> None:
@@ -127,6 +165,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
+        self._half_open_probes = 0
         self._state = "closed"
 
     def record_failure(self) -> None:
@@ -141,6 +180,7 @@ class CircuitBreaker:
     def _trip(self) -> None:
         self._state = "open"
         self._opened_at = self._clock.now()
+        self._half_open_probes = 0
         self.n_opens += 1
 
 
@@ -155,12 +195,14 @@ class ResilienceConfig:
     retry: RetryPolicy = RetryPolicy()
     breaker_failure_threshold: int = 5
     breaker_reset_timeout_s: float = 30.0
+    breaker_half_open_probes: int = 1
 
     def build_breaker(self, clock: Clock) -> CircuitBreaker:
         return CircuitBreaker(
             clock,
             failure_threshold=self.breaker_failure_threshold,
             reset_timeout_s=self.breaker_reset_timeout_s,
+            half_open_max_probes=self.breaker_half_open_probes,
         )
 
 

@@ -623,6 +623,53 @@ class NonAtomicRoleWrite(Rule):
         return None  # dynamic mode: cannot prove a write
 
 
+#: Method names that block forever when called without arguments
+#: (queue.Queue.get, Event/Condition.wait, Thread.join, socket/pipe recv).
+#: Calls with positional arguments are out of scope: ``d.get(key)`` and
+#: ``sep.join(parts)`` are not blocking calls, and a positional deadline
+#: (``q.get(True, 0.1)``) is already bounded.
+_BLOCKING_ATTRS = ("get", "wait", "join", "recv", "sleep")
+
+
+class UnboundedServeBlocking(Rule):
+    """PL008 — serve-path blocking calls must carry a timeout."""
+
+    id = "PL008"
+    name = "unbounded-serve-blocking"
+    summary = "serve handlers/dispatchers must not block without a timeout"
+    rationale = (
+        "The serve layer's liveness guarantees — shutdown always "
+        "completes, the shed ladder can always intervene, a hung worker "
+        "is indistinguishable from a crashed one only until its deadline "
+        "— all assume no thread ever parks forever. A bare queue.get(), "
+        "Event.wait(), Thread.join(), or recv() waits unconditionally: "
+        "one such call in a handler or dispatcher loop turns a transient "
+        "stall into a permanent one that no deadline, retry, or drain "
+        "can reach. Every blocking call in repro.serve must pass a "
+        "timeout (the idle poll interval is the conventional bound)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test or not ctx.module.startswith("repro.serve"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _BLOCKING_ATTRS:
+                continue
+            if node.args:
+                continue  # a positional arg means keyed lookup or a bound
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f".{node.func.attr}() without a timeout can block this "
+                "serve thread forever; pass timeout=... so shutdown, "
+                "deadlines, and the shed ladder can intervene",
+            )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     AccountantBypass(),
@@ -631,6 +678,7 @@ RULES: tuple[Rule, ...] = (
     WallClockInExperimentPath(),
     DeprecatedPositionalShim(),
     NonAtomicRoleWrite(),
+    UnboundedServeBlocking(),
 )
 
 

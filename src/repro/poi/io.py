@@ -21,7 +21,6 @@ import json
 from pathlib import Path
 
 from repro.ingest.atomic import atomic_write_text, atomic_writer
-from repro.ingest.cache import DatasetCache
 from repro.ingest.loaders import POI_CSV_HEADER, ingest_poi_csv
 from repro.ingest.report import IngestReport, record_ingest_report
 from repro.poi.database import POIDatabase
@@ -78,6 +77,11 @@ def load_database(
             csv_path, policy=policy, quarantine_path=quarantine_path
         )
         return db
+
+    # Imported here, not at module top: repro.ingest's package init pulls
+    # in the cache, whose POIDatabase import runs this module — a cycle
+    # whenever repro.ingest.* is the first thing a process imports.
+    from repro.ingest.cache import DatasetCache
 
     cache = DatasetCache(cache_dir)
     parse_reports: list[IngestReport] = []

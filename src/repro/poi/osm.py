@@ -23,7 +23,6 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.geo.point import GeoPoint
-from repro.ingest.cache import DatasetCache
 from repro.ingest.loaders import DEFAULT_TYPE_KEYS, ingest_osm_xml
 from repro.ingest.report import IngestReport, record_ingest_report
 from repro.poi.database import POIDatabase
@@ -75,6 +74,11 @@ def load_osm_xml(
             quarantine_path=quarantine_path,
         )
         return db
+
+    # Deferred for the same reason as in repro.poi.io: importing the
+    # cache at module top closes an import cycle through repro.ingest's
+    # package init whenever repro.ingest.* is imported first.
+    from repro.ingest.cache import DatasetCache
 
     cache = DatasetCache(cache_dir)
     parse_reports: list[IngestReport] = []

@@ -1,0 +1,223 @@
+"""Jobs, terminal fates, and the exactly-one-fate accounting invariant.
+
+Every request the service *accepts* (it was not rejected by
+backpressure) becomes a :class:`Job` and must reach exactly one terminal
+fate:
+
+* ``completed`` — a release vector was produced and is retrievable;
+* ``refused``  — the user's privacy budget could not cover the release;
+* ``shed``     — dropped by the load-shedding ladder or a missed
+  deadline, never attempted to completion;
+* ``failed``   — worker crashes exhausted the retry budget (or the
+  process died between the ledger commit and the response).
+
+The :class:`JobStore` enforces the invariant structurally: fates are
+assigned through :meth:`JobStore.finalize`, which refuses double
+finalization, and :meth:`FateCounters.consistent` checks
+``completed + refused + shed + failed == accepted`` — the property the
+chaos suite asserts under every :class:`~repro.serve.faults.ServeFaultPlan`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.clock import Clock
+from repro.core.errors import ConfigError, ReproError
+
+__all__ = ["FATES", "FateCounters", "Job", "JobStore", "ReleaseRequest"]
+
+#: The terminal fate taxonomy, in severity order.
+FATES: tuple[str, ...] = ("completed", "refused", "shed", "failed")
+
+
+@dataclass(frozen=True, slots=True)
+class ReleaseRequest:
+    """One frequency-release request as it arrives at the edge."""
+
+    user_id: str
+    x: float
+    y: float
+    radius: float
+    defense: str = "laplace"
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ConfigError("user_id must be non-empty")
+        if not np.isfinite(self.x) or not np.isfinite(self.y):
+            raise ConfigError(f"location must be finite, got ({self.x}, {self.y})")
+        if not np.isfinite(self.radius) or self.radius <= 0:
+            raise ConfigError(f"radius must be positive, got {self.radius}")
+
+
+@dataclass
+class Job:
+    """One accepted request moving toward its terminal fate."""
+
+    job_id: str
+    request: ReleaseRequest
+    submitted_at: float
+    deadline_at: float
+    attempts: int = 0
+    charged: bool = False
+    degraded: bool = False
+    fate: "str | None" = None
+    error: "str | None" = None
+    finished_at: "float | None" = None
+    result: "np.ndarray | None" = None
+    reidentified: "bool | None" = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.fate is not None
+
+    @property
+    def latency_s(self) -> "float | None":
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def as_dict(self, include_result: bool = False) -> dict[str, Any]:
+        """JSON-friendly view for the status/result endpoints."""
+        payload: dict[str, Any] = {
+            "job_id": self.job_id,
+            "user_id": self.request.user_id,
+            "defense": self.request.defense,
+            "radius": self.request.radius,
+            "state": self.fate if self.terminal else "pending",
+            "fate": self.fate,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "latency_s": self.latency_s,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = (
+                None if self.result is None else [float(v) for v in self.result]
+            )
+            payload["reidentified"] = self.reidentified
+        return payload
+
+
+@dataclass
+class FateCounters:
+    """Admission and fate tallies; the chaos invariant lives here."""
+
+    accepted: int = 0
+    rejected: int = 0  # backpressure: never became a job
+    completed: int = 0
+    refused: int = 0
+    shed: int = 0
+    failed: int = 0
+
+    @property
+    def terminal(self) -> int:
+        return self.completed + self.refused + self.shed + self.failed
+
+    @property
+    def pending(self) -> int:
+        return self.accepted - self.terminal
+
+    def consistent(self) -> bool:
+        """``sum(fates) == accepted`` once the service has drained."""
+        return self.terminal == self.accepted
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "refused": self.refused,
+            "shed": self.shed,
+            "failed": self.failed,
+            "pending": self.pending,
+        }
+
+
+class JobStore:
+    """Thread-safe job registry with single-assignment fates."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._next_id = 0
+        self.counters = FateCounters()
+
+    def create(self, request: ReleaseRequest, deadline_s: float) -> Job:
+        """Register an accepted request (counts toward ``accepted``)."""
+        with self._lock:
+            self._next_id += 1
+            now = self._clock.now()
+            job = Job(
+                job_id=f"j{self._next_id:08d}",
+                request=request,
+                submitted_at=now,
+                deadline_at=now + deadline_s,
+            )
+            self._jobs[job.job_id] = job
+            self.counters.accepted += 1
+            return job
+
+    def discard(self, job: Job) -> None:
+        """Forget a job whose enqueue lost the backpressure race.
+
+        The admission slot it was given is handed back (``accepted`` is
+        decremented) and the submit is recorded as rejected instead.
+        """
+        with self._lock:
+            if job.terminal:
+                raise ReproError(f"cannot discard finalized job {job.job_id}")
+            self._jobs.pop(job.job_id, None)
+            self.counters.accepted -= 1
+            self.counters.rejected += 1
+
+    def get(self, job_id: str) -> "Job | None":
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def finalize(
+        self,
+        job: Job,
+        fate: str,
+        *,
+        result: "np.ndarray | None" = None,
+        error: "str | None" = None,
+    ) -> None:
+        """Assign *job* its terminal fate — exactly once, ever."""
+        if fate not in FATES:
+            raise ConfigError(f"unknown fate {fate!r}; expected one of {FATES}")
+        with self._lock:
+            if job.terminal:
+                raise ReproError(
+                    f"job {job.job_id} already finalized as {job.fate!r}; "
+                    f"refusing second fate {fate!r}"
+                )
+            job.fate = fate
+            job.result = result
+            job.error = error
+            job.finished_at = self._clock.now()
+            setattr(self.counters, fate, getattr(self.counters, fate) + 1)
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return self.counters.pending
+
+    def completed_latencies(self) -> list[float]:
+        """Latencies of every completed job (for the bench percentiles)."""
+        with self._lock:
+            return [
+                job.finished_at - job.submitted_at
+                for job in self._jobs.values()
+                if job.fate == "completed" and job.finished_at is not None
+            ]
+
+    def jobs_snapshot(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())

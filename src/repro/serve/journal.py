@@ -1,0 +1,56 @@
+"""Append-only JSONL heartbeat/audit journal for the serve layer.
+
+Mirrors the PR 3 supervisor journal: one line per event, flushed on
+write, so an operator tailing the file can watch admission decisions,
+terminal fates, crashes, and periodic heartbeats in real time — and a
+post-mortem can reconstruct the fate of every accepted request.
+
+Append-only event logs are incremental by design and cannot be
+committed by rename (the PL007 rationale explicitly scopes them out);
+durability-critical state lives in the ledger, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Any
+
+from repro.core.clock import Clock
+
+__all__ = ["ServeJournal"]
+
+
+class ServeJournal:
+    """Thread-safe JSONL event sink; a ``None`` path makes it a no-op."""
+
+    def __init__(self, path: "str | Path | None", clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._handle: "IO[str] | None" = None
+        if path is not None:
+            file_path = Path(path)
+            file_path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = file_path.open("a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    def event(self, kind: str, **fields: Any) -> None:
+        if self._handle is None:
+            return
+        record = {"t": self._clock.now(), "event": kind, **fields}
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

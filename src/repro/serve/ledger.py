@@ -1,0 +1,418 @@
+"""Persistent per-user privacy-budget ledgers for the serve layer.
+
+A served DP release spends part of its user's ``(epsilon, delta)``
+budget, and Primault et al. show deployed location-privacy systems fail
+exactly here: sloppy accounting across repeated queries quietly voids
+the guarantee.  The ledger therefore treats the spend record — not the
+response — as the ground truth, with a *write-ahead* discipline:
+
+1. a spend is appended to the write-ahead log (``ledger.wal``) and
+   fsynced **before** the release is computed or returned;
+2. every ``compact_every`` appends, the full per-user accountant state
+   is snapshotted to ``ledger.json`` through the atomic temp-file +
+   ``os.replace`` protocol and the WAL is (atomically) truncated.
+
+Crash analysis, in both directions:
+
+* killed after the WAL append but before the response left — the spend
+  is counted on restart although nothing was served.  Budget is lost,
+  privacy is not: over-counting is the safe direction, and the ledger
+  never refunds (a refund could double-spend if the release had in fact
+  escaped the process).
+* killed mid-append — the torn trailing WAL line is dropped on replay.
+  Safe, because the corresponding release was only ever served *after*
+  a complete, fsynced append.
+* killed between snapshot replace and WAL truncation — WAL records
+  carry monotonic sequence numbers and the snapshot stores the last
+  sequence it absorbed, so replay skips records the snapshot already
+  contains.  Spends are counted exactly once.
+
+Accounting itself is the same implementation the offline runners use —
+one :class:`~repro.dp.accountant.PrivacyAccountant` per user, persisted
+via its ``to_state``/``from_state`` snapshot API — so the refusal
+boundary is bit-identical between the service and the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Sequence
+from pathlib import Path
+from typing import IO, Any
+
+from repro.core.errors import BudgetExhaustedError, ConfigError, LedgerIntegrityError
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import PrivacyParams
+from repro.ingest.atomic import atomic_write_text
+
+__all__ = ["BudgetLedger", "SNAPSHOT_NAME", "WAL_NAME"]
+
+SNAPSHOT_NAME = "ledger.json"
+WAL_NAME = "ledger.wal"
+
+_SNAPSHOT_VERSION = 1
+
+
+class BudgetLedger:
+    """Thread-safe, crash-safe per-user ``(epsilon, delta)`` ledger.
+
+    Parameters
+    ----------
+    budget:
+        The per-user allowance.  Every user gets the same budget; the
+        refusal boundary is enforced by the shared
+        :class:`~repro.dp.accountant.PrivacyAccountant` tolerance, so it
+        is deterministic: the first spend that would push a user past
+        the budget is refused, as is every spend after it.
+    directory:
+        Where ``ledger.json`` / ``ledger.wal`` live.  ``None`` keeps the
+        ledger purely in memory (tests, ephemeral load generation).
+    compact_every:
+        WAL appends between snapshot compactions.
+    """
+
+    def __init__(
+        self,
+        budget: PrivacyParams,
+        directory: "str | Path | None" = None,
+        compact_every: int = 1024,
+    ) -> None:
+        if compact_every < 1:
+            raise ConfigError(f"compact_every must be >= 1, got {compact_every}")
+        self._budget = budget
+        self._dir = Path(directory) if directory is not None else None
+        self._compact_every = compact_every
+        self._lock = threading.Lock()
+        self._accounts: dict[str, PrivacyAccountant] = {}
+        self._seq = 0
+        self._snapshot_seq = 0
+        self._appends_since_compact = 0
+        self._wal: "IO[str] | None" = None
+        self.n_granted = 0
+        self.n_refused = 0
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._restore()
+            self._wal = (self._dir / WAL_NAME).open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def budget(self) -> PrivacyParams:
+        return self._budget
+
+    @property
+    def n_users(self) -> int:
+        with self._lock:
+            return len(self._accounts)
+
+    def remaining(self, user_id: str) -> tuple[float, float]:
+        """``(epsilon, delta)`` the user can still spend."""
+        with self._lock:
+            account = self._accounts.get(user_id)
+            if account is None:
+                return (self._budget.epsilon, self._budget.delta)
+            return (account.remaining_epsilon(), account.remaining_delta())
+
+    def would_refuse(
+        self, user_id: str, epsilon: float, delta: float = 0.0
+    ) -> "BudgetExhaustedError | None":
+        """The refusal a spend would hit right now, or ``None`` (advisory).
+
+        The authoritative decision is :meth:`spend` under the ledger
+        lock; this exists so the admission path can reject exhausted
+        users with a typed 429 before their request ever queues.  The
+        returned error is *not* raised and nothing is written.
+        """
+        with self._lock:
+            account = self._accounts.get(user_id)
+            if account is None:
+                account = PrivacyAccountant(budget=self._budget)
+            if not account.would_exceed(epsilon, delta):
+                return None
+            return BudgetExhaustedError(
+                user_id,
+                requested_epsilon=epsilon,
+                requested_delta=delta,
+                spent_epsilon=account.total_epsilon,
+                spent_delta=account.total_delta,
+                budget_epsilon=self._budget.epsilon,
+                budget_delta=self._budget.delta,
+            )
+
+    def user_state(self, user_id: str) -> dict[str, float]:
+        with self._lock:
+            account = self._accounts.get(user_id)
+            if account is None:
+                account = PrivacyAccountant(budget=self._budget)
+            return {
+                "spent_epsilon": account.total_epsilon,
+                "spent_delta": account.total_delta,
+                "remaining_epsilon": account.remaining_epsilon(),
+                "remaining_delta": account.remaining_delta(),
+                "n_releases": float(account.n_invocations),
+            }
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "n_users": float(len(self._accounts)),
+                "n_granted": float(self.n_granted),
+                "n_refused": float(self.n_refused),
+                "total_epsilon_spent": sum(
+                    a.total_epsilon for a in self._accounts.values()
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Spending
+    # ------------------------------------------------------------------
+
+    def spend(
+        self, user_id: str, epsilon: float, delta: float = 0.0, label: str = ""
+    ) -> None:
+        """Durably charge one release; raises :class:`BudgetExhaustedError`.
+
+        The spend is on disk (appended + fsynced) before this returns,
+        so the caller may only serve the release *after* a successful
+        return — the order that makes a crash over-count, never
+        double-spend.
+        """
+        outcome = self.spend_batch([(user_id, epsilon, delta)])[0]
+        if outcome is not None:
+            raise outcome
+
+    def spend_batch(
+        self, spends: Sequence[tuple[str, float, float]]
+    ) -> "list[BudgetExhaustedError | None]":
+        """Charge a micro-batch of releases with one WAL append + fsync.
+
+        Returns one entry per requested spend: ``None`` if granted, or
+        the :class:`BudgetExhaustedError` describing the refusal.  The
+        batch is decided sequentially under the lock (two spends by one
+        user in one batch compose), and all granted spends become
+        durable together before any of them is committed in memory.
+        """
+        for user_id, epsilon, delta in spends:
+            if epsilon <= 0:
+                raise ConfigError(
+                    f"ledger spends need epsilon > 0, got {epsilon} for {user_id!r}"
+                )
+            if delta < 0:
+                raise ConfigError(
+                    f"ledger spends need delta >= 0, got {delta} for {user_id!r}"
+                )
+        with self._lock:
+            outcomes: "list[BudgetExhaustedError | None]" = []
+            granted: list[tuple[str, float, float]] = []
+            # Running per-user totals accumulated with the same
+            # left-to-right association PrivacyAccountant.spend will use,
+            # so the pre-check and the commit agree to the last ulp.
+            running: dict[str, tuple[float, float]] = {}
+            for user_id, epsilon, delta in spends:
+                account = self._account(user_id)
+                eff_eps, eff_delta = running.get(
+                    user_id, (account.total_epsilon, account.total_delta)
+                )
+                if (
+                    eff_eps + epsilon > self._budget.epsilon + 1e-12
+                    or eff_delta + delta > self._budget.delta + 1e-12
+                ):
+                    self.n_refused += 1
+                    outcomes.append(
+                        BudgetExhaustedError(
+                            user_id,
+                            requested_epsilon=epsilon,
+                            requested_delta=delta,
+                            spent_epsilon=eff_eps,
+                            spent_delta=eff_delta,
+                            budget_epsilon=self._budget.epsilon,
+                            budget_delta=self._budget.delta,
+                        )
+                    )
+                    continue
+                running[user_id] = (eff_eps + epsilon, eff_delta + delta)
+                granted.append((user_id, epsilon, delta))
+                outcomes.append(None)
+            if granted:
+                self._append_wal(granted)  # durable before any in-memory commit
+                for user_id, epsilon, delta in granted:
+                    self._accounts[user_id].spend(epsilon, delta, label="serve")
+                    self.n_granted += 1
+                self._maybe_compact()
+            return outcomes
+
+    def _account(self, user_id: str) -> PrivacyAccountant:
+        account = self._accounts.get(user_id)
+        if account is None:
+            account = PrivacyAccountant(budget=self._budget)
+            self._accounts[user_id] = account
+        return account
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _append_wal(self, granted: Sequence[tuple[str, float, float]]) -> None:
+        if self._wal is None:
+            return
+        lines = []
+        seq = self._seq
+        for user_id, epsilon, delta in granted:
+            seq += 1
+            lines.append(
+                json.dumps(
+                    {"seq": seq, "user": user_id, "eps": epsilon, "delta": delta},
+                    separators=(",", ":"),
+                )
+            )
+        self._wal.write("\n".join(lines) + "\n")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self._seq = seq
+        self._appends_since_compact += len(granted)
+
+    def _maybe_compact(self) -> None:
+        if self._wal is None or self._appends_since_compact < self._compact_every:
+            return
+        self._compact_locked()
+
+    def compact(self) -> None:
+        """Snapshot all accounts atomically and truncate the WAL.
+
+        Public so the service can compact on clean shutdown.  Safe to
+        call at any point: the snapshot lands via ``os.replace`` first,
+        and replay's sequence filter makes the not-yet-truncated WAL a
+        no-op if we crash in between.
+        """
+        with self._lock:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        if self._dir is None:
+            return
+        self._write_snapshot()
+        if self._wal is None:
+            return
+        self._wal.close()
+        atomic_write_text(self._dir / WAL_NAME, "")
+        self._wal = (self._dir / WAL_NAME).open("a", encoding="utf-8")
+        self._appends_since_compact = 0
+
+    def _write_snapshot(self) -> None:
+        assert self._dir is not None
+        payload = {
+            "version": _SNAPSHOT_VERSION,
+            "seq": self._seq,
+            "budget": [self._budget.epsilon, self._budget.delta],
+            "users": {
+                user_id: account.to_state()
+                for user_id, account in self._accounts.items()
+            },
+        }
+        atomic_write_text(self._dir / SNAPSHOT_NAME, json.dumps(payload))
+        self._snapshot_seq = self._seq
+
+    def close(self) -> None:
+        """Compact and release the WAL handle."""
+        with self._lock:
+            self._compact_locked()
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    def __enter__(self) -> "BudgetLedger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+
+    def _restore(self) -> None:
+        assert self._dir is not None
+        snapshot_path = self._dir / SNAPSHOT_NAME
+        if snapshot_path.exists():
+            self._restore_snapshot(snapshot_path)
+        wal_path = self._dir / WAL_NAME
+        if wal_path.exists():
+            self._replay_wal(wal_path)
+
+    def _restore_snapshot(self, path: Path) -> None:
+        try:
+            payload: dict[str, Any] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LedgerIntegrityError(f"unreadable ledger snapshot {path}: {exc}") from exc
+        if payload.get("version") != _SNAPSHOT_VERSION:
+            raise LedgerIntegrityError(
+                f"ledger snapshot {path} has version {payload.get('version')!r}, "
+                f"expected {_SNAPSHOT_VERSION}"
+            )
+        budget = payload.get("budget")
+        if (
+            not isinstance(budget, list)
+            or len(budget) != 2
+            or abs(float(budget[0]) - self._budget.epsilon) > 1e-12
+            or abs(float(budget[1]) - self._budget.delta) > 1e-12
+        ):
+            raise LedgerIntegrityError(
+                f"ledger snapshot {path} was written for budget {budget}, "
+                f"but the service is configured with "
+                f"({self._budget.epsilon}, {self._budget.delta}); refusing to "
+                "reinterpret spends under a different allowance"
+            )
+        try:
+            for user_id, state in payload.get("users", {}).items():
+                self._accounts[str(user_id)] = PrivacyAccountant.from_state(state)
+            self._seq = int(payload["seq"])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise LedgerIntegrityError(f"malformed ledger snapshot {path}: {exc}") from exc
+        self._snapshot_seq = self._seq
+
+    def _replay_wal(self, path: Path) -> None:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        # Trailing blank lines are artifacts of the final append.
+        while lines and not lines[-1].strip():
+            lines.pop()
+        last_seq = self._snapshot_seq
+        for index, line in enumerate(lines):
+            if not line.strip():
+                raise LedgerIntegrityError(
+                    f"ledger WAL {path} has a blank record at line {index + 1}"
+                )
+            try:
+                record = json.loads(line)
+                seq = int(record["seq"])
+                user_id = str(record["user"])
+                epsilon = float(record["eps"])
+                delta = float(record["delta"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if index == len(lines) - 1:
+                    # Torn trailing append: the process died mid-write, so
+                    # the corresponding release was never served.  Drop it.
+                    break
+                raise LedgerIntegrityError(
+                    f"ledger WAL {path} is corrupt at line {index + 1}: {exc}"
+                ) from exc
+            if seq <= self._snapshot_seq:
+                continue  # already absorbed by the snapshot before the crash
+            if seq != last_seq + 1 and last_seq != self._snapshot_seq:
+                raise LedgerIntegrityError(
+                    f"ledger WAL {path} sequence jumps from {last_seq} to {seq} "
+                    f"at line {index + 1}"
+                )
+            try:
+                self._account(user_id).spend(epsilon, delta, label="wal-replay")
+            except Exception as exc:  # budget overflow on replay = corrupt log
+                raise LedgerIntegrityError(
+                    f"ledger WAL {path} replays past the budget at line "
+                    f"{index + 1}: {exc}"
+                ) from exc
+            last_seq = seq
+        self._seq = max(self._seq, last_seq)

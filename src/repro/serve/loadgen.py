@@ -1,0 +1,297 @@
+"""Seeded load generator and latency/throughput reporting.
+
+Drives a :class:`~repro.serve.service.ReleaseService` either in-process
+(the bench path — no socket noise in the percentiles) or over HTTP (the
+CI smoke path — exercises the real edge), and reduces the run to a
+:class:`LoadgenReport`: admission outcomes, terminal fates, completed
+latency percentiles (p50/p95/p99), and throughput.
+
+Profiles are seeded and deterministic: the same ``(profile, seed)``
+always generates the same request stream.  The ``flood`` profile
+deliberately outruns any reasonable queue so backpressure and the shed
+ladder are exercised, not just the happy path.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.clock import Clock, SystemClock
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+from repro.serve.jobs import ReleaseRequest
+from repro.serve.service import ReleaseService
+
+__all__ = [
+    "LOAD_PROFILES",
+    "LoadProfile",
+    "LoadgenReport",
+    "generate_requests",
+    "latency_percentiles",
+    "run_loadgen",
+    "run_loadgen_http",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadProfile:
+    """One reproducible workload shape.
+
+    ``defense_mix`` weights the defense kinds requested; ``bounds`` is
+    the square the query centers are drawn from (matching the target
+    database's extent).  ``users_per_request`` < 1 concentrates many
+    requests on few users, which is how the budget-refusal path gets
+    exercised under load.
+    """
+
+    name: str
+    n_users: int
+    n_requests: int
+    radius: float = 150.0
+    defense_mix: tuple[tuple[str, float], ...] = (
+        ("laplace", 0.6),
+        ("sanitize", 0.3),
+        ("raw", 0.1),
+    )
+    bounds: tuple[float, float, float, float] = (0.0, 0.0, 1000.0, 1000.0)
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0 or self.n_requests <= 0:
+            raise ConfigError("n_users and n_requests must be positive")
+        if not self.defense_mix:
+            raise ConfigError("defense_mix must be non-empty")
+        if any(weight < 0 for _, weight in self.defense_mix):
+            raise ConfigError("defense_mix weights must be non-negative")
+        if sum(weight for _, weight in self.defense_mix) <= 0:
+            raise ConfigError("defense_mix weights must sum to a positive value")
+
+
+#: The stock profiles; ``flood`` pairs with a small queue to force shedding.
+LOAD_PROFILES: dict[str, LoadProfile] = {
+    "smoke": LoadProfile(name="smoke", n_users=20, n_requests=100),
+    "small": LoadProfile(name="small", n_users=200, n_requests=1_000),
+    "bench": LoadProfile(name="bench", n_users=10_000, n_requests=20_000),
+    "flood": LoadProfile(
+        name="flood",
+        n_users=50,
+        n_requests=2_000,
+        defense_mix=(("laplace", 0.8), ("sanitize", 0.2)),
+    ),
+}
+
+
+def generate_requests(profile: LoadProfile, seed: int) -> list[ReleaseRequest]:
+    """The deterministic request stream for ``(profile, seed)``."""
+    rng = derive_rng(seed, "loadgen", profile.name)
+    kinds = [kind for kind, _ in profile.defense_mix]
+    weights = np.array([weight for _, weight in profile.defense_mix], dtype=float)
+    weights /= weights.sum()
+    x0, y0, x1, y1 = profile.bounds
+    users = rng.integers(0, profile.n_users, size=profile.n_requests)
+    xs = rng.uniform(x0, x1, size=profile.n_requests)
+    ys = rng.uniform(y0, y1, size=profile.n_requests)
+    picks = rng.choice(len(kinds), size=profile.n_requests, p=weights)
+    return [
+        ReleaseRequest(
+            user_id=f"u{int(user):06d}",
+            x=float(x),
+            y=float(y),
+            radius=profile.radius,
+            defense=kinds[int(pick)],
+        )
+        for user, x, y, pick in zip(users, xs, ys, picks)
+    ]
+
+
+def latency_percentiles(latencies: "list[float] | np.ndarray") -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` in seconds (NaN if empty)."""
+    if len(latencies) == 0:
+        return {"p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
+    arr = np.asarray(latencies, dtype=float)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass
+class LoadgenReport:
+    """One loadgen run, reduced to the numbers the bench records."""
+
+    profile: str
+    seed: int
+    n_submitted: int
+    outcomes: dict[str, int]
+    fates: dict[str, int]
+    latency_s: dict[str, float]
+    throughput_rps: float
+    wall_s: float
+    drained: bool
+    n_batches: int = 0
+    faults: "dict[str, int] | None" = None
+
+    @property
+    def fates_accounted(self) -> bool:
+        """The chaos invariant: every accepted request has one fate."""
+        terminal = (
+            self.fates["completed"]
+            + self.fates["refused"]
+            + self.fates["shed"]
+            + self.fates["failed"]
+        )
+        return terminal == self.fates["accepted"]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "n_submitted": self.n_submitted,
+            "outcomes": self.outcomes,
+            "fates": self.fates,
+            "fates_accounted": self.fates_accounted,
+            "latency_s": self.latency_s,
+            "throughput_rps": self.throughput_rps,
+            "wall_s": self.wall_s,
+            "drained": self.drained,
+            "n_batches": self.n_batches,
+            "faults": self.faults,
+        }
+
+
+def run_loadgen(
+    service: ReleaseService,
+    profile: LoadProfile,
+    *,
+    seed: int = 0,
+    clock: "Clock | None" = None,
+) -> LoadgenReport:
+    """Drive *service* in-process with *profile* and reduce the run."""
+    clock = clock if clock is not None else SystemClock()
+    requests = generate_requests(profile, seed)
+    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0}
+    t0 = clock.now()
+    for request in requests:
+        outcome = service.submit(request)
+        outcomes[outcome.status] += 1
+    drained = service.drain(profile.drain_timeout_s)
+    wall_s = max(clock.now() - t0, 1e-9)
+    latencies = service.store.completed_latencies()
+    status = service.status()
+    fates = status["fates"]
+    return LoadgenReport(
+        profile=profile.name,
+        seed=seed,
+        n_submitted=len(requests),
+        outcomes=outcomes,
+        fates=fates,
+        latency_s=latency_percentiles(latencies),
+        throughput_rps=fates["completed"] / wall_s,
+        wall_s=wall_s,
+        drained=drained,
+        n_batches=status["n_batches"],
+        faults=status["faults"],
+    )
+
+
+# ----------------------------------------------------------------------
+# HTTP mode (the CI smoke path)
+# ----------------------------------------------------------------------
+
+
+def _http_json(
+    url: str,
+    body: "dict[str, Any] | None" = None,
+    timeout_s: float = 10.0,
+) -> tuple[int, dict[str, Any]]:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if body is not None else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        payload = json.loads(exc.read().decode("utf-8"))
+        return exc.code, payload
+
+
+def run_loadgen_http(
+    base_url: str,
+    profile: LoadProfile,
+    *,
+    seed: int = 0,
+    clock: "Clock | None" = None,
+    request_timeout_s: float = 10.0,
+) -> LoadgenReport:
+    """Drive a running server over HTTP with *profile*.
+
+    Latencies come from the server's own per-job bookkeeping (fetched via
+    ``GET /v1/jobs/<id>`` after the drain), so the in-process and HTTP
+    reports measure the same quantity.
+    """
+    clock = clock if clock is not None else SystemClock()
+    base = base_url.rstrip("/")
+    requests = generate_requests(profile, seed)
+    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0}
+    job_ids: list[str] = []
+    t0 = clock.now()
+    for request in requests:
+        status, payload = _http_json(
+            f"{base}/v1/submit",
+            {
+                "user_id": request.user_id,
+                "x": request.x,
+                "y": request.y,
+                "radius": request.radius,
+                "defense": request.defense,
+            },
+            timeout_s=request_timeout_s,
+        )
+        if status == 202:
+            outcomes["queued"] += 1
+            job_ids.append(payload["job_id"])
+        elif status == 429:
+            outcomes["refused"] += 1
+        elif status == 503 and payload.get("error") == "LoadShed":
+            outcomes["shed"] += 1
+        elif status == 503:
+            outcomes["rejected"] += 1
+        else:
+            raise ConfigError(f"unexpected submit response {status}: {payload}")
+    # Poll until every accepted job is terminal (bounded by the profile).
+    drained = False
+    deadline = clock.now() + profile.drain_timeout_s
+    status_doc: dict[str, Any] = {}
+    while clock.now() < deadline:
+        _, status_doc = _http_json(f"{base}/v1/status", timeout_s=request_timeout_s)
+        if status_doc["fates"]["pending"] == 0:
+            drained = True
+            break
+        clock.sleep(0.05)
+    wall_s = max(clock.now() - t0, 1e-9)
+    latencies: list[float] = []
+    for job_id in job_ids:
+        _, job_doc = _http_json(f"{base}/v1/jobs/{job_id}", timeout_s=request_timeout_s)
+        if job_doc.get("fate") == "completed" and job_doc.get("latency_s") is not None:
+            latencies.append(float(job_doc["latency_s"]))
+    fates = status_doc.get("fates", {})
+    return LoadgenReport(
+        profile=profile.name,
+        seed=seed,
+        n_submitted=len(requests),
+        outcomes=outcomes,
+        fates=fates,
+        latency_s=latency_percentiles(latencies),
+        throughput_rps=fates.get("completed", 0) / wall_s,
+        wall_s=wall_s,
+        drained=drained,
+        n_batches=status_doc.get("n_batches", 0),
+        faults=status_doc.get("faults"),
+    )

@@ -68,3 +68,57 @@ class TestBudgetedDefense:
         _, inner = mechanism
         defense = BudgetedDefense(inner, PrivacyParams(3.0, 0.9))
         assert "eps<=3.0" in defense.name
+
+
+class TestStateRoundTrip:
+    def test_round_trip_is_json_serializable_and_faithful(self, mechanism, db):
+        import json
+
+        city, inner = mechanism
+        defense = BudgetedDefense(inner, PrivacyParams(1.5, 0.6))
+        rng = derive_rng(5, "bud")
+        target = city.interior(700.0).sample_point(rng)
+        defense.release(db, target, 700.0, rng)
+        defense.release(db, target, 700.0, rng)
+
+        state = json.loads(json.dumps(defense.to_state()))
+        restored = BudgetedDefense.from_state(inner, state)
+        assert restored.name == defense.name
+        assert restored.remaining_epsilon == pytest.approx(defense.remaining_epsilon)
+        assert restored.releases_remaining == defense.releases_remaining
+        assert restored.n_released == 2
+        assert restored.n_suppressed == 0
+
+    def test_restored_wrapper_resumes_exactly_where_it_stopped(self, mechanism, db):
+        city, inner = mechanism
+        # Budget affords exactly two (0.5, 0.2) releases; snapshot after one.
+        defense = BudgetedDefense(inner, PrivacyParams(1.0, 0.4))
+        rng = derive_rng(6, "bud")
+        target = city.interior(700.0).sample_point(rng)
+        defense.release(db, target, 700.0, rng)
+
+        restored = BudgetedDefense.from_state(inner, defense.to_state())
+        assert restored.releases_remaining == 1
+        restored.release(db, target, 700.0, rng)  # the last affordable one
+        third = restored.release(db, target, 700.0, rng)
+        assert (third == 0).all()  # suppressed, same as an uninterrupted run
+        assert restored.n_released == 2
+        assert restored.n_suppressed == 1
+
+    def test_exhausted_stays_exhausted_across_restore(self, mechanism, db):
+        city, inner = mechanism
+        defense = BudgetedDefense(inner, PrivacyParams(0.5, 0.2))
+        rng = derive_rng(7, "bud")
+        target = city.interior(700.0).sample_point(rng)
+        defense.release(db, target, 700.0, rng)  # spends everything
+
+        restored = BudgetedDefense.from_state(inner, defense.to_state())
+        out = restored.release(db, target, 700.0, rng)
+        assert (out == 0).all()
+        assert restored.n_suppressed == 1
+        assert restored.releases_remaining == 0
+
+    def test_from_state_requires_a_budget(self, mechanism):
+        _, inner = mechanism
+        with pytest.raises(DefenseError, match="budget"):
+            BudgetedDefense.from_state(inner, {"accountant": {"spends": []}})

@@ -45,3 +45,45 @@ class TestPrivacyAccountant:
         acc = PrivacyAccountant()
         with pytest.raises(PrivacyError):
             acc.spend(-0.1)
+
+    def test_remaining_delta(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(2.0, 0.5))
+        acc.spend(0.5, 0.2)
+        assert acc.remaining_delta() == pytest.approx(0.3)
+        assert PrivacyAccountant().remaining_delta() == float("inf")
+
+    def test_would_exceed_mirrors_spend_exactly(self):
+        acc = PrivacyAccountant(budget=PrivacyParams(1.0, 0.0))
+        # Ten 0.1-spends land exactly on the boundary under the same
+        # left-to-right float association spend() uses.
+        for _ in range(10):
+            assert not acc.would_exceed(0.1)
+            acc.spend(0.1)
+        assert acc.would_exceed(0.1)
+        with pytest.raises(PrivacyError):
+            acc.spend(0.1)
+        assert not PrivacyAccountant().would_exceed(1e9)  # no budget, no limit
+
+    def test_state_round_trip(self):
+        import json
+
+        acc = PrivacyAccountant(budget=PrivacyParams(2.0, 0.5))
+        acc.spend(0.5, 0.1, label="first")
+        acc.spend(0.25, 0.05)
+        restored = PrivacyAccountant.from_state(json.loads(json.dumps(acc.to_state())))
+        assert restored.total_epsilon == acc.total_epsilon
+        assert restored.total_delta == acc.total_delta
+        assert restored.n_invocations == 2
+        assert restored.remaining_epsilon() == pytest.approx(1.25)
+        # The restored accountant enforces the boundary identically.
+        restored.spend(1.25)
+        with pytest.raises(PrivacyError):
+            restored.spend(0.1)
+
+    def test_state_round_trip_without_budget(self):
+        acc = PrivacyAccountant()
+        acc.spend(3.0)
+        restored = PrivacyAccountant.from_state(acc.to_state())
+        assert restored.budget is None
+        assert restored.total_epsilon == pytest.approx(3.0)
+        assert restored.remaining_epsilon() == float("inf")

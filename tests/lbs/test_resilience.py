@@ -92,6 +92,56 @@ class TestCircuitBreaker:
             CircuitBreaker(clock, failure_threshold=0)
         with pytest.raises(ConfigError):
             CircuitBreaker(clock, reset_timeout_s=0.0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(clock, half_open_max_probes=0)
+
+    def test_snapshot_exposes_state(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout_s=10.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 0
+        assert snap["failure_threshold"] == 2
+        breaker.record_failure()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["n_opens"] == 1
+        assert snap["opened_at"] == clock.now()
+        clock.advance(10.0)
+        breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == "half_open"
+        assert snap["half_open_probes_used"] == 1
+
+    def test_half_open_probe_budget_is_configurable(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout_s=10.0, half_open_max_probes=2
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # probe 1
+        assert breaker.allow()  # probe 2
+        assert not breaker.allow()  # probe budget spent, undecided -> hold
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_exhausted_probes_reopen_on_failure(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout_s=10.0, half_open_max_probes=1
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # single probe consumed
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        snap = breaker.snapshot()
+        assert snap["half_open_probes_used"] == 0  # reset for the next window
 
 
 def _flaky_user(tiny_db, plan, seed, policy=None, breaker=None, clock=None):
@@ -198,6 +248,16 @@ class TestConfigAndStats:
         breaker.record_failure()
         breaker.record_failure()
         assert breaker.state == "open"
+
+    def test_resilience_config_carries_probe_budget(self):
+        clock = SimulatedClock()
+        config = ResilienceConfig(
+            breaker_failure_threshold=1,
+            breaker_reset_timeout_s=5.0,
+            breaker_half_open_probes=3,
+        )
+        breaker = config.build_breaker(clock)
+        assert breaker.snapshot()["half_open_max_probes"] == 3
 
     def test_stats_accumulate(self):
         total = UserSessionStats()

@@ -1,0 +1,26 @@
+"""PL008 fixture: unbounded blocking calls in serve-path code.
+
+Linted as ``src/repro/serve/fixture.py``; every bare blocking call
+below must be flagged.
+"""
+
+import queue
+import threading
+
+
+def worker_loop(jobs: "queue.Queue[object]") -> None:
+    job = jobs.get()  # PL008: blocks forever on an idle queue
+    del job
+
+
+def wait_for_stop(stop: threading.Event) -> None:
+    stop.wait()  # PL008: shutdown can never time this out
+
+
+def reap(thread: threading.Thread) -> None:
+    thread.join()  # PL008: a hung worker hangs the reaper too
+
+
+def drain(jobs: "queue.Queue[object]", stop: threading.Event) -> None:
+    while not stop.is_set():
+        jobs.get()  # PL008: the loop's stop check never runs again

@@ -35,6 +35,8 @@ CASES = [
     ("pl006_clean.py", "examples/fixture.py", "PL006", 0),
     ("pl007_violations.py", "src/repro/experiments/fixture.py", "PL007", 4),
     ("pl007_clean.py", "src/repro/experiments/fixture.py", "PL007", 0),
+    ("pl008_violations.py", "src/repro/serve/fixture.py", "PL008", 4),
+    ("pl008_clean.py", "src/repro/serve/fixture.py", "PL008", 0),
 ]
 
 

@@ -72,6 +72,14 @@ REGRESSIONS = [
         "    path.write_text(json.dumps(payload))\n",
         "src/repro/experiments/planted.py",
     ),
+    (
+        "PL008",
+        "def worker_loop(jobs):\n"
+        "    while True:\n"
+        "        job = jobs.get()\n"
+        "        job.run()\n",
+        "src/repro/serve/planted.py",
+    ),
 ]
 
 

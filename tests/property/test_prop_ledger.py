@@ -1,0 +1,125 @@
+"""Property tests for the serve budget ledger.
+
+The two guarantees the service's privacy story rests on:
+
+* **race safety** — N threads hammering ``spend()`` for one user never
+  over-commit epsilon beyond the ledger total, and grants + refusals
+  account for every attempt;
+* **boundary determinism** — for any spend sequence, the advisory
+  pre-check (``would_refuse``), the durable commit (``spend``), and the
+  shared :class:`~repro.dp.accountant.PrivacyAccountant` all place the
+  refusal boundary at the same request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BudgetExhaustedError
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve.ledger import BudgetLedger
+
+spend_sequences = st.lists(
+    st.floats(min_value=0.01, max_value=2.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(spends=spend_sequences, budget=st.floats(min_value=0.5, max_value=10.0))
+@settings(max_examples=150, deadline=None)
+def test_refusal_boundary_matches_the_accountant(spends, budget):
+    """Ledger and accountant draw the boundary at the same request."""
+    ledger = BudgetLedger(PrivacyParams(budget, 0.0))
+    accountant = PrivacyAccountant(budget=PrivacyParams(budget, 0.0))
+    for epsilon in spends:
+        predicted_refusal = ledger.would_refuse("u", epsilon) is not None
+        assert predicted_refusal == accountant.would_exceed(epsilon)
+        try:
+            ledger.spend("u", epsilon)
+            ledger_granted = True
+        except BudgetExhaustedError:
+            ledger_granted = False
+        try:
+            accountant.spend(epsilon)
+            accountant_granted = True
+        except Exception:
+            accountant_granted = False
+        assert ledger_granted == accountant_granted == (not predicted_refusal)
+    assert ledger.user_state("u")["spent_epsilon"] == accountant.total_epsilon
+
+
+@given(
+    n_threads=st.integers(min_value=2, max_value=8),
+    per_thread=st.integers(min_value=1, max_value=10),
+    epsilon=st.floats(min_value=0.1, max_value=1.0),
+    budget=st.floats(min_value=0.5, max_value=6.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_racing_threads_never_overcommit(n_threads, per_thread, epsilon, budget):
+    ledger = BudgetLedger(PrivacyParams(budget, 0.0))
+    granted = [0] * n_threads
+    refused = [0] * n_threads
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(index: int) -> None:
+        barrier.wait(timeout=10)  # maximise contention
+        for _ in range(per_thread):
+            try:
+                ledger.spend("victim", epsilon)
+                granted[index] += 1
+            except BudgetExhaustedError:
+                refused[index] += 1
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+
+    total_granted, total_refused = sum(granted), sum(refused)
+    # Every attempt resolved to exactly one of granted/refused.
+    assert total_granted + total_refused == n_threads * per_thread
+    state = ledger.user_state("victim")
+    # The race never over-commits past the allowance...
+    assert state["spent_epsilon"] <= budget + 1e-9
+    # ...and the in-memory totals agree with the grant count exactly.
+    assert state["n_releases"] == total_granted
+    assert ledger.n_granted == total_granted
+    assert ledger.n_refused == total_refused
+    # One more grant than actually fit can never have happened.
+    assert total_granted <= int(budget / epsilon + 1e-9) + 1
+
+
+def test_many_threads_one_last_epsilon():
+    """The classic race: 16 threads, budget for exactly one more spend."""
+    ledger = BudgetLedger(PrivacyParams(1.0, 0.0))
+    results: list[bool] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(16)
+
+    def contend() -> None:
+        barrier.wait(timeout=10)
+        try:
+            ledger.spend("victim", 1.0)
+            outcome = True
+        except BudgetExhaustedError:
+            outcome = False
+        with lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=contend) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert results.count(True) == 1, "exactly one thread wins the last epsilon"
+    assert results.count(False) == 15
+    assert ledger.user_state("victim")["spent_epsilon"] == 1.0

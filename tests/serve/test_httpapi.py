@@ -1,0 +1,128 @@
+"""HTTP edge tests: status codes, payloads, and the Retry-After hint."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve import ReleaseService, ServeConfig
+from repro.serve.httpapi import make_server
+
+
+@pytest.fixture()
+def served(db, tmp_path):
+    service = ReleaseService(
+        db,
+        PrivacyParams(2.0, 0.0),
+        config=ServeConfig(
+            queue_capacity=32,
+            batch_wait_s=0.002,
+            poll_interval_s=0.01,
+            retry_after_s=0.5,
+        ),
+        ledger_dir=str(tmp_path),
+        seed=5,
+    )
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield base, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        thread.join(timeout=5)
+
+
+def call(base, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), dict(exc.headers)
+
+
+SUBMIT = {"user_id": "alice", "x": 500.0, "y": 500.0, "radius": 150.0}
+
+
+def test_submit_accepts_with_202_and_result_lifecycle(served):
+    base, service = served
+    status, body, _ = call(base, "/v1/submit", SUBMIT)
+    assert status == 202
+    job_id = body["job_id"]
+    assert body["state"] == "pending"
+    assert service.drain(10.0)
+    status, job_doc, _ = call(base, f"/v1/jobs/{job_id}")
+    assert status == 200
+    assert job_doc["fate"] == "completed"
+    assert "result" not in job_doc  # jobs view never carries the vector
+    status, result_doc, _ = call(base, f"/v1/result/{job_id}")
+    assert status == 200
+    assert isinstance(result_doc["result"], list)
+    assert len(result_doc["result"]) == service.dispatcher._db.n_types
+
+
+def test_budget_exhaustion_is_http_429(served):
+    base, service = served
+    for _ in range(2):  # budget is 2.0, laplace costs 1.0 per release
+        assert call(base, "/v1/submit", SUBMIT)[0] == 202
+        assert service.drain(10.0)
+    status, body, _ = call(base, "/v1/submit", SUBMIT)
+    assert status == 429
+    assert body["error"] == "BudgetExhausted"
+    assert body["user_id"] == "alice"
+    assert body["budget_epsilon"] == 2.0
+    # The refused job is terminal and its result is gone (410).
+    status, _, _ = call(base, f"/v1/result/{body['job_id']}")
+    assert status == 410
+
+
+def test_open_breaker_sheds_with_503_and_retry_after(served):
+    base, service = served
+    for _ in range(service.config.breaker_failure_threshold):
+        service.shedder.record_failure()
+    status, body, headers = call(base, "/v1/submit", SUBMIT)
+    assert status == 503
+    assert body["error"] == "LoadShed"
+    assert float(headers["Retry-After"]) == pytest.approx(0.5)
+
+
+def test_status_endpoint_surfaces_ladder_and_breaker(served):
+    base, service = served
+    status, doc, _ = call(base, "/v1/status")
+    assert status == 200
+    assert doc["ladder"]["level_name"] == "full"
+    assert doc["ladder"]["breaker"]["state"] == "closed"
+    assert doc["fates"]["pending"] == 0
+    assert doc["defenses"] == ["laplace", "raw", "sanitize"]
+
+
+def test_bad_requests_are_400(served):
+    base, _ = served
+    status, body, _ = call(base, "/v1/submit", {"user_id": "x"})  # missing fields
+    assert status == 400 and body["error"] == "BadRequest"
+    status, body, _ = call(base, "/v1/submit", {**SUBMIT, "radius": -5.0})
+    assert status == 400
+    status, body, _ = call(base, "/v1/submit", {**SUBMIT, "defense": "nonesuch"})
+    assert status == 400
+
+
+def test_unknown_paths_and_jobs_are_404(served):
+    base, _ = served
+    assert call(base, "/v1/nonesuch")[0] == 404
+    assert call(base, "/v1/jobs/j99999999")[0] == 404
+    status, body, _ = call(base, "/nope", {"x": 1})
+    assert status == 404

@@ -1,0 +1,139 @@
+"""Kill-and-restart: SIGKILL mid-commit must never double-spend.
+
+A child process spends one user's budget in a loop, acknowledging each
+release to ``served.log`` only *after* the ledger spend has returned
+(the write-ahead discipline: durable spend, then serve).  The parent
+SIGKILLs the child mid-stream — landing the kill in every window,
+including between the WAL append and the acknowledgment — then restarts
+it until the budget runs out.
+
+The acceptance properties, checked against the reborn ledger:
+
+* every acknowledged (served) release is ledgered — the ledger may
+  over-count (a spend whose release never left), never under-count;
+* total releases served across all lives never exceed the budget;
+* once exhausted, the user is refused on restart, never served again.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import BudgetExhaustedError
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve.ledger import BudgetLedger
+
+BUDGET_EPS = 10.0
+SPEND_EPS = 1.0
+
+_CHILD = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve.ledger import BudgetLedger
+from repro.core.errors import BudgetExhaustedError
+
+ledger_dir, served_log = sys.argv[1], sys.argv[2]
+ledger = BudgetLedger(PrivacyParams({budget}, 0.0), directory=ledger_dir)
+with open(served_log, "a", encoding="utf-8") as log:
+    while True:
+        try:
+            ledger.spend("victim", {spend})
+        except BudgetExhaustedError:
+            print("EXHAUSTED", flush=True)
+            break
+        # The release is "served" only now, after the durable spend.
+        log.write("served\\n")
+        log.flush()
+        os.fsync(log.fileno())
+print("DONE", flush=True)
+"""
+
+
+def _spawn(tmp_path: Path) -> subprocess.Popen:
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    code = _CHILD.format(src=src, budget=BUDGET_EPS, spend=SPEND_EPS)
+    return subprocess.Popen(
+        [sys.executable, "-c", code, str(tmp_path / "ledger"), str(tmp_path / "served.log")],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _served_count(tmp_path: Path) -> int:
+    log = tmp_path / "served.log"
+    if not log.exists():
+        return 0
+    return len([ln for ln in log.read_text(encoding="utf-8").splitlines() if ln])
+
+
+@pytest.mark.parametrize("kill_after_s", [0.01, 0.03])
+def test_sigkill_mid_stream_never_double_spends(tmp_path, kill_after_s):
+    child = _spawn(tmp_path)
+    time.sleep(kill_after_s)
+    exhausted_before_kill = False
+    if child.poll() is None:
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=10)
+    else:
+        out, _ = child.communicate(timeout=10)
+        exhausted_before_kill = "EXHAUSTED" in out
+    served_after_kill = _served_count(tmp_path)
+
+    # Restart and run to exhaustion.
+    child = _spawn(tmp_path)
+    out, err = child.communicate(timeout=60)
+    assert child.returncode == 0, err
+    total_served = _served_count(tmp_path)
+
+    ledger = BudgetLedger(PrivacyParams(BUDGET_EPS, 0.0), directory=tmp_path / "ledger")
+    state = ledger.user_state("victim")
+    # Never double-spend: each served release consumed real budget, so the
+    # number served can never exceed the allowance...
+    assert total_served <= int(BUDGET_EPS / SPEND_EPS)
+    # ...and the ledger never under-counts what was actually served.
+    assert state["spent_epsilon"] >= total_served * SPEND_EPS - 1e-9
+    assert state["spent_epsilon"] <= BUDGET_EPS + 1e-9
+    # The kill may burn budget (spend durable, release unserved): allowed,
+    # and visible as ledgered-but-not-served spends.
+    assert state["n_releases"] >= total_served
+    # Exhausted means exhausted: the reborn ledger refuses, forever.
+    with pytest.raises(BudgetExhaustedError):
+        ledger.spend("victim", SPEND_EPS)
+    if not exhausted_before_kill:
+        assert total_served >= served_after_kill  # the log only grows
+
+
+def test_restart_after_kill_serves_only_remaining_budget(tmp_path):
+    """Deterministic variant: kill after exactly 3 served releases."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    code = _CHILD.format(src=src, budget=BUDGET_EPS, spend=SPEND_EPS)
+    child = subprocess.Popen(
+        [sys.executable, "-c", code, str(tmp_path / "ledger"), str(tmp_path / "served.log")],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while _served_count(tmp_path) < 3 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    os.kill(child.pid, signal.SIGKILL)
+    child.wait(timeout=10)
+    served_first_life = _served_count(tmp_path)
+    assert served_first_life >= 3
+
+    child = _spawn(tmp_path)
+    out, err = child.communicate(timeout=60)
+    assert child.returncode == 0, err
+    total = _served_count(tmp_path)
+    assert total <= int(BUDGET_EPS / SPEND_EPS)
+    ledger = BudgetLedger(PrivacyParams(BUDGET_EPS, 0.0), directory=tmp_path / "ledger")
+    assert ledger.user_state("victim")["spent_epsilon"] >= total * SPEND_EPS - 1e-9

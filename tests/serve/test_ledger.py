@@ -1,0 +1,160 @@
+"""Budget-ledger unit tests: spending, refusal, and crash-safe restore."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import BudgetExhaustedError, ConfigError, LedgerIntegrityError
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve.ledger import SNAPSHOT_NAME, WAL_NAME, BudgetLedger
+
+
+BUDGET = PrivacyParams(3.0, 0.0)
+
+
+def test_spend_until_refused_is_deterministic():
+    ledger = BudgetLedger(BUDGET)
+    for _ in range(3):
+        ledger.spend("alice", 1.0)
+    with pytest.raises(BudgetExhaustedError):
+        ledger.spend("alice", 1.0)
+    # Refusal is terminal: every later spend is refused too.
+    with pytest.raises(BudgetExhaustedError):
+        ledger.spend("alice", 0.5)
+    assert ledger.remaining("alice")[0] == pytest.approx(0.0)
+    assert ledger.n_granted == 3
+    assert ledger.n_refused == 2
+
+
+def test_refusal_payload_is_typed():
+    ledger = BudgetLedger(PrivacyParams(1.0, 0.0))
+    ledger.spend("bob", 1.0)
+    with pytest.raises(BudgetExhaustedError) as excinfo:
+        ledger.spend("bob", 1.0)
+    payload = excinfo.value.payload()
+    assert payload["error"] == "BudgetExhausted"
+    assert payload["user_id"] == "bob"
+    assert payload["budget_epsilon"] == 1.0
+    assert payload["spent_epsilon"] == pytest.approx(1.0)
+
+
+def test_would_refuse_matches_spend_at_the_boundary():
+    """The advisory pre-check and the durable commit agree to the last ulp."""
+    ledger = BudgetLedger(PrivacyParams(1.0, 0.0))
+    # Ten spends of 0.1 do not sum to exactly 1.0 in floats; whatever
+    # spend() decides, would_refuse() must have predicted.
+    for _ in range(10):
+        assert ledger.would_refuse("carol", 0.1) is None
+        ledger.spend("carol", 0.1)
+    assert ledger.would_refuse("carol", 0.1) is not None
+    with pytest.raises(BudgetExhaustedError):
+        ledger.spend("carol", 0.1)
+
+
+def test_users_are_isolated():
+    ledger = BudgetLedger(PrivacyParams(1.0, 0.0))
+    ledger.spend("alice", 1.0)
+    ledger.spend("bob", 1.0)  # alice's exhaustion does not affect bob
+    assert ledger.n_users == 2
+
+
+def test_spend_batch_composes_within_the_batch():
+    ledger = BudgetLedger(PrivacyParams(2.0, 0.0))
+    outcomes = ledger.spend_batch(
+        [("dave", 1.0, 0.0), ("dave", 1.0, 0.0), ("dave", 1.0, 0.0)]
+    )
+    assert outcomes[0] is None and outcomes[1] is None
+    assert isinstance(outcomes[2], BudgetExhaustedError)
+
+
+def test_invalid_spends_are_config_errors():
+    ledger = BudgetLedger(BUDGET)
+    with pytest.raises(ConfigError):
+        ledger.spend("eve", 0.0)
+    with pytest.raises(ConfigError):
+        ledger.spend("eve", 1.0, delta=-0.1)
+
+
+def test_restart_restores_spent_budget(tmp_path):
+    with BudgetLedger(BUDGET, directory=tmp_path) as ledger:
+        ledger.spend("alice", 1.0)
+        ledger.spend("alice", 1.0)
+        ledger.spend("bob", 1.0)
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    assert reborn.remaining("alice")[0] == pytest.approx(1.0)
+    assert reborn.remaining("bob")[0] == pytest.approx(2.0)
+    reborn.spend("alice", 1.0)
+    with pytest.raises(BudgetExhaustedError):
+        reborn.spend("alice", 1.0)
+
+
+def test_restore_from_wal_only_without_snapshot(tmp_path):
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    # No close(): simulate a hard kill by abandoning the handle.
+    (tmp_path / SNAPSHOT_NAME).unlink(missing_ok=True)
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    assert reborn.remaining("alice")[0] == pytest.approx(2.0)
+
+
+def test_torn_trailing_wal_line_is_dropped(tmp_path):
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    ledger.spend("alice", 1.0)
+    wal = tmp_path / WAL_NAME
+    content = wal.read_text(encoding="utf-8")
+    # Tear the final append mid-record, as a crash mid-write would.
+    wal.write_text(content[:-9], encoding="utf-8")
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    # The torn spend was never served, so dropping it is the safe call.
+    assert reborn.remaining("alice")[0] == pytest.approx(2.0)
+
+
+def test_mid_file_wal_corruption_is_an_integrity_error(tmp_path):
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    ledger.spend("alice", 1.0)
+    wal = tmp_path / WAL_NAME
+    lines = wal.read_text(encoding="utf-8").splitlines()
+    lines[0] = lines[0][:-4] + "!!!"
+    wal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(LedgerIntegrityError):
+        BudgetLedger(BUDGET, directory=tmp_path)
+
+
+def test_compact_then_stale_wal_replays_exactly_once(tmp_path):
+    """The crash window between snapshot replace and WAL truncation."""
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    ledger.spend("alice", 1.0)
+    stale_wal = (tmp_path / WAL_NAME).read_text(encoding="utf-8")
+    ledger.compact()
+    # Put the pre-compaction WAL back, as if the truncate never landed.
+    (tmp_path / WAL_NAME).write_text(stale_wal, encoding="utf-8")
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    # Sequence filtering must not double-count the two spends.
+    assert reborn.remaining("alice")[0] == pytest.approx(1.0)
+
+
+def test_compaction_triggers_by_append_count(tmp_path):
+    ledger = BudgetLedger(BUDGET, directory=tmp_path, compact_every=2)
+    ledger.spend("alice", 0.5)
+    ledger.spend("alice", 0.5)
+    snapshot = json.loads((tmp_path / SNAPSHOT_NAME).read_text(encoding="utf-8"))
+    assert snapshot["seq"] == 2
+    assert (tmp_path / WAL_NAME).read_text(encoding="utf-8") == ""
+
+
+def test_budget_mismatch_refuses_to_restore(tmp_path):
+    with BudgetLedger(BUDGET, directory=tmp_path) as ledger:
+        ledger.spend("alice", 1.0)
+    with pytest.raises(LedgerIntegrityError):
+        BudgetLedger(PrivacyParams(99.0, 0.0), directory=tmp_path)
+
+
+def test_in_memory_ledger_needs_no_directory():
+    ledger = BudgetLedger(BUDGET)
+    ledger.spend("alice", 1.0)
+    ledger.close()  # no-op persistence, must not raise

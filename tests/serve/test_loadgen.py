@@ -1,0 +1,80 @@
+"""Load-generator tests: determinism, reporting, and profile shapes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.dp.mechanisms import PrivacyParams
+from repro.serve import LOAD_PROFILES, LoadProfile, ReleaseService, ServeConfig
+from repro.serve.loadgen import generate_requests, latency_percentiles, run_loadgen
+
+
+def test_request_stream_is_deterministic():
+    profile = LOAD_PROFILES["smoke"]
+    first = generate_requests(profile, seed=9)
+    second = generate_requests(profile, seed=9)
+    assert first == second
+    assert len(first) == profile.n_requests
+    assert generate_requests(profile, seed=10) != first
+
+
+def test_requests_respect_profile_shape():
+    profile = LOAD_PROFILES["smoke"]
+    requests = generate_requests(profile, seed=0)
+    kinds = {kind for kind, _ in profile.defense_mix}
+    x0, y0, x1, y1 = profile.bounds
+    for request in requests:
+        assert request.defense in kinds
+        assert x0 <= request.x <= x1 and y0 <= request.y <= y1
+        assert int(request.user_id[1:]) < profile.n_users
+
+
+def test_bench_profile_has_paper_scale_users():
+    assert LOAD_PROFILES["bench"].n_users >= 10_000
+
+
+def test_latency_percentiles():
+    stats = latency_percentiles([float(i) for i in range(1, 101)])
+    assert stats["p50"] == pytest.approx(50.5)
+    assert stats["p95"] == pytest.approx(95.05)
+    assert stats["p99"] == pytest.approx(99.01)
+    empty = latency_percentiles([])
+    assert all(math.isnan(v) for v in empty.values())
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigError):
+        LoadProfile(name="bad", n_users=0, n_requests=10)
+    with pytest.raises(ConfigError):
+        LoadProfile(name="bad", n_users=1, n_requests=1, defense_mix=())
+
+
+def test_run_loadgen_reduces_a_real_run(db, tmp_path):
+    service = ReleaseService(
+        db,
+        PrivacyParams(50.0, 0.0),
+        config=ServeConfig(
+            queue_capacity=128,
+            n_workers=2,
+            batch_max=32,
+            batch_wait_s=0.002,
+            poll_interval_s=0.01,
+        ),
+        ledger_dir=str(tmp_path),
+        seed=3,
+    )
+    with service:
+        report = run_loadgen(service, LOAD_PROFILES["smoke"], seed=3)
+    assert report.n_submitted == 100
+    assert report.drained
+    assert report.fates_accounted
+    assert sum(report.outcomes.values()) == report.n_submitted
+    assert report.fates["completed"] > 0
+    assert report.throughput_rps > 0
+    assert report.latency_s["p50"] <= report.latency_s["p95"] <= report.latency_s["p99"]
+    payload = report.as_dict()
+    assert payload["fates_accounted"] is True
+    assert payload["profile"] == "smoke"

@@ -179,3 +179,87 @@ class TestBatchSemantics:
         # no checkpoint was written for the failure, so resume retries it
         assert main(["run", "flaky", "--out", str(tmp_path), "--resume"]) == 0
         assert len(attempts) == 2
+
+
+class TestServeAndLoadgenCommands:
+    def test_serve_parse_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.city == "small"
+        assert args.port == 8377
+        assert args.budget_epsilon == 5.0
+        assert args.budget_delta == 0.0
+        assert args.epsilon == 1.0
+        assert args.queue_capacity == 256
+        assert args.workers == 1
+        assert args.batch_max == 64
+        assert args.ledger_dir is None
+        assert args.attack_audit is False
+
+    def test_loadgen_parse_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.url == "http://127.0.0.1:8377"
+        assert args.profile == "smoke"
+        assert args.seed == 0
+        assert str(args.out) == "BENCH_serve.json"
+
+    def test_loadgen_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--profile", "galactic"])
+
+    def test_serve_nonpositive_budget_exits_2(self, capsys):
+        assert main(["serve", "--budget-epsilon", "0"]) == 2
+        assert "budget-epsilon" in capsys.readouterr().err
+
+    def test_serve_nonpositive_queue_exits_2(self, capsys):
+        assert main(["serve", "--queue-capacity", "0"]) == 2
+        assert "queue-capacity" in capsys.readouterr().err
+
+    def test_serve_then_loadgen_end_to_end(self, capsys, tmp_path, monkeypatch):
+        """The CI smoke path in miniature: serve + loadgen over HTTP."""
+        import re
+        import threading
+
+        from repro.serve import httpapi
+
+        started = threading.Event()
+        servers: list[object] = []
+        real_make_server = httpapi.make_server
+
+        def spy_make_server(service, host="127.0.0.1", port=0):
+            server = real_make_server(service, host=host, port=port)
+            servers.append(server)
+            started.set()
+            return server
+
+        monkeypatch.setattr(httpapi, "make_server", spy_make_server)
+        rc: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["serve", "--port", "0", "--seed", "1",
+                      "--ledger-dir", str(tmp_path / "ledger")])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            assert started.wait(timeout=30), "server never came up"
+            port = servers[0].server_address[1]
+            out = tmp_path / "report.json"
+            code = main([
+                "loadgen",
+                "--url", f"http://127.0.0.1:{port}",
+                "--profile", "smoke",
+                "--seed", "2",
+                "--out", str(out),
+            ])
+            assert code == 0
+            report = json.loads(out.read_text())
+            assert report["fates_accounted"] is True
+            assert report["n_submitted"] == 100
+            printed = capsys.readouterr().out
+            assert re.search(r"p50=\S+ p95=\S+ p99=\S+", printed)
+        finally:
+            if servers:
+                servers[0].shutdown()
+        thread.join(timeout=30)
+        assert rc == [0]  # the serve command shut down cleanly

@@ -39,6 +39,7 @@ class TestDocsConsistency:
             "docs/defenses.md",
             "docs/performance.md",
             "docs/robustness.md",
+            "docs/serving.md",
         ],
     )
     def test_cited_modules_import(self, doc):
@@ -56,6 +57,7 @@ class TestDocsConsistency:
             "docs/performance.md",
             "docs/reproduction-notes.md",
             "docs/robustness.md",
+            "docs/serving.md",
         ],
     )
     def test_cited_files_exist(self, doc):
