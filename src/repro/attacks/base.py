@@ -11,20 +11,19 @@ The unified attack API is built around two pieces:
   domination checks) but must produce outcomes bit-identical to the scalar
   loop.
 
-The legacy positional ``run(freq_vector, radius)`` signatures keep working
-through thin deprecation shims (see :func:`coerce_release`).
+This is the v1 API: the legacy positional ``run(freq_vector, radius)``
+spelling and its deprecation shims were removed — ``run`` takes exactly
+one :class:`Release`.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.errors import AttackError
 from repro.geo.disk import Disk
 from repro.geo.point import Point
 
@@ -33,7 +32,6 @@ __all__ = [
     "Attack",
     "ReIdentifiedRegion",
     "AttackOutcome",
-    "coerce_release",
 ]
 
 
@@ -55,30 +53,20 @@ class Release:
     timestamp: "float | None" = None
 
 
-def coerce_release(
-    release: "Release | np.ndarray", radius: "float | None" = None, *, caller: str
-) -> Release:
-    """Normalise the unified and the legacy ``run`` calling conventions.
+def require_release(release: object, *, caller: str) -> Release:
+    """Assert the v1 calling convention: exactly one :class:`Release`.
 
-    New-style callers pass a single :class:`Release`.  Legacy callers pass
-    ``(freq_vector, radius)`` positionally; that spelling still works but
-    emits a :class:`DeprecationWarning` naming *caller*.
+    Raises :class:`TypeError` with a migration hint for anything else —
+    in particular the pre-v1 positional ``(freq_vector, radius)`` spelling,
+    whose shim was removed.
     """
     if isinstance(release, Release):
-        if radius is not None:
-            raise AttackError(
-                f"{caller}: pass the radius inside the Release, not separately"
-            )
         return release
-    warnings.warn(
-        f"{caller}(freq_vector, radius) is deprecated; "
-        f"pass a repro.attacks.Release instead",
-        DeprecationWarning,
-        stacklevel=3,
+    raise TypeError(
+        f"{caller} takes a repro.attacks.Release (the legacy positional "
+        f"(freq_vector, radius) shim was removed in v1); "
+        f"got {type(release).__name__}"
     )
-    if radius is None:
-        raise AttackError(f"{caller}: legacy calls must pass (freq_vector, radius)")
-    return Release(frequency_vector=np.asarray(release), radius=float(radius))
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.base import AttackOutcome, Release, coerce_release
+from repro.attacks.base import AttackOutcome, Release, require_release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import AttackError
 from repro.geo.disk import Disk
@@ -201,13 +201,9 @@ class FineGrainedAttack:
                         return anchors
         return anchors
 
-    def run(self, release: "Release | np.ndarray", radius: "float | None" = None) -> FineGrainedOutcome:
-        """Baseline re-identification, then anchor harvesting if unique.
-
-        Pass a :class:`~repro.attacks.base.Release`; the legacy positional
-        ``run(freq_vector, radius)`` spelling still works but is deprecated.
-        """
-        rel = coerce_release(release, radius, caller="FineGrainedAttack.run")
+    def run(self, release: Release) -> FineGrainedOutcome:
+        """Baseline re-identification, then anchor harvesting if unique."""
+        rel = require_release(release, caller="FineGrainedAttack.run")
         base = self._region_attack.run(rel)
         return self._finish(rel, base)
 

@@ -32,7 +32,7 @@ from repro.attacks.base import (
     AttackOutcome,
     ReIdentifiedRegion,
     Release,
-    coerce_release,
+    require_release,
 )
 from repro.core.errors import AttackError
 from repro.geo.disk import Disk
@@ -104,13 +104,9 @@ class RegionAttack:
             mask[0, cols] = dominates(rows, freq_vector)
         return anchor_type, candidates[mask[0]].astype(np.intp, copy=False)
 
-    def run(self, release: "Release | np.ndarray", radius: "float | None" = None) -> AttackOutcome:
-        """Run the full attack on one released frequency vector.
-
-        Pass a :class:`~repro.attacks.base.Release`; the legacy positional
-        ``run(freq_vector, radius)`` spelling still works but is deprecated.
-        """
-        rel = coerce_release(release, radius, caller="RegionAttack.run")
+    def run(self, release: Release) -> AttackOutcome:
+        """Run the full attack on one released frequency vector."""
+        rel = require_release(release, caller="RegionAttack.run")
         anchor_type, survivors = self.candidate_set(rel.frequency_vector, rel.radius)
         return self._outcome(anchor_type, survivors, rel.radius)
 

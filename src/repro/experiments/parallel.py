@@ -7,9 +7,15 @@ each shard in its own process, and merges the row lists.
 
 Because every runner derives its randomness from ``(seed, labels)`` — not
 from a sequentially consumed stream — a sharded run produces *bit-identical*
-rows to the serial run, which the test suite asserts.  Each worker process
-rebuilds the synthetic city from its seed (cities are cached per process),
-so nothing heavyweight crosses process boundaries.
+rows to the serial run, which the test suite asserts.  The cities the
+shards evaluate are built once in the parent and published through
+:mod:`repro.poi.shared`: workers receive a few-hundred-byte
+:class:`~repro.poi.shared.SharedCityHandle` in their initializer and
+attach the POI arrays and CSR grid pool zero-copy, so nothing heavyweight
+crosses process boundaries — not the city, and (since the task payload is
+hoisted into the initializer) not the experiment config either.  Shard
+axes the parent cannot map to cities simply skip sharing and workers
+regenerate from the seed as before.
 
 Within each shard the runners use the vectorized batch engine
 (:meth:`~repro.poi.database.POIDatabase.freq_batch` plus
@@ -37,6 +43,7 @@ from __future__ import annotations
 import os
 from collections.abc import Sequence
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
@@ -45,11 +52,13 @@ from repro.experiments.registry import get_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
 from repro.experiments.supervisor import ShardPolicy, supervise_shards
+from repro.poi.shared import SharedCityHandle, attach_and_install, share_cities
 
 if TYPE_CHECKING:
     from pathlib import Path
 
     from repro.lbs.faults import WorkerFaultPlan
+    from repro.poi.cities import City
 
 __all__ = [
     "run_sharded",
@@ -104,14 +113,31 @@ def resolve_max_workers(max_workers: "int | None", n_shards: int) -> int:
     return max(1, min(n_shards, os.cpu_count() or 1))
 
 
-def _run_shard(
+# The experiment/scale/kwargs payload is identical for every task a worker
+# runs, so it is shipped once per *worker* (pool initializer) rather than
+# once per *task*; submits carry only the shard value.
+_WORKER_TASK: "tuple[str, dict, str, dict] | None" = None
+
+
+def _init_worker(
     experiment_id: str,
     scale_fields: dict,
     shard_param: str,
-    shard_value: object,
     kwargs: dict,
-) -> dict:
+    city_handles: tuple[SharedCityHandle, ...],
+) -> None:
+    """Pool-worker initializer: attach shared cities, pin the task payload."""
+    global _WORKER_TASK
+    if city_handles:
+        attach_and_install(city_handles)
+    _WORKER_TASK = (experiment_id, scale_fields, shard_param, kwargs)
+
+
+def _run_shard(shard_value: object) -> dict:
     """Worker entry point: run one shard and return the result as a dict."""
+    if _WORKER_TASK is None:
+        raise ConfigError("worker used before its initializer ran")
+    experiment_id, scale_fields, shard_param, kwargs = _WORKER_TASK
     scale = ExperimentScale(**scale_fields)
     runner = get_experiment(experiment_id)
     result = runner(scale=scale, **{shard_param: (shard_value,)}, **kwargs)
@@ -125,14 +151,16 @@ def _run_pool(
     shard_param: str,
     max_workers: int,
     kwargs: dict,
+    city_handles: tuple[SharedCityHandle, ...],
 ) -> list[dict]:
     """Plain pool: fail fast, cancel the rest, name the failing shard."""
     scale_fields = asdict(scale)
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            pool.submit(_run_shard, experiment_id, scale_fields, shard_param, v, kwargs): v
-            for v in shards
-        }
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_init_worker,
+        initargs=(experiment_id, scale_fields, shard_param, kwargs, city_handles),
+    ) as pool:
+        futures = {pool.submit(_run_shard, v): v for v in shards}
         done, _ = wait(futures, return_when=FIRST_EXCEPTION)
         for future in done:
             exc = future.exception()
@@ -145,6 +173,32 @@ def _run_pool(
                     shard=futures[future],
                 ) from exc
         return [future.result() for future in futures]  # dict order == shard order
+
+
+def _cities_for_shards(
+    shard_param: str, shards: Sequence[object], seed: int
+) -> "list[City]":
+    """The cities the shard values will evaluate, deduplicated.
+
+    Only the two standard axes are mappable; a custom axis returns an
+    empty list and the run proceeds without shared memory (workers
+    regenerate cities from the seed, as before).
+    """
+    from repro.datasets.targets import dataset_city
+    from repro.poi.cities import CITY_BUILDERS
+
+    cities: "list[City]" = []
+    try:
+        if shard_param == "city_names":
+            cities = [CITY_BUILDERS[str(v)](seed) for v in shards]
+        elif shard_param == "datasets":
+            cities = [dataset_city(str(v), seed) for v in shards]
+    except Exception:
+        return []  # unknown name: let the worker raise the precise error
+    unique: "dict[tuple[str, int], City]" = {}
+    for city in cities:
+        unique.setdefault((city.name, city.seed), city)
+    return list(unique.values())
 
 
 def _merge(partials: list[dict], shards: Sequence[object], shard_param: str) -> ExperimentResult:
@@ -170,6 +224,7 @@ def run_sharded(
     supervised: "bool | None" = None,
     policy: "ShardPolicy | None" = None,
     fault_plan: "WorkerFaultPlan | None" = None,
+    share_memory: bool = True,
     **kwargs: object,
 ) -> ExperimentResult:
     """Run *experiment_id* split along its shard axis across processes.
@@ -202,6 +257,13 @@ def run_sharded(
         Full :class:`~repro.experiments.supervisor.ShardPolicy` override
         and the chaos-testing
         :class:`~repro.experiments.supervisor.WorkerFaultPlan`.
+    share_memory:
+        Build the shards' cities once in the parent and let workers
+        attach them zero-copy via :mod:`repro.poi.shared` (default).
+        ``False`` — or a shard axis the parent cannot map to cities —
+        makes every worker regenerate its city from the seed instead.
+        Either way the rows are bit-identical; the segments are unlinked
+        when the run returns.
 
     A terminal shard failure raises :class:`~repro.core.errors.ShardError`;
     in supervised mode the exception carries every shard's report and the
@@ -233,13 +295,23 @@ def run_sharded(
              resume, policy is not None, fault_plan is not None)
         )
 
+    shared_cities = (
+        _cities_for_shards(shard_param, shards, scale.seed) if share_memory else []
+    )
+    sharing = share_cities(shared_cities) if shared_cities else nullcontext(())
+
     if not supervised:
-        partials = _run_pool(experiment_id, scale, shards, shard_param, max_workers, kwargs)
+        with sharing as handles:
+            partials = _run_pool(
+                experiment_id, scale, shards, shard_param, max_workers, kwargs,
+                tuple(handles),
+            )
         merged = _merge(partials, shards, shard_param)
         merged.provenance["sharding"] = {
             "mode": "pool",
             "shard_param": shard_param,
             "max_workers": max_workers,
+            "shared_memory_cities": len(shared_cities),
         }
         return merged
 
@@ -247,18 +319,20 @@ def run_sharded(
         policy = ShardPolicy(
             timeout_s=timeout_s, retries=retries, serial_fallback=serial_fallback
         )
-    partials, reports = supervise_shards(
-        experiment_id,
-        scale,
-        shards,
-        shard_param,
-        kwargs,
-        max_workers=max_workers,
-        policy=policy,
-        out=out,
-        resume=resume,
-        fault_plan=fault_plan,
-    )
+    with sharing as handles:
+        partials, reports = supervise_shards(
+            experiment_id,
+            scale,
+            shards,
+            shard_param,
+            kwargs,
+            max_workers=max_workers,
+            policy=policy,
+            out=out,
+            resume=resume,
+            fault_plan=fault_plan,
+            city_handles=tuple(handles),
+        )
     failed = [r for r in reports if not r.ok]
     if failed:
         worst = failed[0]
@@ -274,6 +348,7 @@ def run_sharded(
         "mode": "supervised",
         "shard_param": shard_param,
         "max_workers": max_workers,
+        "shared_memory_cities": len(shared_cities),
         "policy": asdict(policy),
         "shards": [asdict(r) for r in reports],
     }

@@ -46,6 +46,7 @@ from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
 from repro.ingest.report import collecting_ingest_reports
+from repro.poi.engine import collecting_query_plans, summarize_query_plans
 
 __all__ = [
     "EXIT_OK",
@@ -198,12 +199,19 @@ def run_many(
                 # alongside the shard reports, so a result JSON records
                 # exactly which files fed it, under which policy, with
                 # which record fates.
-                with collecting_ingest_reports() as ingest_reports:
+                # Freq queries likewise report their QueryPlan (engine
+                # tier, kernel, candidate counts) to a collector; the
+                # summary lands in provenance["freq_engine"], so a result
+                # records which engine answered its queries.
+                with collecting_ingest_reports() as ingest_reports, \
+                        collecting_query_plans() as query_plans:
                     result = run_fn(experiment_id, scale)
                 if ingest_reports:
                     result.provenance["ingest"] = [
                         report.as_dict() for report in ingest_reports
                     ]
+                if query_plans:
+                    result.provenance["freq_engine"] = summarize_query_plans(query_plans)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:  # noqa: BLE001 — the whole point is containment

@@ -314,6 +314,7 @@ def _supervised_worker(
     kwargs: dict,
     fault_plan: "WorkerFaultPlan | None",
     attempt: int,
+    city_handles: tuple = (),
 ) -> None:
     """Worker entry point: run one shard attempt, report over *conn*.
 
@@ -322,8 +323,19 @@ def _supervised_worker(
     detects the dead process.  Injected faults fire before the runner so
     chaos tests stay cheap; the supervision semantics are identical to a
     fault mid-computation.
+
+    With *city_handles* the worker first attaches the parent's
+    shared-memory cities (:mod:`repro.poi.shared`).  The attach precedes
+    fault injection on purpose: a worker that is SIGKILLed mid-run dies
+    *attached*, and its replacement attempt re-attaches the same
+    segments — the crash-replacement path the chaos suite exercises.
+    Workers never unlink; only the parent's ``share_cities`` context does.
     """
     try:
+        if city_handles:
+            from repro.poi.shared import attach_and_install
+
+            attach_and_install(city_handles)
         if fault_plan is not None:
             fate = fault_plan.decide(shard_value, attempt)
             if fate == "crash":
@@ -383,6 +395,7 @@ def supervise_shards(
     resume: bool = False,
     journal_path: "Path | str | None" = None,
     fault_plan: "WorkerFaultPlan | None" = None,
+    city_handles: tuple = (),
 ) -> tuple[list, list[ShardReport]]:
     """Run every shard under supervision; never abandons completed work.
 
@@ -397,6 +410,11 @@ def supervise_shards(
     ``<out>/.checkpoints/shards/`` and ``resume=True`` skips shards whose
     checkpoint matches ``(experiment, scale, seed, shard, kwargs)``; the
     journal defaults to ``<out>/.checkpoints/journal.jsonl``.
+
+    *city_handles* (picklable :class:`~repro.poi.shared.SharedCityHandle`
+    tuples) are forwarded to every worker attempt — including retries
+    replacing a SIGKILLed worker — which attach the shared cities before
+    running.  The supervisor never unlinks the segments; their owner does.
     """
     kwargs = dict(kwargs or {})
     policy = policy if policy is not None else ShardPolicy()
@@ -443,6 +461,7 @@ def supervise_shards(
                 kwargs,
                 fault_plan,
                 report.attempts,
+                city_handles,
             ),
             daemon=True,
         )

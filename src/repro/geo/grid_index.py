@@ -11,16 +11,61 @@ filter over their members.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.errors import GeometryError
 from repro.geo.bbox import BBox
 from repro.geo.point import Point
 
-__all__ = ["GridIndex"]
+__all__ = ["GridIndex", "DiskColumnPlan"]
 
 #: Smallest normal float64 — below it, squared distances lose precision.
 _TINY = np.finfo(np.float64).tiny
+
+#: Relative margin for classifying whole cells against a disk.  A cell is
+#: only called *interior* when its farthest corner is within
+#: ``radius * (1 - _CELL_MARGIN)`` and only called *outside* when its
+#: nearest corner is beyond ``radius * (1 + _CELL_MARGIN)``; everything in
+#: between stays in the exactly-filtered band, so float rounding can move
+#: cells only between "cheap" and "exact" — never flip a point's fate.
+_CELL_MARGIN = 1e-12
+
+#: Absolute companion to ``_CELL_MARGIN`` (meters).  Bucket assignment
+#: truncates ``(x - min_x) / cell``, so a stored point's true coordinate can
+#: sit up to a few 1e-11 m outside its nominal cell rectangle at city scale;
+#: a nanometer pad dominates that error even when ``radius * _CELL_MARGIN``
+#: alone would not (tiny radii).
+_CELL_PAD = 1e-9
+
+
+@dataclass(frozen=True)
+class DiskColumnPlan:
+    """Per-(query, cell-column) decomposition of a batch of disk queries.
+
+    Each entry describes one grid column ``cx`` scanned by query
+    ``qidx``: cells ``cy in [olo, ohi]`` are the only ones that can contain
+    points within the radius, and of those, cells ``cy in [ilo, ihi]`` lie
+    *entirely* inside the disk (every member point is certainly kept).  The
+    remaining cells — ``[olo, ilo - 1]`` and ``[ihi + 1, ohi]`` — form the
+    boundary band that still needs the exact distance filter.  An empty
+    interior is encoded as ``ilo == ohi + 1, ihi == ohi`` so both band runs
+    degenerate into the single run ``[olo, ohi]`` with no special-casing.
+
+    Classification uses the conservative margins ``_CELL_MARGIN`` /
+    ``_CELL_PAD``: a cell is only promoted out of the band when float
+    rounding provably cannot flip any of its points' fates, so consuming the
+    plan yields results bit-identical to filtering the full scan box.
+    """
+
+    n_queries: int
+    qidx: np.ndarray  #: (n_pairs,) intp — owning query of each column
+    cx: np.ndarray  #: (n_pairs,) intp — grid column index
+    olo: np.ndarray  #: (n_pairs,) intp — first cell row that can intersect
+    ohi: np.ndarray  #: (n_pairs,) intp — last cell row that can intersect
+    ilo: np.ndarray  #: (n_pairs,) intp — first fully-inside cell row
+    ihi: np.ndarray  #: (n_pairs,) intp — last fully-inside cell row
 
 
 def _disk_keep(dx: np.ndarray, dy: np.ndarray, radius: float) -> np.ndarray:
@@ -99,10 +144,94 @@ class GridIndex:
         # and only surviving entries pay the point-index gather.
         self._xord = np.ascontiguousarray(xy[order, 0]) if len(xy) else xy
         self._yord = np.ascontiguousarray(xy[order, 1]) if len(xy) else xy
+        self._clipped = self._any_outside_bounds()
+
+    def _any_outside_bounds(self) -> bool:
+        """Whether any point was clipped into an edge cell from outside.
+
+        Only points strictly outside the bounding box distort the grid
+        geometry (their assigned edge cell's rectangle does not contain
+        them); in-bounds border points always land in a cell whose closed
+        rectangle covers them.  :meth:`disk_column_plan` needs edge-cell
+        guards only when this is true.
+        """
+        if len(self._xy) == 0:
+            return False
+        b = self._bounds
+        xs, ys = self._xy[:, 0], self._xy[:, 1]
+        return bool(
+            (xs < b.min_x).any()
+            or (xs > b.max_x).any()
+            or (ys < b.min_y).any()
+            or (ys > b.max_y).any()
+        )
+
+    @classmethod
+    def from_layout(
+        cls,
+        xy: np.ndarray,
+        cell_size: float,
+        bounds: BBox,
+        order: np.ndarray,
+        start: np.ndarray,
+        xord: np.ndarray,
+        yord: np.ndarray,
+    ) -> GridIndex:
+        """Rebuild an index from a previously computed bucket layout.
+
+        Used by the shared-memory attach path: the arrays are views over a
+        ``multiprocessing.shared_memory`` segment built by an index with the
+        same ``(xy, cell_size, bounds)``, so re-sorting would both waste time
+        and force a copy.  Only cheap shape invariants are checked — the
+        caller vouches that the layout actually belongs to these points.
+        """
+        if cell_size <= 0:
+            raise GeometryError(f"cell_size must be positive, got {cell_size}")
+        obj = cls.__new__(cls)
+        obj._xy = xy
+        obj._cell = float(cell_size)
+        obj._bounds = bounds
+        obj._nx = max(1, int(np.ceil(bounds.width / cell_size)))
+        obj._ny = max(1, int(np.ceil(bounds.height / cell_size)))
+        n_cells = obj._nx * obj._ny
+        if len(start) != n_cells + 1 or int(start[-1]) != len(xy):
+            raise GeometryError(
+                f"bucket layout does not match grid: expected start of length "
+                f"{n_cells + 1} ending at {len(xy)}, got length {len(start)} "
+                f"ending at {int(start[-1]) if len(start) else 'nothing'}"
+            )
+        if not (len(order) == len(xord) == len(yord) == len(xy)):
+            raise GeometryError("bucket layout arrays disagree with the point count")
+        obj._order = order
+        obj._start = start
+        obj._xord = xord
+        obj._yord = yord
+        obj._clipped = obj._any_outside_bounds()
+        return obj
 
     @property
     def n_points(self) -> int:
         return len(self._xy)
+
+    @property
+    def bucket_order(self) -> np.ndarray:
+        """Point indices grouped by cell (the CSR pool, read-only layout)."""
+        return self._order
+
+    @property
+    def bucket_start(self) -> np.ndarray:
+        """Per-cell slice boundaries into :attr:`bucket_order` (flat x-major)."""
+        return self._start
+
+    @property
+    def bucket_xord(self) -> np.ndarray:
+        """x coordinates pre-permuted into bucket order."""
+        return self._xord
+
+    @property
+    def bucket_yord(self) -> np.ndarray:
+        """y coordinates pre-permuted into bucket order."""
+        return self._yord
 
     @property
     def bounds(self) -> BBox:
@@ -190,6 +319,97 @@ class GridIndex:
             np.floor((q[:, 1] + s - self._bounds.min_y) / self._cell).astype(np.intp) - 1,
         )
         return cx0, cx1, cy0, cy1
+
+    def disk_column_plan(self, xy: np.ndarray, radius: float) -> DiskColumnPlan:
+        """Classify each query's scan-box cells as interior / band / outside.
+
+        For every query the scan box from :meth:`cell_ranges` is flattened
+        into ``(query, column)`` pairs exactly as :meth:`query_batch` does,
+        then each column's cell rows are split by distance to the disk:
+
+        * rows whose farthest corner is within ``radius`` shrunk by the
+          classification margin are *interior* — every member point is
+          certainly kept, so a prefix-sum rectangle sum can count them;
+        * rows whose nearest corner is beyond ``radius`` grown by the margin
+          are *outside* — no member point can be kept, so they are trimmed
+          from the scan entirely (this is where large radii win: the scan
+          box is O((r/cell)^2) cells but the band is only O(r/cell));
+        * everything else is *band* and still needs the exact filter.
+
+        When points lie strictly outside the bounding box,
+        :meth:`_cell_of_many` clips them into edge cells whose rectangles do
+        not contain them, so whole-cell geometry is unreliable there: in
+        that case edge rows/columns are never classified interior *and*
+        never trimmed — they stay in the band whenever the scan box touches
+        them.  Indexes whose points all lie inside bounds (the normal case)
+        skip both guards.
+        """
+        q = np.asarray(xy, dtype=float)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise GeometryError(f"expected (q, 2) query centers, got shape {q.shape}")
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        nq = len(q)
+        cx0, cx1, cy0, cy1 = self.cell_ranges(q, radius)
+        spans = np.where((cx1 >= cx0) & (cy1 >= cy0), cx1 - cx0 + 1, 0)
+        n_pairs = int(spans.sum())
+        if n_pairs == 0:
+            e = np.empty(0, dtype=np.intp)
+            return DiskColumnPlan(nq, e, e, e, e, e, e)
+
+        pair_starts = np.concatenate([[0], np.cumsum(spans)[:-1]])
+        qidx = np.repeat(np.arange(nq, dtype=np.intp), spans)
+        rel_col = np.arange(n_pairs, dtype=np.intp) - np.repeat(pair_starts, spans)
+        cx = cx0[qidx] + rel_col
+
+        qx = q[qidx, 0]
+        qy = q[qidx, 1] - self._bounds.min_y
+        x_lo = self._bounds.min_x + cx * self._cell
+        x_hi = x_lo + self._cell
+        dxmax = np.maximum(qx - x_lo, x_hi - qx)
+        dxmin = np.maximum(0.0, np.maximum(x_lo - qx, qx - x_hi))
+        r_in = radius * (1.0 - _CELL_MARGIN) - _CELL_PAD
+        r_out = radius * (1.0 + _CELL_MARGIN) + _CELL_PAD
+
+        # Outer trim: a cell row can hold kept points only if its y-interval
+        # meets [qy - t, qy + t] with t the disk's half-height at the
+        # column's nearest |dx|.
+        t2 = r_out * r_out - dxmin * dxmin
+        t = np.sqrt(np.maximum(t2, 0.0))
+        olo = np.maximum(cy0[qidx], np.floor((qy - t) / self._cell).astype(np.intp))
+        ohi = np.minimum(cy1[qidx], np.floor((qy + t) / self._cell).astype(np.intp))
+        ohi = np.where(t2 > 0.0, ohi, olo - 1)
+        if self._clipped:
+            # Clipped points live in edge cells with unreliable rectangles:
+            # any pair whose scan range touches a grid edge keeps its full
+            # untrimmed range so no clipped point can be trimmed away.
+            full = (
+                (cx == 0)
+                | (cx == self._nx - 1)
+                | (cy0[qidx] == 0)
+                | (cy1[qidx] == self._ny - 1)
+            )
+            olo = np.where(full, cy0[qidx], olo)
+            ohi = np.where(full, cy1[qidx], ohi)
+
+        # Interior: rows whose full y-extent fits inside [qy - s, qy + s]
+        # with s the half-height at the column's farthest |dx| under the
+        # shrunk radius.
+        s2 = r_in * r_in - dxmax * dxmax
+        s = np.sqrt(np.maximum(s2, 0.0))
+        ilo = np.ceil((qy - s) / self._cell).astype(np.intp)
+        ihi = np.floor((qy + s) / self._cell).astype(np.intp) - 1
+        np.maximum(ilo, olo, out=ilo)
+        np.minimum(ihi, ohi, out=ihi)
+        good = (s2 > 0.0) & (ilo <= ihi)
+        if self._clipped:
+            np.maximum(ilo, 1, out=ilo)
+            np.minimum(ihi, self._ny - 2, out=ihi)
+            good &= (cx >= 1) & (cx <= self._nx - 2) & (ilo <= ihi)
+        # Empty interior folds into "one band run [olo, ohi]".
+        ilo = np.where(good, ilo, ohi + 1)
+        ihi = np.where(good, ihi, ohi)
+        return DiskColumnPlan(nq, qidx, cx, olo, ohi, ilo, ihi)
 
     def _candidates_in_box(self, min_x: float, min_y: float, max_x: float, max_y: float) -> np.ndarray:
         """Indices of all points in cells overlapping the given box."""

@@ -452,12 +452,13 @@ class DeprecatedPositionalShim(Rule):
     name = "deprecated-attack-shim"
     summary = "call attacks with a Release, not the positional (freq, radius) shim"
     rationale = (
-        "The unified Attack API takes a frozen Release (frequency vector + "
+        "The v1 Attack API takes a frozen Release (frequency vector + "
         "radius + optional ground truth); the positional (freq_vector, "
-        "radius) spelling survives only as a DeprecationWarning shim for "
-        "third-party callers. First-party code using the shim keeps the "
-        "legacy path load-bearing and hides the metadata (true_location, "
-        "timestamp) that evaluation and tracking rely on."
+        "radius) spelling was removed with its deprecation shim and now "
+        "raises TypeError at runtime. Linting catches the stale spelling "
+        "before it ships, and keeps first-party code on the Release path "
+        "that carries the metadata (true_location, timestamp) evaluation "
+        "and tracking rely on."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
@@ -492,9 +493,9 @@ class DeprecatedPositionalShim(Rule):
                 yield self.violation(
                     ctx,
                     node,
-                    f"{cls}.run(freq_vector, radius) is the deprecated "
-                    "positional shim; pass repro.attacks.Release("
-                    "freq_vector, radius) instead",
+                    f"{cls}.run(freq_vector, radius) is the removed "
+                    "pre-v1 positional spelling; pass repro.attacks."
+                    "Release(freq_vector, radius) instead",
                 )
 
 
@@ -670,6 +671,105 @@ class UnboundedServeBlocking(Rule):
             )
 
 
+#: The dotted names a direct SharedMemory construction resolves to.
+_SHM_CTORS = {
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+}
+
+#: The one module allowed to create and unlink shared segments.
+_SHM_OWNER_MODULE = "repro.poi.shared"
+
+
+class UnmanagedSharedMemory(Rule):
+    """PL009 — shared segments live and die inside repro.poi.shared."""
+
+    id = "PL009"
+    name = "unmanaged-shared-memory"
+    summary = "shared-memory segments must be owned by repro.poi.shared's context managers"
+    rationale = (
+        "The shared-city lifecycle has exactly one owner: the "
+        "share_city/share_cities context manager creates each segment "
+        "and is the only code that ever unlinks it, so a SIGKILLed "
+        "worker can neither leak nor destroy a segment other processes "
+        "still map. A stray SharedMemory(...) constructor, .unlink() "
+        "call, or /dev/shm delete anywhere else reintroduces the races "
+        "the contract closes: double-unlink, attacher-unregisters-owner, "
+        "and orphaned segments that outlive the run. Create segments "
+        "with share_city/share_cities and attach with attach_city; "
+        "never touch the segment files directly."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test or ctx.module == _SHM_OWNER_MODULE:
+            return
+        shm_vars: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if ctx.imports.resolve(node.value.func) in _SHM_CTORS:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            shm_vars.add(tgt.id)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.imports.resolve(node.func) in _SHM_CTORS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "direct SharedMemory(...) bypasses the owning context "
+                    "manager; create segments with share_city/share_cities "
+                    "and attach with attach_city",
+                )
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "unlink":
+                receiver = node.func.value
+                owned = (
+                    isinstance(receiver, ast.Name) and receiver.id in shm_vars
+                ) or (
+                    isinstance(receiver, ast.Call)
+                    and ctx.imports.resolve(receiver.func) in _SHM_CTORS
+                )
+                if owned:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        ".unlink() on a shared segment outside "
+                        "repro.poi.shared; only the owning context manager "
+                        "may unlink",
+                    )
+                    continue
+            if self._deletes_dev_shm(ctx, node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "deleting files under /dev/shm destroys live shared "
+                    "segments; let the owning context manager unlink them",
+                )
+
+    @staticmethod
+    def _deletes_dev_shm(ctx: FileContext, node: ast.Call) -> bool:
+        """os.unlink/os.remove("/dev/shm/...") or Path("/dev/shm/...").unlink().
+
+        Only provable literals are flagged: a dynamic path may be
+        anything, and Path.unlink on non-/dev/shm paths is everyday code.
+        """
+        if ctx.imports.resolve(node.func) in ("os.unlink", "os.remove"):
+            scan: ast.AST | None = node.args[0] if node.args else None
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "unlink":
+            scan = node.func.value
+        else:
+            return False
+        if scan is None:
+            return False
+        return any(
+            isinstance(part, ast.Constant)
+            and isinstance(part.value, str)
+            and part.value.startswith("/dev/shm")
+            for part in ast.walk(scan)
+        )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     AccountantBypass(),
@@ -679,6 +779,7 @@ RULES: tuple[Rule, ...] = (
     DeprecatedPositionalShim(),
     NonAtomicRoleWrite(),
     UnboundedServeBlocking(),
+    UnmanagedSharedMemory(),
 )
 
 

@@ -16,7 +16,15 @@ from repro.geo.bbox import BBox
 from repro.poi.database import POIDatabase
 from repro.poi.generator import SyntheticCityConfig, generate_city
 
-__all__ = ["City", "beijing", "new_york", "small_city", "CITY_BUILDERS"]
+__all__ = [
+    "City",
+    "beijing",
+    "new_york",
+    "small_city",
+    "CITY_BUILDERS",
+    "install_attached_city",
+    "clear_attached_cities",
+]
 
 #: Default seed used by experiment configs; any seed works.
 DEFAULT_SEED = 20210414  # ICDCS 2021 notification-ish date; arbitrary.
@@ -81,22 +89,56 @@ class City:
         )
 
 
+# Shared-memory attachments: when a shard worker has attached a city from
+# a SharedCityHandle (see repro.poi.shared), the builders below return the
+# attached zero-copy instance instead of regenerating the city.  Keyed by
+# (name, seed) so mixed-seed workloads never cross wires.
+_ATTACHED: dict[tuple[str, int], City] = {}
+
+
+def install_attached_city(city: City) -> None:
+    """Make the city builders return *city* for its ``(name, seed)``.
+
+    Called by :func:`repro.poi.shared.attach_and_install` in shard workers
+    so that every in-process path that asks for ``beijing(seed)`` etc. gets
+    the shared-memory instance.
+    """
+    _ATTACHED[(city.name, city.seed)] = city
+
+
+def clear_attached_cities() -> None:
+    """Drop all shared-memory attachments (builders regenerate again)."""
+    _ATTACHED.clear()
+
+
 @lru_cache(maxsize=8)
-def beijing(seed: int = DEFAULT_SEED) -> City:
-    """The Beijing preset: 10,249 POIs, 177 types over a 40 km square."""
+def _build_beijing(seed: int) -> City:
     return City("beijing", generate_city(BEIJING_CONFIG, seed), seed)
 
 
 @lru_cache(maxsize=8)
-def new_york(seed: int = DEFAULT_SEED) -> City:
-    """The NYC preset: 30,056 POIs, 272 types over a 36 km square."""
+def _build_new_york(seed: int) -> City:
     return City("nyc", generate_city(NEW_YORK_CONFIG, seed), seed)
 
 
 @lru_cache(maxsize=8)
+def _build_small_city(seed: int) -> City:
+    return City("small", generate_city(SMALL_CONFIG, seed), seed)
+
+
+def beijing(seed: int = DEFAULT_SEED) -> City:
+    """The Beijing preset: 10,249 POIs, 177 types over a 40 km square."""
+    return _ATTACHED.get(("beijing", seed)) or _build_beijing(seed)
+
+
+def new_york(seed: int = DEFAULT_SEED) -> City:
+    """The NYC preset: 30,056 POIs, 272 types over a 36 km square."""
+    return _ATTACHED.get(("nyc", seed)) or _build_new_york(seed)
+
+
 def small_city(seed: int = DEFAULT_SEED) -> City:
     """A small city for fast tests: 1,500 POIs, 40 types over 10 km."""
-    return City("small", generate_city(SMALL_CONFIG, seed), seed)
+    return _ATTACHED.get(("small", seed)) or _build_small_city(seed)
 
 
 #: Name → builder map used by the CLI and experiment registry.

@@ -20,6 +20,7 @@ from repro.core.errors import DatasetError
 from repro.geo.bbox import BBox
 from repro.geo.grid_index import GridIndex
 from repro.geo.point import Point
+from repro.poi.engine import FreqEngine
 from repro.poi.models import POI
 from repro.poi.vocabulary import TypeVocabulary
 
@@ -42,6 +43,10 @@ class POIDatabase:
     cell_size:
         Grid-index cell size in meters; defaults to 500 m, on the order of
         the smallest query radius studied in the paper.
+    engine:
+        Freq engine selector (``"auto"``, ``"banded"`` or ``"pyramid"``),
+        see :class:`~repro.poi.engine.FreqEngine`.  All selectors are
+        bit-identical; they trade plan overhead against pool size.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class POIDatabase:
         vocabulary: TypeVocabulary,
         bounds: BBox | None = None,
         cell_size: float = 500.0,
+        engine: str = "auto",
     ) -> None:
         xy = np.asarray(xy, dtype=float)
         type_ids = np.asarray(type_ids, dtype=np.intp)
@@ -62,9 +68,6 @@ class POIDatabase:
             )
         if len(type_ids) and (type_ids.min() < 0 or type_ids.max() >= len(vocabulary)):
             raise DatasetError("type ids out of vocabulary range")
-        self._xy = xy
-        self._types = type_ids
-        self._vocab = vocabulary
         if bounds is None:
             if len(xy) == 0:
                 raise DatasetError("cannot infer bounds from an empty POI set")
@@ -74,8 +77,52 @@ class POIDatabase:
                 float(xy[:, 0].max()),
                 float(xy[:, 1].max()),
             )
+        index = GridIndex(xy, cell_size=cell_size, bounds=bounds.expanded(cell_size))
+        self._finish_init(xy, type_ids, vocabulary, bounds, index, engine)
+
+    @classmethod
+    def from_layout(
+        cls,
+        xy: np.ndarray,
+        type_ids: np.ndarray,
+        vocabulary: TypeVocabulary,
+        bounds: BBox,
+        index: GridIndex,
+        types_ord: np.ndarray | None = None,
+        cell_prefix: np.ndarray | None = None,
+        engine: str = "auto",
+    ) -> "POIDatabase":
+        """Rebuild a database around precomputed (possibly shared) arrays.
+
+        The shared-memory attach path hands in the grid index rebuilt with
+        :meth:`GridIndex.from_layout` plus the derived arrays that are
+        expensive to recompute (`types_ord`, the cell prefix sums), all of
+        which may be read-only views over a shared segment.  Validation of
+        the raw inputs is the owner's job — this constructor only rebuilds
+        the cheap derived state (city frequency, ranks, per-type lists).
+        """
+        obj = cls.__new__(cls)
+        obj._finish_init(xy, type_ids, vocabulary, bounds, index, engine)
+        if types_ord is not None:
+            obj._types_ord = types_ord
+        if cell_prefix is not None:
+            obj._cell_prefix = cell_prefix
+        return obj
+
+    def _finish_init(
+        self,
+        xy: np.ndarray,
+        type_ids: np.ndarray,
+        vocabulary: TypeVocabulary,
+        bounds: BBox,
+        index: GridIndex,
+        engine: str,
+    ) -> None:
+        self._xy = xy
+        self._types = type_ids
+        self._vocab = vocabulary
         self._bounds = bounds
-        self._index = GridIndex(xy, cell_size=cell_size, bounds=bounds.expanded(cell_size))
+        self._index = index
         self._city_freq = np.bincount(type_ids, minlength=len(vocabulary)).astype(np.int64)
         # Infrequent rank per paper Eq. (7): the rarest type ranks 1.  Ties
         # broken by type id for determinism.
@@ -93,9 +140,14 @@ class POIDatabase:
         self._anchor_matrices: dict[float, np.ndarray] = {}
         self._anchor_ready: dict[float, np.ndarray] = {}
         # Radius-independent 2-D prefix sums of per-cell type histograms,
-        # backing the sound Freq bounds (:meth:`freq_bounds`).
+        # backing the sound Freq bounds (:meth:`freq_bounds`) and the
+        # engine's pyramid tier.
         self._cell_prefix: np.ndarray | None = None
         self._bound_matrices: dict[tuple[float, str], np.ndarray] = {}
+        # Type ids pre-permuted into the grid's bucket order, so the band
+        # kernels histogram pool entries without a point-index gather.
+        self._types_ord: np.ndarray | None = None
+        self._engine = FreqEngine(self, mode=engine)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -144,6 +196,28 @@ class POIDatabase:
         view.flags.writeable = False
         return view
 
+    @property
+    def grid(self) -> GridIndex:
+        """The backing grid index (shared with the engine and shm layer)."""
+        return self._index
+
+    @property
+    def types_bucket_order(self) -> np.ndarray:
+        """Type ids permuted into the grid's bucket order (lazy, cached)."""
+        tord = self._types_ord
+        if tord is None:
+            tord = self._types_ord = self._types[self._index.bucket_order]
+        return tord
+
+    @property
+    def engine(self) -> FreqEngine:
+        """The Freq engine every frequency query routes through."""
+        return self._engine
+
+    def set_engine(self, mode: str) -> None:
+        """Switch the engine selector (``auto``/``banded``/``pyramid``)."""
+        self._engine.mode = mode
+
     def poi(self, index: int) -> POI:
         """Materialise the POI at a given index."""
         return POI(
@@ -172,10 +246,11 @@ class POIDatabase:
         """``Freq(l, r)``: POI type frequency vector around *center*.
 
         Returns an ``(M,)`` int64 array where entry ``i`` counts the POIs of
-        type ``i`` within *radius* of *center*.
+        type ``i`` within *radius* of *center*.  Routed through the
+        :class:`~repro.poi.engine.FreqEngine`, whose tiers are all
+        bit-identical to histogramming :meth:`query`'s result directly.
         """
-        idx = self.query(center, radius)
-        return np.bincount(self._types[idx], minlength=self.n_types).astype(np.int64)
+        return self._engine.freq(center.x, center.y, radius)
 
     def query_batch(
         self, xy: "Sequence[Point] | np.ndarray", radius: float
@@ -194,32 +269,14 @@ class POIDatabase:
         """``Freq(l, r)`` for many locations at once, as an ``(n, M)`` matrix.
 
         Bit-identical to stacking :meth:`freq` per location, but answered by
-        the batched grid gather plus one vectorized histogram per chunk
-        instead of a Python loop.  Queries are chunked so the intermediate
-        candidate pool stays within a fixed memory budget regardless of the
-        batch size or radius.
+        the :class:`~repro.poi.engine.FreqEngine`: the banded tier gathers
+        and filters the scan box in one vectorized pass, the pyramid tier
+        additionally answers fully-inside cells with prefix-sum rectangle
+        sums so only the boundary band pays the exact filter.  Queries are
+        chunked so every intermediate stays within a fixed memory budget
+        regardless of the batch size or radius.
         """
-        coords = self._as_coords(xy)
-        n, m = len(coords), self.n_types
-        out = np.zeros((n, m), dtype=np.int64)
-        if n == 0 or len(self._xy) == 0:
-            return out
-        # Estimated candidates per query from the city's POI density bounds
-        # the gather pool to ~4M entries per chunk.
-        area = max(self._index.bounds.width * self._index.bounds.height, 1.0)
-        density = len(self._xy) / area
-        side = 2 * radius + 2 * self._index.cell_size
-        est = max(1.0, density * side * side)
-        chunk = int(min(n, max(64, 4_000_000 / est)))
-        for start in range(0, n, chunk):
-            block = coords[start : start + chunk]
-            idx, offsets = self._index.query_batch(block, radius)
-            owners = np.repeat(np.arange(len(block)), np.diff(offsets))
-            flat = owners * m + self._types[idx]
-            out[start : start + len(block)] = np.bincount(
-                flat, minlength=len(block) * m
-            ).reshape(len(block), m)
-        return out
+        return self._engine.freq_batch(self._as_coords(xy), radius)
 
     def anchor_freqs(
         self, radius: float, indices: "Sequence[int] | np.ndarray | None" = None
@@ -241,7 +298,9 @@ class POIDatabase:
             indices = np.asarray(indices, dtype=np.intp)
             missing = np.unique(indices[~ready[indices]])
         if len(missing):
-            mat[missing] = self.freq_batch(self._xy[missing], radius)
+            mat[missing] = self._engine.freq_batch(
+                self._xy[missing], radius, op="anchor_freqs"
+            )
             ready[missing] = True
         block = mat if indices is None else mat[indices]
         view = block.view()
@@ -288,7 +347,7 @@ class POIDatabase:
 
     def _bound_rows(self, xy: np.ndarray, radius: float, side: str) -> np.ndarray:
         """Evaluate one side of the Freq bounds at the given coordinates."""
-        pref = self._prefix()
+        pref = self.cell_prefix_sums()
         if side == "upper":
             cx0, cx1, cy0, cy1 = self._index.cell_ranges(xy, radius)
         else:
@@ -307,11 +366,14 @@ class POIDatabase:
         rows[~ok] = 0
         return rows
 
-    def _prefix(self) -> np.ndarray:
+    def cell_prefix_sums(self) -> np.ndarray:
         """The zero-padded 2-D prefix sums of per-cell type histograms.
 
-        Depends only on the static POI set (like the grid index itself), so
-        it is built once and survives :meth:`clear_cache`.
+        Shape ``(nx + 1, ny + 1, M)`` int32: entry ``[i, j]`` sums the
+        histograms of all cells ``(< i, < j)``.  Depends only on the static
+        POI set (like the grid index itself), so it is built once, survives
+        :meth:`clear_cache`, and is shareable across processes.  Backs both
+        :meth:`freq_bounds` and the engine's pyramid tier.
         """
         pref = self._cell_prefix
         if pref is None:

@@ -1,0 +1,290 @@
+"""Zero-copy city sharing across processes via POSIX shared memory.
+
+Shard workers used to receive their city by pickling the whole
+:class:`~repro.poi.database.POIDatabase` (coordinates, grid pool, prefix
+sums) into every worker — tens of megabytes copied per process, again on
+every SIGKILL replacement.  This module instead packs the immutable POI
+arrays and the CSR grid layout into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment per city and
+hands workers a tiny picklable :class:`SharedCityHandle`; attaching maps
+the same physical pages read-only, so a worker's city costs O(1) memory
+and no deserialization.
+
+Lifecycle contract (enforced by lint rule PL009):
+
+* The **owner** creates the segment inside the :func:`share_city` /
+  :func:`share_cities` context manager, which is the *only* place the
+  segment is unlinked — on context exit, exactly once, even on error.
+* **Workers** attach with :func:`attach_city` (or
+  :func:`attach_and_install`, which also routes the
+  :mod:`repro.poi.cities` builders to the attached instance).  Attachers
+  map the segment read-only without touching the ``resource_tracker``
+  (see :class:`_Attachment`), so a worker dying — including SIGKILL and
+  its replacement re-attaching mid-run — can neither destroy nor leak
+  the owner's segment, and a SIGKILLed *owner* still has its tracker
+  reap the segment.
+* Unlinking while workers are attached is safe on POSIX: their mappings
+  stay valid until they exit; only new attaches fail.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import sys
+from collections.abc import Iterator, Sequence
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.geo.bbox import BBox
+from repro.geo.grid_index import GridIndex
+from repro.poi.cities import City, install_attached_city
+from repro.poi.database import POIDatabase
+from repro.poi.vocabulary import TypeVocabulary
+
+__all__ = [
+    "ArraySpec",
+    "SharedCityHandle",
+    "share_city",
+    "share_cities",
+    "attach_city",
+    "attach_and_install",
+    "attached_segments",
+]
+
+#: Every packed array starts on a 64-byte boundary — cache-line aligned
+#: and a multiple of every dtype's alignment requirement.
+_ALIGN = 64
+
+#: The arrays one shared segment packs, in layout order.
+_ARRAY_NAMES = (
+    "xy",
+    "type_ids",
+    "order",
+    "start",
+    "xord",
+    "yord",
+    "types_ord",
+    "cell_prefix",
+)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one array lives inside the segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedCityHandle:
+    """A picklable description of one shared city segment.
+
+    Everything a worker needs to rebuild the :class:`City` zero-copy: the
+    segment name, the scalar city metadata, and each packed array's
+    dtype/shape/offset.  A handle is a few hundred bytes — cheap to ship
+    in every task payload or worker initializer.
+    """
+
+    segment: str
+    city_name: str
+    seed: int
+    type_names: tuple[str, ...]
+    bounds: tuple[float, float, float, float]
+    grid_bounds: tuple[float, float, float, float]
+    cell_size: float
+    arrays: tuple[tuple[str, ArraySpec], ...]
+
+    def spec(self, name: str) -> ArraySpec:
+        for key, spec in self.arrays:
+            if key == name:
+                return spec
+        raise DatasetError(f"shared segment {self.segment} has no array {name!r}")
+
+
+def _pack_order(db: POIDatabase) -> list[tuple[str, np.ndarray]]:
+    """The arrays to pack, materialising the derived ones."""
+    grid = db.grid
+    return [
+        ("xy", np.ascontiguousarray(db.positions)),
+        ("type_ids", np.ascontiguousarray(db.type_ids)),
+        ("order", np.ascontiguousarray(grid.bucket_order)),
+        ("start", np.ascontiguousarray(grid.bucket_start)),
+        ("xord", np.ascontiguousarray(grid.bucket_xord)),
+        ("yord", np.ascontiguousarray(grid.bucket_yord)),
+        ("types_ord", np.ascontiguousarray(db.types_bucket_order)),
+        ("cell_prefix", np.ascontiguousarray(db.cell_prefix_sums())),
+    ]
+
+
+@contextmanager
+def share_city(city: City) -> Iterator[SharedCityHandle]:
+    """Own one city's shared segment for the duration of the ``with`` body.
+
+    Creates the segment, copies the city's arrays in, yields the handle,
+    and unlinks the segment on exit — the single owning unlink of the
+    lifecycle contract.
+    """
+    db = city.database
+    arrays = _pack_order(db)
+    specs: list[tuple[str, ArraySpec]] = []
+    offset = 0
+    for name, arr in arrays:
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append((name, ArraySpec(str(arr.dtype), arr.shape, offset)))
+        offset += arr.nbytes
+    # The random suffix is an OS-level collision guard on the segment
+    # name, not experiment data: nothing checkpointed or resumable ever
+    # records it, so it cannot break resume bit-identity.
+    segment = f"poiagg-{city.name}-{city.seed}-{os.getpid()}-{os.urandom(4).hex()}"  # poiagg: disable=PL005
+    shm = shared_memory.SharedMemory(name=segment, create=True, size=max(offset, 1))
+    try:
+        for (name, arr), (_, spec) in zip(arrays, specs):
+            view: np.ndarray = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            view[...] = arr
+        b, gb = db.bounds, db.grid.bounds
+        yield SharedCityHandle(
+            segment=segment,
+            city_name=city.name,
+            seed=city.seed,
+            type_names=db.vocabulary.names,
+            bounds=(b.min_x, b.min_y, b.max_x, b.max_y),
+            grid_bounds=(gb.min_x, gb.min_y, gb.max_x, gb.max_y),
+            cell_size=db.grid.cell_size,
+            arrays=tuple(specs),
+        )
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+@contextmanager
+def share_cities(cities: Sequence[City]) -> Iterator[tuple[SharedCityHandle, ...]]:
+    """Own one shared segment per city; unlink them all on exit."""
+    with ExitStack() as stack:
+        yield tuple(stack.enter_context(share_city(c)) for c in cities)
+
+
+# Per-process attachments: the mapping must outlive every view into its
+# buffer, so the cache pins both it and the rebuilt City for the life of
+# the (worker) process.
+_ATTACHED: dict[str, tuple["_Attachment", City]] = {}
+
+
+def attached_segments() -> tuple[str, ...]:
+    """Names of the segments this process currently has attached."""
+    return tuple(_ATTACHED)
+
+
+class _Attachment:
+    """A read-only mapping of an existing segment that can never unlink it.
+
+    On Linux the segment is mapped straight off ``/dev/shm`` with
+    ``PROT_READ`` — no :class:`~multiprocessing.shared_memory.SharedMemory`
+    object, and crucially no ``resource_tracker`` traffic.  That matters
+    under the ``fork`` start method: the tracker's registry is a *set*
+    shared with the owner, so an attacher that registered and then
+    unregistered (as pre-3.13 ``SharedMemory`` attach forces) would erase
+    the owner's registration — and a SIGKILLed owner would leak its
+    segment instead of having the tracker reap it.
+
+    Elsewhere it falls back to ``SharedMemory`` attach, preferring the
+    3.13+ ``track=False`` form; the last-resort pre-3.13 path unregisters
+    and accepts the owner-SIGKILL caveat above.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._mm: "mmap.mmap | None" = None
+        self._shm: "shared_memory.SharedMemory | None" = None
+        path = f"/dev/shm/{name}"
+        if sys.platform == "linux" and os.path.exists(path):
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                size = os.fstat(fd).st_size
+                self._mm = mmap.mmap(fd, size, prot=mmap.PROT_READ)
+            finally:
+                os.close(fd)
+            self.buf: memoryview = memoryview(self._mm)
+            return
+        try:
+            self._shm = shared_memory.SharedMemory(name=name, create=False, track=False)
+        except TypeError:
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+            try:
+                resource_tracker.unregister(self._shm._name, "shared_memory")  # type: ignore[attr-defined]  # noqa: SLF001
+            except (AttributeError, KeyError):  # pragma: no cover - tracker internals
+                pass
+        assert self._shm.buf is not None
+        self.buf = self._shm.buf
+
+    def close(self) -> None:  # pragma: no cover - process teardown path
+        self.buf.release()
+        if self._mm is not None:
+            self._mm.close()
+        if self._shm is not None:
+            self._shm.close()
+
+
+def attach_city(handle: SharedCityHandle) -> City:
+    """Rebuild a :class:`City` over the shared segment, zero-copy.
+
+    Safe to call repeatedly (including from a SIGKILL-replacement worker):
+    attaches are cached per process and never unlink the segment.  All
+    array views are read-only — the segment is immutable by contract.
+    """
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached[1]
+    att = _Attachment(handle.segment)
+    views: dict[str, np.ndarray] = {}
+    for name, spec in handle.arrays:
+        view: np.ndarray = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=att.buf, offset=spec.offset
+        )
+        view.flags.writeable = False
+        views[name] = view
+    missing = [name for name in _ARRAY_NAMES if name not in views]
+    if missing:
+        raise DatasetError(
+            f"shared segment {handle.segment} is missing arrays {missing}"
+        )
+    grid = GridIndex.from_layout(
+        views["xy"],
+        handle.cell_size,
+        BBox(*handle.grid_bounds),
+        views["order"],
+        views["start"],
+        views["xord"],
+        views["yord"],
+    )
+    db = POIDatabase.from_layout(
+        views["xy"],
+        views["type_ids"],
+        TypeVocabulary(list(handle.type_names)),
+        BBox(*handle.bounds),
+        grid,
+        types_ord=views["types_ord"],
+        cell_prefix=views["cell_prefix"],
+    )
+    city = City(handle.city_name, db, handle.seed)
+    _ATTACHED[handle.segment] = (att, city)
+    return city
+
+
+def attach_and_install(handles: Sequence[SharedCityHandle]) -> None:
+    """Attach every handle and route the city builders to the results.
+
+    The worker-initializer entry point: after this,
+    ``repro.poi.cities.beijing(seed)`` (etc.) returns the shared-memory
+    instance for any ``(name, seed)`` covered by *handles*.
+    """
+    for handle in handles:
+        install_attached_city(attach_city(handle))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigError
+from repro.poi.engine import ENGINE_MODES
 
 __all__ = ["ServeConfig"]
 
@@ -59,6 +60,10 @@ class ServeConfig:
         When true, completed releases are audited in bulk with
         :meth:`~repro.attacks.region.RegionAttack.run_batch` and each
         result carries whether the region attack re-identifies it.
+    engine:
+        Freq engine mode the service pins on its database
+        (:class:`~repro.poi.engine.FreqEngine`): ``"auto"`` (default,
+        radius-tiered), ``"banded"`` or ``"pyramid"``.
     """
 
     queue_capacity: int = 256
@@ -79,8 +84,13 @@ class ServeConfig:
     breaker_half_open_probes: int = 1
     heartbeat_interval_s: float = 5.0
     attack_audit: bool = False
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_MODES:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
+            )
         if self.queue_capacity < 1:
             raise ConfigError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
         if self.n_workers < 1:

@@ -103,6 +103,9 @@ class ReleaseService:
     ) -> None:
         self._clock = clock if clock is not None else SystemClock()
         self.config = config if config is not None else ServeConfig()
+        # Pin the configured Freq engine mode; the dispatcher's freq_batch
+        # calls route through it (auto = radius-tiered banded/pyramid).
+        database.set_engine(self.config.engine)
         self.specs = (
             specs
             if specs is not None

@@ -55,6 +55,7 @@ class TestAttackOutcome:
 
 class TestEvaluateRegionAttack:
     def test_consistency_with_direct_attack(self, city, db):
+        from repro.attacks.base import Release
         from repro.attacks.region import RegionAttack
 
         rng = derive_rng(1, "eval")
@@ -62,7 +63,7 @@ class TestEvaluateRegionAttack:
         targets = [city.interior(r).sample_point(rng) for _ in range(40)]
         ev = evaluate_region_attack(db, targets, r)
         attack = RegionAttack(db)
-        expected = sum(attack.run(db.freq(t, r), r).success for t in targets)
+        expected = sum(attack.run(Release(db.freq(t, r), r)).success for t in targets)
         assert ev.n_success == expected
 
     def test_no_defense_success_equals_correct(self, city, db):

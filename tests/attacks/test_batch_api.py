@@ -2,14 +2,16 @@
 
 Two properties matter: (1) every attack's ``run_batch`` is bit-identical
 to the scalar loop over ``run`` — same candidates, same anchor types,
-same regions — and (2) the legacy positional ``run(freq_vector, radius)``
-spelling keeps working behind a :class:`DeprecationWarning`.
+same regions — and (2) as of v1 the legacy positional
+``run(freq_vector, radius)`` spelling is *gone*: ``run`` takes exactly
+one :class:`Release` and anything else is a :class:`TypeError` with a
+migration hint, not a silent misparse.
 """
 
 import numpy as np
 import pytest
 
-from repro.attacks.base import Attack, AttackOutcome, Release, coerce_release
+from repro.attacks.base import Attack, AttackOutcome, Release, require_release
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.attacks.region import RegionAttack
 from repro.attacks.tracker import ContinuousTracker
@@ -48,22 +50,13 @@ class TestReleaseDataclass:
         assert rel.true_location == Point(1, 2)
         assert rel.timestamp == 5.0
 
-    def test_coerce_passthrough(self):
+    def test_require_release_passthrough(self):
         rel = Release(np.zeros(3), 100.0)
-        assert coerce_release(rel, caller="t") is rel
+        assert require_release(rel, caller="t") is rel
 
-    def test_coerce_rejects_release_plus_radius(self):
-        with pytest.raises(AttackError):
-            coerce_release(Release(np.zeros(3), 100.0), 200.0, caller="t")
-
-    def test_coerce_legacy_requires_radius(self):
-        with pytest.warns(DeprecationWarning), pytest.raises(AttackError):
-            coerce_release(np.zeros(3), caller="t")
-
-    def test_coerce_legacy_warns(self):
-        with pytest.warns(DeprecationWarning):
-            rel = coerce_release(np.array([1, 0, 0]), 100.0, caller="t")
-        assert rel.radius == 100.0
+    def test_require_release_rejects_bare_vector(self):
+        with pytest.raises(TypeError, match="removed in v1"):
+            require_release(np.zeros(3), caller="t")
 
 
 class TestAttackProtocol:
@@ -72,22 +65,21 @@ class TestAttackProtocol:
         assert isinstance(FineGrainedAttack(tiny_db), Attack)
         assert isinstance(ContinuousTracker(tiny_db), Attack)
 
-    def test_legacy_run_warns_and_matches(self, tiny_db):
+    def test_legacy_positional_run_is_a_type_error(self, tiny_db):
         attack = RegionAttack(tiny_db)
         freq = tiny_db.freq(Point(500, 800), 150.0)
-        with pytest.warns(DeprecationWarning):
-            legacy = attack.run(freq, 150.0)
-        modern = attack.run(Release(freq, 150.0))
-        assert_outcomes_equal(legacy, modern)
+        with pytest.raises(TypeError):
+            attack.run(freq, 150.0)
+        with pytest.raises(TypeError, match="removed in v1"):
+            attack.run(freq)
 
-    def test_legacy_fine_grained_warns(self, tiny_db):
+    def test_legacy_positional_fine_grained_is_a_type_error(self, tiny_db):
         attack = FineGrainedAttack(tiny_db)
         freq = tiny_db.freq(Point(500, 800), 150.0)
-        with pytest.warns(DeprecationWarning):
-            legacy = attack.run(freq, 150.0)
-        modern = attack.run(Release(freq, 150.0))
-        assert legacy.anchors == modern.anchors
-        assert legacy.major_anchor == modern.major_anchor
+        with pytest.raises(TypeError):
+            attack.run(freq, 150.0)
+        with pytest.raises(TypeError, match="removed in v1"):
+            attack.run(freq)
 
 
 class TestRegionRunBatch:

@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.core.errors import AttackError
 from repro.core.rng import derive_rng
@@ -21,7 +22,7 @@ def setting(request):
 class TestHarvesting:
     def test_failure_produces_no_anchors(self, db):
         attack = FineGrainedAttack(db)
-        outcome = attack.run(np.zeros(db.n_types, dtype=int), 500.0)
+        outcome = attack.run(Release(np.zeros(db.n_types, dtype=int), 500.0))
         assert not outcome.success
         assert outcome.anchors == ()
         assert outcome.region() is None
@@ -35,7 +36,7 @@ class TestHarvesting:
             attack = FineGrainedAttack(db, max_aux=cap)
             for _ in range(30):
                 target = box.sample_point(rng)
-                outcome = attack.run(db.freq(target, r), r)
+                outcome = attack.run(Release(db.freq(target, r), r))
                 assert len(outcome.anchors) <= cap
 
     def test_major_anchor_not_in_aux(self, city, db):
@@ -45,7 +46,7 @@ class TestHarvesting:
         box = city.interior(r)
         for _ in range(40):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if outcome.success:
                 assert outcome.major_anchor not in outcome.anchors
 
@@ -56,7 +57,7 @@ class TestHarvesting:
         box = city.interior(r)
         for _ in range(40):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if not outcome.success:
                 continue
             major_loc = db.location_of(outcome.major_anchor)
@@ -77,7 +78,7 @@ class TestSearchArea:
         baseline = math.pi * r * r
         for _ in range(30):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if outcome.success:
                 area = outcome.search_area_m2(n_samples=4_000, rng=rng)
                 assert area <= baseline + 1e-6
@@ -89,7 +90,7 @@ class TestSearchArea:
         box = city.interior(r)
         for _ in range(20):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if not outcome.success or len(outcome.anchors) < 4:
                 continue
             # Same sample stream per comparison for a fair MC estimate.
@@ -104,7 +105,7 @@ class TestSearchArea:
         box = city.interior(r)
         for _ in range(20):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if outcome.success:
                 assert outcome.search_area_m2(rng=rng) == pytest.approx(math.pi * r * r)
                 break
@@ -121,7 +122,7 @@ class TestSoundOnlyVariant:
         n_checked = 0
         for _ in range(60):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if outcome.success:
                 n_checked += 1
                 assert outcome.contains(target)
@@ -136,8 +137,8 @@ class TestSoundOnlyVariant:
         for _ in range(30):
             target = box.sample_point(rng)
             freq = db.freq(target, r)
-            a = full.run(freq, r)
-            b = sound.run(freq, r)
+            a = full.run(Release(freq, r))
+            b = sound.run(Release(freq, r))
             if a.success:
                 assert set(b.anchors) <= set(a.anchors)
 
@@ -150,7 +151,7 @@ class TestPointEstimate:
         box = city.interior(r)
         for _ in range(40):
             target = box.sample_point(rng)
-            outcome = attack.run(db.freq(target, r), r)
+            outcome = attack.run(Release(db.freq(target, r), r))
             if outcome.success:
                 estimate = outcome.point_estimate(n_samples=4_000, rng=rng)
                 assert estimate is not None

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.core.errors import AttackError
 from repro.core.rng import derive_rng
@@ -15,7 +16,7 @@ class TestOnTinyDatabase:
         # Vector with type c (the city-unique type) present.
         freq = tiny_db.freq(Point(500, 800), 150.0)
         assert freq[2] == 1
-        outcome = attack.run(freq, 150.0)
+        outcome = attack.run(Release(freq, 150.0))
         assert outcome.anchor_type == 2
         assert outcome.success
         assert outcome.candidates == (4,)  # the single c POI
@@ -24,14 +25,14 @@ class TestOnTinyDatabase:
         attack = RegionAttack(tiny_db)
         target = Point(500, 800)
         r = 150.0
-        outcome = attack.run(tiny_db.freq(target, r), r)
+        outcome = attack.run(Release(tiny_db.freq(target, r), r))
         assert outcome.success
         assert outcome.locates(target)
         assert outcome.region.area == pytest.approx(np.pi * r * r)
 
     def test_empty_vector_fails(self, tiny_db):
         attack = RegionAttack(tiny_db)
-        outcome = attack.run(np.zeros(3, dtype=int), 100.0)
+        outcome = attack.run(Release(np.zeros(3, dtype=int), 100.0))
         assert not outcome.success
         assert outcome.anchor_type is None
         assert outcome.candidates == ()
@@ -39,12 +40,12 @@ class TestOnTinyDatabase:
     def test_vector_width_checked(self, tiny_db):
         attack = RegionAttack(tiny_db)
         with pytest.raises(Exception):
-            attack.run(np.zeros(5, dtype=int), 100.0)
+            attack.run(Release(np.zeros(5, dtype=int), 100.0))
 
     def test_nonpositive_radius_raises(self, tiny_db):
         attack = RegionAttack(tiny_db)
         with pytest.raises(AttackError):
-            attack.run(np.array([1, 0, 0]), 0.0)
+            attack.run(Release(np.array([1, 0, 0]), 0.0))
 
     def test_max_candidates_cap(self, tiny_db):
         attack = RegionAttack(tiny_db, max_candidates=1)
@@ -74,7 +75,7 @@ class TestSoundnessOnGeneratedCity:
         for _ in range(80):
             target = box.sample_point(rng)
             freq = db.freq(target, r)
-            outcome = attack.run(freq, r)
+            outcome = attack.run(Release(freq, r))
             if outcome.success:
                 n_checked += 1
                 assert outcome.locates(target)
@@ -104,6 +105,6 @@ class TestSoundnessOnGeneratedCity:
             n = 80
             for _ in range(n):
                 target = box.sample_point(rng)
-                wins += attack.run(db.freq(target, r), r).success
+                wins += attack.run(Release(db.freq(target, r), r)).success
             rates.append(wins / n)
         assert rates[0] <= rates[-1]

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.region import RegionAttack
 from repro.attacks.tracker import ContinuousTracker, TimedRelease
 from repro.core.errors import AttackError
@@ -74,7 +75,7 @@ class TestContinuousTracker:
             total_tracked += len(result.unique_steps)
             for release in releases:
                 total_indep += attack.run(
-                    np.asarray(release.frequency_vector), radius
+                    Release(np.asarray(release.frequency_vector), radius)
                 ).success
             n_steps += len(releases)
         assert total_tracked >= total_indep

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.trajectory import DistanceRegressor, PairRelease, TrajectoryAttack
 from repro.core.rng import derive_rng
 
@@ -51,7 +52,7 @@ class TestTrajectoryAttackEdges:
         for _ in range(60):
             loc = city.interior(600.0).sample_point(rng)
             f1 = db.freq(loc, 600.0)
-            if not base.run(f1, 600.0).success:
+            if not base.run(Release(f1, 600.0)).success:
                 continue
             outcome = attack.run(PairRelease(f1, f1, 0.0, 60.0), 600.0)
             assert outcome.single.success

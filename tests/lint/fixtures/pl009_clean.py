@@ -1,0 +1,22 @@
+"""PL009 fixture: the sanctioned shared-memory lifecycle, and unrelated unlinks."""
+
+import os
+from pathlib import Path
+
+from repro.poi.shared import attach_city, share_cities
+
+
+def sanctioned_lifecycle(cities, handles):
+    with share_cities(cities) as owned:
+        attached = [attach_city(h) for h in owned]
+    return attached, handles
+
+
+def everyday_file_cleanup(tmp_dir):
+    # Path.unlink / os.remove on ordinary paths is out of scope.
+    (Path(tmp_dir) / "scratch.json").unlink()
+    os.remove(os.path.join(tmp_dir, "scratch.csv"))
+
+
+def dynamic_path_is_not_provable(path):
+    os.unlink(path)

@@ -1,0 +1,23 @@
+"""PL009 fixture: shared-memory lifecycle violations outside the owner."""
+
+import os
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+
+
+def create_segment_directly(nbytes):
+    shm = SharedMemory(name="poiagg-rogue", create=True, size=nbytes)  # PL009
+    return shm
+
+
+def unlink_someone_elses_segment():
+    shm = SharedMemory(name="poiagg-rogue", create=False)  # PL009
+    shm.unlink()  # PL009
+
+
+def delete_segment_file(name):
+    os.unlink(f"/dev/shm/{name}")  # PL009
+
+
+def delete_segment_via_path(name):
+    Path("/dev/shm/" + name).unlink()  # PL009

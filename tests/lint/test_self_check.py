@@ -80,6 +80,13 @@ REGRESSIONS = [
         "        job.run()\n",
         "src/repro/serve/planted.py",
     ),
+    (
+        "PL009",
+        "from multiprocessing.shared_memory import SharedMemory\n\n"
+        "def cleanup(name):\n"
+        "    SharedMemory(name=name, create=False).unlink()\n",
+        "src/repro/experiments/planted.py",
+    ),
 ]
 
 

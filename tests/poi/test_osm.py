@@ -71,12 +71,13 @@ class TestLoadOsmXml:
         assert db.vocabulary.names == ("shop:bakery",)
 
     def test_attack_pipeline_runs_on_import(self, osm_file):
+        from repro.attacks.base import Release
         from repro.attacks.region import RegionAttack
 
         db = load_osm_xml(osm_file)
         attack = RegionAttack(db)
         center = db.location_of(0)
-        outcome = attack.run(db.freq(center, 400.0), 400.0)
+        outcome = attack.run(Release(db.freq(center, 400.0), 400.0))
         assert outcome.anchor_type is not None
 
     def test_missing_file(self, tmp_path):

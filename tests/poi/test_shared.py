@@ -1,0 +1,170 @@
+"""Shared-memory city segments: round-trip, lifecycle, cross-process attach.
+
+The contract under test: :func:`share_city` owns the segment and is the
+only thing that ever unlinks it; :func:`attach_city` rebuilds a
+bit-identical read-only :class:`City` over the same physical pages, from
+this process or any other; and the :mod:`repro.poi.cities` registry
+routes builders to an installed attachment.
+"""
+
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.poi import cities
+from repro.poi.shared import (
+    SharedCityHandle,
+    attach_and_install,
+    attach_city,
+    attached_segments,
+    share_cities,
+    share_city,
+)
+
+
+@pytest.fixture()
+def shared(city):
+    with share_city(city) as handle:
+        yield city, handle
+
+
+def _segment_path(handle):
+    return f"/dev/shm/{handle.segment}"
+
+
+class TestRoundTrip:
+    def test_attached_city_is_bit_identical(self, shared, rng):
+        city, handle = shared
+        att = attach_city(handle)
+        db, adb = city.database, att.database
+        assert att.name == city.name and att.seed == city.seed
+        np.testing.assert_array_equal(adb.positions, db.positions)
+        np.testing.assert_array_equal(adb.type_ids, db.type_ids)
+        assert adb.vocabulary.names == db.vocabulary.names
+        assert adb.bounds == db.bounds
+        coords = rng.uniform(0, 10_000, size=(30, 2))
+        for radius in (250.0, 1_000.0, 4_000.0):
+            np.testing.assert_array_equal(
+                adb.freq_batch(coords, radius), db.freq_batch(coords, radius)
+            )
+
+    def test_handle_is_small_and_picklable(self, shared):
+        _, handle = shared
+        blob = pickle.dumps(handle)
+        assert len(blob) < 4_096
+        clone = pickle.loads(blob)
+        assert clone == handle
+        assert isinstance(clone, SharedCityHandle)
+
+    def test_attached_views_are_read_only(self, shared):
+        _, handle = shared
+        adb = attach_city(handle).database
+        with pytest.raises(ValueError):
+            adb.positions[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            adb.type_ids[0] = 0
+
+    def test_attach_is_cached_per_segment(self, shared):
+        _, handle = shared
+        first = attach_city(handle)
+        assert attach_city(handle) is first
+        assert handle.segment in attached_segments()
+
+    def test_unknown_array_name_raises(self, shared):
+        _, handle = shared
+        with pytest.raises(DatasetError, match="no array"):
+            handle.spec("heatmap")
+
+
+class TestRegistryRouting:
+    def test_install_routes_builders_then_clear_restores(self, shared):
+        city, handle = shared
+        attach_and_install([handle])
+        try:
+            assert cities.small_city(seed=city.seed) is attach_city(handle)
+        finally:
+            cities.clear_attached_cities()
+        rebuilt = cities.small_city(seed=city.seed)
+        assert rebuilt is not attach_city(handle)
+        np.testing.assert_array_equal(
+            rebuilt.database.positions, city.database.positions
+        )
+
+
+class TestLifecycle:
+    def test_owner_unlinks_on_exit(self, city):
+        with share_city(city) as handle:
+            assert os.path.exists(_segment_path(handle))
+        assert not os.path.exists(_segment_path(handle))
+
+    def test_no_leak_when_body_raises(self, city):
+        with pytest.raises(RuntimeError, match="boom"):
+            with share_city(city) as handle:
+                raise RuntimeError("boom")
+        assert not os.path.exists(_segment_path(handle))
+
+    def test_share_cities_unlinks_every_segment(self, city):
+        with share_cities([city, city]) as handles:
+            assert len(handles) == 2
+            assert handles[0].segment != handles[1].segment
+            for h in handles:
+                assert os.path.exists(_segment_path(h))
+        for h in handles:
+            assert not os.path.exists(_segment_path(h))
+
+    def test_attachment_survives_owner_unlink(self, city, rng):
+        """POSIX semantics: mapped pages stay valid after unlink."""
+        with share_city(city) as handle:
+            adb = attach_city(handle).database
+        coords = rng.uniform(0, 10_000, size=(5, 2))
+        np.testing.assert_array_equal(
+            adb.freq_batch(coords, 800.0),
+            city.database.freq_batch(coords, 800.0),
+        )
+
+
+def _child_attach(handle, coords, radius, conn):
+    try:
+        freqs = attach_city(handle).database.freq_batch(
+            np.asarray(coords), radius
+        )
+        conn.send(("ok", freqs))
+    except Exception as exc:  # pragma: no cover - failure reporting path
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+class TestCrossProcess:
+    def test_child_process_attaches_and_agrees(self, shared, rng):
+        city, handle = shared
+        coords = rng.uniform(0, 10_000, size=(12, 2))
+        want = city.database.freq_batch(coords, 1_500.0)
+        parent, child = multiprocessing.Pipe()
+        proc = multiprocessing.get_context("fork").Process(
+            target=_child_attach, args=(handle, coords.tolist(), 1_500.0, child)
+        )
+        proc.start()
+        try:
+            assert parent.poll(60), "child never reported"
+            status, payload = parent.recv()
+        finally:
+            proc.join(timeout=30)
+        assert status == "ok", payload
+        np.testing.assert_array_equal(payload, want)
+
+    def test_child_attach_never_unlinks(self, shared):
+        """A worker attaching and exiting leaves the owner's segment alive."""
+        city, handle = shared
+        parent, child = multiprocessing.Pipe()
+        proc = multiprocessing.get_context("fork").Process(
+            target=_child_attach, args=(handle, [[0.0, 0.0]], 100.0, child)
+        )
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        assert os.path.exists(_segment_path(handle))

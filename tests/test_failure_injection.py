@@ -8,6 +8,7 @@ adversary fed empty logs.  These tests pin down those boundaries.
 import numpy as np
 import pytest
 
+from repro.attacks.base import Release
 from repro.attacks.fine_grained import FineGrainedAttack
 from repro.attacks.metrics import evaluate_region_attack
 from repro.attacks.region import RegionAttack
@@ -52,21 +53,21 @@ class TestDegenerateCities:
     def test_single_poi_city_attack(self, one_poi_db):
         attack = RegionAttack(one_poi_db)
         freq = one_poi_db.freq(Point(500, 500), 100.0)
-        outcome = attack.run(freq, 100.0)
+        outcome = attack.run(Release(freq, 100.0))
         assert outcome.success
         assert outcome.candidates == (0,)
 
     def test_single_poi_fine_grained(self, one_poi_db):
         attack = FineGrainedAttack(one_poi_db, max_aux=20)
         freq = one_poi_db.freq(Point(500, 500), 100.0)
-        outcome = attack.run(freq, 100.0)
+        outcome = attack.run(Release(freq, 100.0))
         assert outcome.success
         assert outcome.anchors == ()  # nothing else to harvest
 
     def test_empty_region_query(self, one_poi_db):
         freq = one_poi_db.freq(Point(0, 0), 10.0)
         assert freq.sum() == 0
-        outcome = RegionAttack(one_poi_db).run(freq, 10.0)
+        outcome = RegionAttack(one_poi_db).run(Release(freq, 10.0))
         assert not outcome.success
 
 
@@ -132,17 +133,17 @@ class TestAttackInputValidation:
         """DP releases are float before rounding; the attack must cope."""
         attack = RegionAttack(db)
         freq = db.freq(db.location_of(0), 500.0).astype(float)
-        outcome = attack.run(freq, 500.0)
+        outcome = attack.run(Release(freq, 500.0))
         assert outcome.anchor_type is not None or freq.sum() == 0
 
     def test_wrong_width_vector_raises(self, db):
         attack = RegionAttack(db)
         with pytest.raises(ReleaseValidationError, match="width"):
-            attack.run(np.ones(db.n_types + 1, dtype=int), 500.0)
+            attack.run(Release(np.ones(db.n_types + 1, dtype=int), 500.0))
 
     def test_nan_vector_raises(self, db):
         attack = RegionAttack(db)
         bad = db.freq(db.location_of(0), 500.0).astype(float)
         bad[0] = np.nan
         with pytest.raises(ReleaseValidationError, match="NaN"):
-            attack.run(bad, 500.0)
+            attack.run(Release(bad, 500.0))
