@@ -16,9 +16,9 @@ engine is at least 5x faster **at every radius** — including the 4 km
 setting where the pre-pyramid engine collapsed to ~1.6x — and records
 the measurements in ``BENCH_batch_engine.json`` at the repo root.  Each
 per-radius row names the engine tier and kernel that actually ran, and a
-whole-figure section times an end-to-end ``run_fig6`` pass so regressions
-that only show up at figure granularity (plan overhead, cache churn)
-still move a recorded number.
+whole-figure section times end-to-end ``fig6`` and ``fig7`` passes so
+regressions that only show up at figure granularity (plan overhead,
+cache churn) still move a recorded number.
 """
 
 from __future__ import annotations
@@ -151,8 +151,8 @@ def test_bench_batch_engine(benchmark, bench_scale):
             }
         )
 
-    # --- whole-figure wall clock: one end-to-end fig6 pass ---
-    figure_rows = [_figure_row(bench_scale)]
+    # --- whole-figure wall clock: end-to-end fig6 and fig7 passes ---
+    figure_rows = [_figure_row(bench_scale, "fig6"), _figure_row(bench_scale, "fig7")]
 
     total_scalar = sum(r["scalar_s"] for r in rows)
     total_batch = sum(r["batch_s"] for r in rows)
@@ -195,17 +195,18 @@ def test_bench_batch_engine(benchmark, bench_scale):
     )
 
 
-def _figure_row(bench_scale):
+def _figure_row(bench_scale, figure_id):
     """Time one whole figure end to end, with its engine-call summary."""
-    from repro.experiments.fig6_finegrained_cdf import run_fig6
+    from repro.experiments.registry import get_experiment
 
+    runner = get_experiment(figure_id)
     with collecting_query_plans() as plans:
         t0 = time.perf_counter()
-        run_fig6(bench_scale)
+        runner(scale=bench_scale)
         wall = time.perf_counter() - t0
     summary = summarize_query_plans(plans)
     return {
-        "figure": "fig6",
+        "figure": figure_id,
         "scale": bench_scale.name,
         "wall_s": wall,
         "freq_engine": summary,

@@ -286,15 +286,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default: BENCH_serve.json)",
     )
 
+    federate = sub.add_parser(
+        "federate",
+        help="run a dropout-tolerant federated aggregation campaign",
+        description=(
+            "Aggregate clipped per-cell frequency vectors from seeded "
+            "simulated clients under distributed DP. Rounds tolerate "
+            "dropouts down to the quorum, refuse late and malformed "
+            "contributions, clip outliers, and either commit atomically "
+            "(spending the round's privacy budget) or abort with the "
+            "budget untouched. Exit codes: 0 = every round reached an "
+            "outcome and at least one committed, 1 = no round committed "
+            "or accounting failed, 2 = bad invocation."
+        ),
+    )
+    federate.add_argument("--city", default="small", choices=["beijing", "nyc", "small"])
+    federate.add_argument("--clients", type=int, default=1_000, help="enrolled clients")
+    federate.add_argument("--rounds", type=int, default=3)
+    federate.add_argument("--epsilon", type=float, default=1.0, help="per-round epsilon")
+    federate.add_argument("--delta", type=float, default=0.2, help="per-round delta")
+    federate.add_argument(
+        "--clip", type=float, default=64.0, help="L1 clip bound per contribution"
+    )
+    federate.add_argument(
+        "--quorum",
+        type=float,
+        default=0.8,
+        help="fraction of clients that must contribute for a round to commit",
+    )
+    federate.add_argument(
+        "--deadline", type=float, default=1.0, help="per-client deadline (seconds)"
+    )
+    federate.add_argument(
+        "--retries", type=int, default=1, help="extra attempts for silent clients"
+    )
+    federate.add_argument(
+        "--memory-budget",
+        type=float,
+        default=256.0,
+        metavar="MB",
+        help="aggregator working-memory cap (accumulators + fold buffers)",
+    )
+    federate.add_argument("--chunk-clients", type=int, default=2_048)
+    federate.add_argument(
+        "--budget-epsilon",
+        type=float,
+        default=None,
+        help="campaign epsilon budget (default: rounds x epsilon)",
+    )
+    federate.add_argument("--seed", type=int, default=None)
+    federate.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="checkpoint/report directory (rounds checkpoint atomically)",
+    )
+    federate.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore finished rounds from <out> checkpoints (requires --out)",
+    )
+    for fault in ("crash", "hang", "malformed", "poisoned", "duplicate"):
+        federate.add_argument(
+            f"--{fault}-rate",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help=f"per-(round, client) {fault} probability (chaos injection)",
+        )
+    federate.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault plan"
+    )
+
     check = sub.add_parser(
         "check",
         help="run the PL invariant linter over first-party code",
         description=(
-            "AST-based invariant linter (rules PL001-PL008): seed "
+            "AST-based invariant linter (rules PL001-PL010): seed "
             "discipline, DP accounting, Freq dtype/hypot discipline, "
             "picklable shard workers, wall-clock-free experiment paths, "
             "no deprecated attack shims, atomic cache/checkpoint writes, "
-            "timeout-bounded blocking in the serve path. "
+            "timeout-bounded blocking in the serve path, managed shared "
+            "memory, config-bounded federated accumulators. "
             "Exit codes: 0 = clean, 1 = violations, 2 = bad invocation."
         ),
     )
@@ -420,6 +493,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "federate":
+        return _cmd_federate(args)
     if args.command == "check":
         from repro.lint.cli import run_check
 
@@ -517,6 +592,104 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("poiagg loadgen: fates unaccounted", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import ConfigError, ReproError
+    from repro.dp.mechanisms import PrivacyParams
+    from repro.federated import ClientFaultPlan, FederatedConfig, run_campaign
+    from repro.ingest.atomic import atomic_write_text
+
+    if args.resume and args.out is None:
+        print(
+            "poiagg federate: --resume needs --out (checkpoints live in "
+            "the output directory)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = FederatedConfig(
+            n_clients=args.clients,
+            n_rounds=args.rounds,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            clip_bound=args.clip,
+            quorum=args.quorum,
+            deadline_s=args.deadline,
+            retries=args.retries,
+            memory_budget_mb=args.memory_budget,
+            chunk_clients=args.chunk_clients,
+        )
+        rates = {
+            f"{fault}_rate": getattr(args, f"{fault}_rate")
+            for fault in ("crash", "hang", "malformed", "poisoned", "duplicate")
+        }
+        fault_plan = None
+        if any(rate > 0 for rate in rates.values()):
+            fault_plan = ClientFaultPlan(seed=args.fault_seed, **rates)
+        budget = (
+            None
+            if args.budget_epsilon is None
+            else PrivacyParams(args.budget_epsilon, args.delta * args.rounds)
+        )
+    except ConfigError as exc:
+        print(f"poiagg federate: {exc}", file=sys.stderr)
+        return 2
+
+    city = _city_for(args)
+    seed = args.seed if args.seed is not None else 0
+    try:
+        result = run_campaign(
+            city.database,
+            config,
+            seed,
+            budget=budget,
+            fault_plan=fault_plan,
+            out=args.out,
+            resume=args.resume,
+        )
+    except ReproError as exc:
+        print(f"poiagg federate: FAILED [{type(exc).__name__}] {exc}", file=sys.stderr)
+        return 1
+
+    print(
+        f"[poiagg federate: {city.name}, {config.n_clients} clients, "
+        f"quorum {config.quorum_count}, share sigma {config.share_sigma():.3f}]"
+    )
+    for outcome in result.rounds:
+        ledger = outcome.ledger
+        status = "committed" if outcome.committed else f"ABORTED ({outcome.abort_reason})"
+        resumed = " [resumed]" if outcome.round_id < result.resumed_rounds else ""
+        print(
+            f"round {outcome.round_id}: {status}{resumed} — "
+            f"{ledger.contributed}/{ledger.enrolled} contributed "
+            f"(accepted {ledger.accepted}, clipped {ledger.clipped}, "
+            f"malformed {ledger.rejected_malformed}, dropped {ledger.dropped_out}, "
+            f"late {ledger.refused_late}, duplicates refused "
+            f"{ledger.duplicates_refused})"
+        )
+    assert result.accountant is not None and result.grid is not None
+    print(
+        f"[{result.n_committed}/{len(result.rounds)} rounds committed, "
+        f"epsilon spent {result.accountant.total_epsilon:.3g}, "
+        f"{result.grid.n_cells} grid cells]"
+    )
+    if args.out is not None:
+        report = {
+            "config": json.loads(config.fingerprint()),
+            "seed": seed,
+            "rounds": [outcome.as_dict() for outcome in result.rounds],
+            "n_committed": result.n_committed,
+            "resumed_rounds": result.resumed_rounds,
+            "epsilon_spent": result.accountant.total_epsilon,
+            "n_cells": result.grid.n_cells,
+        }
+        path = Path(args.out) / "federated_report.json"
+        atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[report written to {path}]")
+    return 0 if result.n_committed > 0 else 1
 
 
 def _detect_format(path: Path) -> "str | None":

@@ -16,6 +16,11 @@ from repro.core.errors import (
     TimeoutExceeded,
     TransientError,
 )
+from repro.core.fates import (
+    FateAccountingError,
+    fates_accounted,
+    require_fates_accounted,
+)
 from repro.core.rng import as_generator, derive_rng, spawn_rngs
 
 __all__ = [
@@ -38,4 +43,7 @@ __all__ = [
     "as_generator",
     "derive_rng",
     "spawn_rngs",
+    "FateAccountingError",
+    "fates_accounted",
+    "require_fates_accounted",
 ]

@@ -1,0 +1,60 @@
+"""The exactly-one-fate accounting invariant, shared across subsystems.
+
+Three subsystems hold a ledger over a population of units and must prove
+that every unit landed in exactly one terminal fate:
+
+* ingestion (:class:`repro.ingest.report.IngestReport`) —
+  ``ok + repaired + quarantined == n_records``;
+* serving (:class:`repro.serve.jobs.FateCounters`) —
+  ``completed + refused + shed + failed == accepted``;
+* federated rounds (:class:`repro.federated.admission.RoundLedger`) —
+  ``accepted + clipped + rejected_malformed + dropped_out + refused_late
+  == enrolled``.
+
+Each used to hand-roll the same ``sum(counts) == total`` check; the chaos
+suites assert it under every fault plan, so the three copies drifting
+apart would silently weaken the strongest invariant the suites have.
+This module is the single implementation they all call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.errors import ReproError
+
+__all__ = ["FateAccountingError", "fates_accounted", "require_fates_accounted"]
+
+
+class FateAccountingError(ReproError):
+    """A ledger's fate counts do not sum back to its population."""
+
+
+def fates_accounted(total: int, counts: Mapping[str, int]) -> bool:
+    """Whether every one of *total* units landed in exactly one fate.
+
+    True iff the fate *counts* are all non-negative and sum to *total* —
+    a unit that was never fated, or fated twice, breaks the equality in
+    one direction or the other.
+    """
+    if total < 0:
+        return False
+    if any(v < 0 for v in counts.values()):
+        return False
+    return sum(counts.values()) == total
+
+
+def require_fates_accounted(
+    total: int, counts: Mapping[str, int], *, context: str = "ledger"
+) -> None:
+    """Raise :class:`FateAccountingError` unless the ledger balances.
+
+    The message names the context, the population, and every fate count,
+    so a chaos-suite failure points straight at the leaking fate.
+    """
+    if not fates_accounted(total, counts):
+        detail = ", ".join(f"{k}={v}" for k, v in counts.items())
+        raise FateAccountingError(
+            f"{context}: fates unaccounted — {sum(counts.values())} fated "
+            f"of {total} total ({detail})"
+        )

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.errors import DefenseError, PrivacyError
+from repro.core.errors import DefenseError
 from repro.defense.base import Defense
 from repro.dp.accountant import PrivacyAccountant
 from repro.dp.mechanisms import PrivacyParams
@@ -90,9 +90,7 @@ class BudgetedDefense(Defense):
     ) -> np.ndarray:
         eps = float(getattr(self._mechanism, "epsilon"))
         delta = float(getattr(self._mechanism, "delta"))
-        try:
-            self._accountant.spend(eps, delta, label=self._mechanism.name)
-        except PrivacyError:
+        if not self._accountant.try_spend(eps, delta, label=self._mechanism.name):
             self.n_suppressed += 1
             if self._fallback is not None:
                 return self._fallback.release(database, location, radius, rng)

@@ -19,6 +19,7 @@ from repro.core.rng import RngLike, as_generator
 __all__ = [
     "gaussian_sigma",
     "gaussian_mechanism",
+    "distributed_gaussian_sigma",
     "laplace_mechanism",
     "PrivacyParams",
 ]
@@ -79,6 +80,28 @@ def gaussian_mechanism(
         raise PrivacyError(f"the Gaussian mechanism needs delta in (0, 1), got {delta}")
     scale = math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
     return value + gen.normal(0.0, 1.0, size=value.shape) * sens * scale
+
+
+def distributed_gaussian_sigma(
+    sensitivity: float, epsilon: float, delta: float, n_shares: int
+) -> float:
+    """Per-share noise scale for a distributed Gaussian mechanism.
+
+    Each of *n_shares* contributors adds independent ``N(0, sigma_share^2)``
+    noise locally; because Gaussian variances add, the *sum* of the shares
+    carries ``sigma_share * sqrt(n_shares) == gaussian_sigma(...)`` — the
+    centralized mechanism's calibrated noise at the same ``(epsilon,
+    delta)``.  The aggregator never holds a less-noisy intermediate.
+
+    Calibrate *n_shares* to the **minimum** number of shares that will be
+    summed (the completion quorum, not the enrollment): with ``m >=
+    n_shares`` survivors the aggregate noise is ``sigma_share * sqrt(m) >=``
+    the centralized sigma, so dropouts down to the quorum can only make
+    the release *more* private, never less.
+    """
+    if n_shares < 1:
+        raise PrivacyError(f"n_shares must be at least 1, got {n_shares}")
+    return gaussian_sigma(sensitivity, epsilon, delta) / math.sqrt(n_shares)
 
 
 def laplace_mechanism(

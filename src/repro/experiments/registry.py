@@ -7,6 +7,7 @@ from collections.abc import Callable
 from repro.core.errors import ConfigError
 from repro.experiments.ablation_faults import run_ablation_faults
 from repro.experiments.datasets_table import run_datasets_table
+from repro.experiments.federated_comparison import run_federated_comparison
 from repro.experiments.fig2_recovery_accuracy import run_fig2
 from repro.experiments.fig3_sanitization import run_fig3
 from repro.experiments.fig4_geoind import run_fig4
@@ -28,6 +29,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "uniqueness": run_uniqueness,
     "seed_sensitivity": run_seed_sensitivity,
     "ablation_faults": run_ablation_faults,
+    "federated": run_federated_comparison,
     "fig2": run_fig2,
     "fig3": run_fig3,
     "fig4": run_fig4,

@@ -1,0 +1,45 @@
+"""Fault-tolerant federated aggregation backend (extension).
+
+The paper's aggregates are computed by a trusted curator; this package
+rebuilds them as a round-based federated computation — seeded simulated
+clients contribute clipped per-cell frequency vectors under distributed
+DP — and makes the robustness properties first-class: dropout-tolerant
+rounds that commit atomically or abort without spending privacy budget,
+contribution admission with single-fate accounting and bounded poisoning
+influence, and memory-bounded streaming merges over an adaptive spatial
+grid.  ``poiagg federate`` is the CLI entry point; the chaos suite in
+``tests/federated/`` drives the invariants.
+"""
+
+from repro.federated.admission import ROUND_FATES, AdmissionPipeline, RoundLedger
+from repro.federated.clients import ClientPopulation, ContributionBatch, clip_l1
+from repro.federated.config import FederatedConfig
+from repro.federated.faults import CLIENT_FAULTS, ClientFaultPlan
+from repro.federated.merger import AdaptiveGrid, MergeStats, StreamingMerger
+from repro.federated.round import (
+    CampaignResult,
+    RoundOutcome,
+    RoundSupervisor,
+    round_checkpoint_path,
+    run_campaign,
+)
+
+__all__ = [
+    "CLIENT_FAULTS",
+    "ROUND_FATES",
+    "AdaptiveGrid",
+    "AdmissionPipeline",
+    "CampaignResult",
+    "ClientFaultPlan",
+    "ClientPopulation",
+    "ContributionBatch",
+    "FederatedConfig",
+    "MergeStats",
+    "RoundLedger",
+    "RoundOutcome",
+    "RoundSupervisor",
+    "StreamingMerger",
+    "clip_l1",
+    "round_checkpoint_path",
+    "run_campaign",
+]

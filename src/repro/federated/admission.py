@@ -1,0 +1,198 @@
+"""Contribution admission: validation, clipping, and the round ledger.
+
+The aggregator-side gate every submission passes before it may touch an
+accumulator.  Admission is where the robustness claims become checkable
+numbers:
+
+* **Single fate.**  Every enrolled client ends a round with exactly one
+  of :data:`ROUND_FATES` — the same exactly-one-fate ledger discipline as
+  the ingest report and the serve job ledger, enforced through the shared
+  :func:`repro.core.fates_accounted` helper::
+
+      accepted + clipped + rejected_malformed + dropped_out + refused_late
+          == enrolled
+
+  Duplicate submissions are *refused without a fate change* (the client
+  already has one) and tallied separately as ``duplicates_refused``.
+
+* **Bounded influence.**  Payload rows whose L1 norm exceeds the config's
+  ``clip_bound`` are norm-clipped before folding, so a single poisoned
+  client moves the released aggregate by at most the clip bound — the
+  invariant the chaos suite measures exactly.
+
+* **Structural validation.**  Wrong width, non-finite payloads, and
+  out-of-range cell indices are ``rejected_malformed`` before any
+  arithmetic happens, so one damaged submission cannot corrupt a fold.
+
+Admission never raises on bad *data* — bad data is a fate, not an
+exception.  It raises only on contract violations between our own
+modules (mismatched array shapes across batch fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fates import fates_accounted, require_fates_accounted
+from repro.federated.clients import ContributionBatch, clip_l1
+from repro.federated.config import FederatedConfig
+
+__all__ = ["ROUND_FATES", "AdmissionPipeline", "RoundLedger"]
+
+#: The exactly-one-fate taxonomy of one federated round.
+ROUND_FATES = (
+    "accepted",
+    "clipped",
+    "rejected_malformed",
+    "dropped_out",
+    "refused_late",
+)
+
+
+@dataclass
+class RoundLedger:
+    """Single-fate accounting for one round's enrolled clients."""
+
+    round_id: int
+    enrolled: int
+    accepted: int = 0
+    clipped: int = 0
+    rejected_malformed: int = 0
+    dropped_out: int = 0
+    refused_late: int = 0
+    #: Refusals that do not change a fate (the client already has one).
+    duplicates_refused: int = 0
+    #: Client ids that already hold a fate this round (duplicate guard).
+    _fated: set = field(default_factory=set, repr=False)
+
+    def record(self, fate: str, client_id: int) -> None:
+        """Assign *fate* to *client_id*; duplicates are refused instead."""
+        if fate not in ROUND_FATES:
+            raise ConfigError(f"unknown round fate {fate!r}")
+        if client_id in self._fated:
+            self.duplicates_refused += 1
+            return
+        self._fated.add(client_id)
+        setattr(self, fate, getattr(self, fate) + 1)
+
+    def is_fated(self, client_id: int) -> bool:
+        return client_id in self._fated
+
+    @property
+    def contributed(self) -> int:
+        """Contributions that reached an accumulator (the quorum base)."""
+        return self.accepted + self.clipped
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {fate: getattr(self, fate) for fate in ROUND_FATES}
+
+    @property
+    def accounted(self) -> bool:
+        """Every enrolled client has exactly one fate."""
+        return fates_accounted(self.enrolled, self.counts)
+
+    def require_accounted(self) -> None:
+        require_fates_accounted(
+            self.enrolled, self.counts, context=f"round {self.round_id}"
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "round_id": self.round_id,
+            "enrolled": self.enrolled,
+            **self.counts,
+            "duplicates_refused": self.duplicates_refused,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "RoundLedger":
+        ledger = cls(
+            round_id=int(state["round_id"]), enrolled=int(state["enrolled"])
+        )
+        for fate in ROUND_FATES:
+            setattr(ledger, fate, int(state[fate]))
+        ledger.duplicates_refused = int(state.get("duplicates_refused", 0))
+        return ledger
+
+
+class AdmissionPipeline:
+    """Validate, clip, and fate one :class:`ContributionBatch` at a time.
+
+    Stateless across batches — all per-round state lives in the
+    :class:`RoundLedger` the supervisor threads through — so the pipeline
+    composes with the streaming merger without holding anything
+    per-client.
+    """
+
+    def __init__(self, config: FederatedConfig, n_types: int, n_cells: int) -> None:
+        if n_types < 1 or n_cells < 1:
+            raise ConfigError("n_types and n_cells must be positive")
+        self._config = config
+        self._n_types = n_types
+        self._n_cells = n_cells
+
+    def admit_batch(
+        self, batch: ContributionBatch, ledger: RoundLedger
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fate every submission in *batch*; return what may be folded.
+
+        Returns ``(cells, values, client_ids)`` restricted to the
+        admitted (``accepted`` or ``clipped``) rows, with ``values`` the
+        clipped payloads (the supervisor folds the protocol noise-share
+        sum separately).  Everything else lands in the ledger:
+        structurally damaged rows are
+        ``rejected_malformed``, rows arriving after the deadline are
+        ``refused_late``, and resubmissions of already-fated clients are
+        counted in ``duplicates_refused`` without touching their fate.
+        """
+        k = len(batch)
+        payloads = np.asarray(batch.payloads, dtype=np.float64)
+        for name, arr, shape in (
+            ("payloads", payloads, (k, self._n_types)),
+            ("cells", batch.cells, (k,)),
+            ("arrivals_s", batch.arrivals_s, (k,)),
+        ):
+            if arr.shape != shape:
+                raise ConfigError(
+                    f"batch field {name} has shape {arr.shape}, expected {shape}"
+                )
+        if len(batch.damage) != k:
+            raise ConfigError(
+                f"batch damage has {len(batch.damage)} entries for {k} rows"
+            )
+
+        # Vectorized structural checks; per-row fating below stays a
+        # cheap Python loop over *this chunk only* (never all clients).
+        bad_cell = (batch.cells < 0) | (batch.cells >= self._n_cells)
+        malformed = bad_cell | ~np.isfinite(payloads).all(axis=1)
+        late = batch.arrivals_s > self._config.deadline_s
+        norms = np.where(malformed, 0.0, np.abs(payloads).sum(axis=1))
+        needs_clip = norms > self._config.clip_bound * (1 + 1e-12)
+
+        admitted = np.zeros(k, dtype=bool)
+        for i in range(k):
+            client_id = int(batch.client_ids[i])
+            if ledger.is_fated(client_id):
+                ledger.duplicates_refused += 1
+                continue
+            if late[i]:
+                ledger.record("refused_late", client_id)
+            elif malformed[i]:
+                ledger.record("rejected_malformed", client_id)
+            elif needs_clip[i]:
+                ledger.record("clipped", client_id)
+                admitted[i] = True
+            else:
+                ledger.record("accepted", client_id)
+                admitted[i] = True
+            # A ``duplicate`` fault is a client resubmitting its (valid)
+            # contribution; the resubmission hits the already-fated guard.
+            if batch.damage[i] == "duplicate":
+                ledger.duplicates_refused += 1
+
+        values = clip_l1(payloads[admitted], self._config.clip_bound)
+        return batch.cells[admitted], values, batch.client_ids[admitted]

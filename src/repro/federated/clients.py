@@ -1,0 +1,273 @@
+"""Seeded simulated clients contributing locally-noised frequency vectors.
+
+Each client sits at a fixed location in the city, computes its local
+``Freq(location, radius)`` vector against the public POI database, L1-clips
+it to the config's ``clip_bound``, maps its location onto the round's
+published :class:`~repro.federated.merger.AdaptiveGrid` cell, and submits
+``(cell, payload)`` together with its protocol-layer Gaussian noise share.
+The server never sees a location or an un-noised per-cell row.
+
+**Noise shares span the full domain.**  Each contributing client's share
+is an i.i.d. Gaussian matrix over the whole ``(n_cells, n_types)`` grid
+with scale :meth:`~repro.federated.config.FederatedConfig.share_sigma`,
+so *every* entry of the released heatmap carries the sum of the
+contributors' shares — at the completion quorum that sum already matches
+the centralized Gaussian mechanism at the configured ``(epsilon,
+delta)``, and extra survivors only add noise.  (Per-own-cell shares
+would be unsound: a sparsely occupied cell would get less noise than the
+central calibration requires.)  The simulation never materializes
+``O(clients x cells x types)``: shares are generated chunk-keyed and
+position-indexed in memory-bounded sub-batches and folded straight into
+the accumulator-sized sum (:meth:`ClientPopulation.noise_share_sum`).
+
+Everything is derived per ``(seed, label, chunk)`` — locations per
+chunk, shares per ``(round, chunk)`` position-indexed, arrivals per
+``(round, chunk, attempt)`` — so any client's contribution is
+recomputable in isolation (the retry path) while the bulk path stays
+vectorized and streamed.  A client's share is a function of ``(seed,
+round, chunk, position)`` only — not of its payload and not of the
+attempt — which the chaos suite exploits: a poisoned client
+re-simulated with a zeroed payload carries the *same* noise, so the
+released-aggregate displacement is exactly the clipped payload and
+provably at most the clip bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import derive_rng
+from repro.federated.config import FederatedConfig
+from repro.federated.faults import ClientFaultPlan
+from repro.federated.merger import AdaptiveGrid
+from repro.poi.database import POIDatabase
+
+__all__ = ["ClientPopulation", "ContributionBatch", "clip_l1"]
+
+
+def clip_l1(vectors: np.ndarray, bound: float) -> np.ndarray:
+    """Scale rows of *vectors* down to L1 norm at most *bound*.
+
+    Rows already inside the bound are returned untouched (no rescaling
+    noise); the scaling is the standard norm-clip, so a row's direction
+    is preserved.  Also the admission-side outlier clamp: since the L2
+    norm is bounded by the L1 norm, a clip bound of ``C`` is a sound
+    sensitivity for the Gaussian calibration.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.abs(vectors).sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = np.where(norms > bound, bound / norms, 1.0)
+    return vectors * scale
+
+
+@dataclass
+class ContributionBatch:
+    """One chunk of client submissions as the aggregator receives them.
+
+    ``payloads`` is the client-controlled half of the submission — what
+    admission range-checks and clips.  The Gaussian noise share is
+    protocol-layer state, not a batch field: the supervisor folds the
+    admitted clients' share sum separately via
+    :meth:`ClientPopulation.noise_share_sum` (the secure-aggregation
+    split of the real protocol).  ``damage`` marks rows the fault
+    injector structurally broke (``malformed``), inflated
+    (``poisoned``), or resubmitted (``duplicate``); healthy rows hold
+    ``""``.
+    """
+
+    round_id: int
+    client_ids: np.ndarray  # (k,) int64
+    cells: np.ndarray  # (k,) int64 — grid cell index, client-computed
+    payloads: np.ndarray  # (k, n_types) float64 — client-controlled data
+    arrivals_s: np.ndarray  # (k,) float64 — simulated round-clock arrival
+    damage: list[str]
+
+    def __len__(self) -> int:
+        return len(self.client_ids)
+
+
+class ClientPopulation:
+    """The seeded client fleet of one campaign.
+
+    A population is cheap to construct and stateless across calls: all
+    client attributes are derived on demand, chunk by chunk, from
+    ``(seed, config)``.
+    """
+
+    def __init__(
+        self, database: POIDatabase, config: FederatedConfig, seed: int
+    ) -> None:
+        self._db = database
+        self._config = config
+        self._seed = seed
+
+    @property
+    def config(self) -> FederatedConfig:
+        return self._config
+
+    @property
+    def n_types(self) -> int:
+        return int(self._db.n_types)
+
+    @property
+    def n_clients(self) -> int:
+        return self._config.n_clients
+
+    @property
+    def n_chunks(self) -> int:
+        chunk = self._config.chunk_clients
+        return (self.n_clients + chunk - 1) // chunk
+
+    def chunk_client_ids(self, chunk: int) -> np.ndarray:
+        """The client ids materialized by chunk *chunk* (ascending)."""
+        if not 0 <= chunk < self.n_chunks:
+            raise ConfigError(f"chunk {chunk} out of range [0, {self.n_chunks})")
+        lo = chunk * self._config.chunk_clients
+        hi = min(lo + self._config.chunk_clients, self.n_clients)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def locations(self, chunk: int) -> np.ndarray:
+        """Client locations of one chunk: ``(k, 2)``, fixed across rounds."""
+        ids = self.chunk_client_ids(chunk)
+        rng = derive_rng(self._seed, "fed-loc", chunk)
+        bounds = self._db.bounds
+        xy = np.empty((len(ids), 2), dtype=np.float64)
+        xy[:, 0] = rng.uniform(bounds.min_x, bounds.max_x, size=len(ids))
+        xy[:, 1] = rng.uniform(bounds.min_y, bounds.max_y, size=len(ids))
+        return xy
+
+    def payloads(self, chunk: int) -> np.ndarray:
+        """Clipped local frequency vectors of one chunk: ``(k, n_types)``."""
+        xy = self.locations(chunk)
+        freqs = self._db.freq_batch(xy, self._config.radius_m).astype(np.float64)
+        return clip_l1(freqs, self._config.clip_bound)
+
+    def noise_share_sum(
+        self,
+        round_id: int,
+        chunk: int,
+        contributor_ids: np.ndarray,
+        n_cells: int,
+    ) -> np.ndarray:
+        """Sum of the chunk's contributing clients' full-domain shares.
+
+        Returns an ``(n_cells, n_types)`` matrix: the sum, over this
+        chunk's clients in *contributor_ids*, of each one's i.i.d.
+        ``N(0, share_sigma)`` domain share.  The per-client share is
+        position-indexed in a ``(seed, round, chunk)``-keyed stream —
+        every chunk member's share is always generated (and discarded if
+        it did not contribute) — so a client's noise is independent of
+        its payload, of its delivery attempt, and of *which other*
+        clients contributed.  Generation runs in sub-batches sized to a
+        quarter of the memory budget, never ``O(clients x cells)`` at
+        once, and the sub-batch boundary cannot change the values (a
+        numpy ``Generator`` stream is continuation-consistent across
+        calls).
+        """
+        if n_cells < 1:
+            raise ConfigError(f"n_cells must be positive, got {n_cells}")
+        ids = self.chunk_client_ids(chunk)
+        contributed = np.isin(ids, np.asarray(contributor_ids, dtype=np.int64))
+        rng = derive_rng(self._seed, "fed-share", round_id, chunk)
+        sigma = self._config.share_sigma()
+        row_bytes = n_cells * self.n_types * 8
+        rows = max(1, (self._config.memory_budget_bytes // 4) // row_bytes)
+        total = np.zeros((n_cells, self.n_types), dtype=np.float64)
+        for lo in range(0, len(ids), rows):
+            b = min(rows, len(ids) - lo)
+            shares = rng.normal(0.0, sigma, size=(b, n_cells, self.n_types))
+            mask = contributed[lo : lo + b]
+            if mask.any():
+                total += shares[mask].sum(axis=0)
+        return total
+
+    def arrivals(self, round_id: int, chunk: int, attempt: int) -> np.ndarray:
+        """Simulated arrival times for one delivery attempt: ``(k,)``.
+
+        Lognormal with a median well inside the deadline, so under a
+        healthy fleet essentially every contribution is on time; the
+        straggler tail (and any chaos-shrunk ``deadline_s``) is what the
+        late-refusal path exists for.
+        """
+        ids = self.chunk_client_ids(chunk)
+        rng = derive_rng(self._seed, "fed-arrival", round_id, chunk, attempt)
+        median = self._config.deadline_s * 0.2
+        return rng.lognormal(mean=np.log(median), sigma=0.5, size=len(ids))
+
+    def contribution_batch(
+        self,
+        round_id: int,
+        chunk: int,
+        grid: AdaptiveGrid,
+        *,
+        attempt: int = 1,
+        only_clients: "np.ndarray | None" = None,
+        fault_plan: "ClientFaultPlan | None" = None,
+        zero_payload_clients: "frozenset[int] | None" = None,
+    ) -> tuple[ContributionBatch, np.ndarray]:
+        """One chunk's submissions for one delivery attempt.
+
+        Returns ``(batch, silent)``: *batch* holds the contributions that
+        arrived (on whatever schedule), *silent* the client ids that
+        produced nothing this attempt (crashed or hung) and are the
+        supervisor's retry set.  *only_clients* restricts the chunk to a
+        subset (the retry path).  *zero_payload_clients* replaces those
+        clients' payloads with zeros — their noise shares, generated
+        separately and payload-independently, are untouched — the chaos
+        suite's displacement probe, never used in production.
+        """
+        ids = self.chunk_client_ids(chunk)
+        mask = np.ones(len(ids), dtype=bool)
+        if only_clients is not None:
+            mask = np.isin(ids, only_clients)
+        payloads = self.payloads(chunk)[mask]
+        arrivals = self.arrivals(round_id, chunk, attempt)[mask]
+        cells = grid.locate_batch(self.locations(chunk)[mask])
+        ids = ids[mask]
+
+        if zero_payload_clients:
+            zeroed = np.isin(ids, np.fromiter(zero_payload_clients, dtype=np.int64))
+            payloads = payloads.copy()
+            payloads[zeroed] = 0.0
+
+        damage = [""] * len(ids)
+        keep = np.ones(len(ids), dtype=bool)
+        if fault_plan is not None and fault_plan.any_faults:
+            values_dirty = False
+            for i, client_id in enumerate(ids):
+                fate = fault_plan.decide(round_id, int(client_id), attempt)
+                if fate is None:
+                    continue
+                if fate in ("crash", "hang"):
+                    keep[i] = False
+                elif fate == "malformed":
+                    damage[i] = "malformed"
+                elif fate == "poisoned":
+                    if not values_dirty:
+                        payloads = payloads.copy()
+                        values_dirty = True
+                    payloads[i] *= fault_plan.poison_factor
+                    damage[i] = "poisoned"
+                elif fate == "duplicate":
+                    damage[i] = "duplicate"
+
+        batch = ContributionBatch(
+            round_id=round_id,
+            client_ids=ids[keep],
+            cells=cells[keep],
+            payloads=payloads[keep].copy(),
+            arrivals_s=arrivals[keep],
+            damage=[d for d, k in zip(damage, keep) if k],
+        )
+        # Structural damage is applied *after* assembly so it cannot
+        # perturb any other row: a malformed submission carries NaNs and
+        # a broken cell index, exactly what admission must catch.
+        for i, d in enumerate(batch.damage):
+            if d == "malformed":
+                batch.payloads[i] = np.nan
+                batch.cells[i] = -1
+        return batch, ids[~keep]

@@ -1,0 +1,167 @@
+"""Configuration for the federated aggregation backend.
+
+One :class:`FederatedConfig` pins everything a campaign needs to be a
+pure function of ``(config, seed)``: the client population size, the
+distributed-DP parameters, the robustness knobs (quorum, deadlines,
+retries), and the memory budget every accumulator allocation is checked
+against.  The config also owns the derived quantities the round
+supervisor and merger agree on — the completion quorum, the per-share
+noise scale, and the accumulator cell cap the memory budget affords —
+so no two modules can compute them differently.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+
+from repro.core.errors import ConfigError
+from repro.dp.mechanisms import PrivacyParams, distributed_gaussian_sigma
+
+__all__ = ["FederatedConfig"]
+
+#: float64 accumulator entries.
+_BYTES_PER_ENTRY = 8
+
+#: Fraction of the memory budget the cell accumulator may claim; the
+#: rest covers the chunk fold buffers and transient per-chunk arrays.
+_ACCUMULATOR_SHARE = 0.5
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Knobs for one federated aggregation campaign.
+
+    Parameters
+    ----------
+    n_clients:
+        Clients enrolled per round.
+    n_rounds:
+        Rounds the campaign runs; each committed round spends
+        ``(epsilon, delta)`` from the campaign accountant.
+    epsilon / delta:
+        Per-round distributed-DP parameters.  The per-client noise share
+        is calibrated so the *quorum-many* share sum already matches the
+        centralized Gaussian mechanism at these parameters (dropouts
+        above the quorum only add noise).
+    clip_bound:
+        L1 bound every admitted contribution payload is clipped to; one
+        poisoned client cannot move the released aggregate by more.
+    quorum:
+        Fraction of enrolled clients that must contribute (accepted or
+        clipped) for the round to commit; below it the round aborts
+        without spending budget.
+    deadline_s:
+        Per-client response deadline on the simulated round clock;
+        contributions arriving later are refused (``refused_late``).
+    retries:
+        Extra attempts a crashed/hung client gets before it is written
+        off as ``dropped_out``.
+    memory_budget_mb:
+        Hard cap on aggregate-side working memory: the cell accumulator
+        plus the streaming fold buffers must fit inside it, asserted at
+        allocation time and re-measured by the bench.
+    chunk_clients:
+        How many contributions one streaming fold pass holds in memory.
+    grid_nx / grid_ny:
+        The level-0 spatial grid the first round aggregates on.
+    max_split_depth:
+        How many times a dense cell may be quartered across rounds.
+    split_fraction:
+        A cell splits for the next round when it holds at least this
+        fraction of the round's total released mass.
+    radius_m:
+        The Freq query radius clients compute their local vectors at.
+    """
+
+    n_clients: int = 1_000
+    n_rounds: int = 3
+    epsilon: float = 1.0
+    delta: float = 0.2
+    clip_bound: float = 64.0
+    quorum: float = 0.8
+    deadline_s: float = 1.0
+    retries: int = 1
+    memory_budget_mb: float = 256.0
+    chunk_clients: int = 2_048
+    grid_nx: int = 8
+    grid_ny: int = 8
+    max_split_depth: int = 3
+    split_fraction: float = 0.05
+    radius_m: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ConfigError(f"n_clients must be positive, got {self.n_clients}")
+        if self.n_rounds < 1:
+            raise ConfigError(f"n_rounds must be positive, got {self.n_rounds}")
+        PrivacyParams(self.epsilon, self.delta)  # validates the pair
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigError(
+                f"the distributed Gaussian mechanism needs delta in (0, 1), got {self.delta}"
+            )
+        if self.clip_bound <= 0:
+            raise ConfigError(f"clip_bound must be positive, got {self.clip_bound}")
+        if not 0.0 < self.quorum <= 1.0:
+            raise ConfigError(f"quorum must be in (0, 1], got {self.quorum}")
+        if self.deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be non-negative, got {self.retries}")
+        if self.memory_budget_mb <= 0:
+            raise ConfigError(
+                f"memory_budget_mb must be positive, got {self.memory_budget_mb}"
+            )
+        if self.chunk_clients < 1:
+            raise ConfigError(f"chunk_clients must be positive, got {self.chunk_clients}")
+        if self.grid_nx < 1 or self.grid_ny < 1:
+            raise ConfigError("grid_nx and grid_ny must be positive")
+        if self.max_split_depth < 0:
+            raise ConfigError(
+                f"max_split_depth must be non-negative, got {self.max_split_depth}"
+            )
+        if not 0.0 < self.split_fraction <= 1.0:
+            raise ConfigError(
+                f"split_fraction must be in (0, 1], got {self.split_fraction}"
+            )
+        if self.radius_m <= 0:
+            raise ConfigError(f"radius_m must be positive, got {self.radius_m}")
+
+    @property
+    def quorum_count(self) -> int:
+        """Contributions needed for a round to commit (at least 1)."""
+        return max(1, math.ceil(self.quorum * self.n_clients - 1e-9))
+
+    @property
+    def memory_budget_bytes(self) -> int:
+        return int(self.memory_budget_mb * 1024 * 1024)
+
+    @property
+    def accumulator_budget_bytes(self) -> int:
+        """The slice of the budget the cell accumulator may occupy."""
+        return int(self.memory_budget_bytes * _ACCUMULATOR_SHARE)
+
+    def max_cells(self, n_types: int) -> int:
+        """How many active cells the accumulator budget affords."""
+        if n_types < 1:
+            raise ConfigError(f"n_types must be positive, got {n_types}")
+        return max(
+            self.grid_nx * self.grid_ny,
+            self.accumulator_budget_bytes // (n_types * _BYTES_PER_ENTRY),
+        )
+
+    def share_sigma(self) -> float:
+        """Per-client Gaussian noise scale (quorum-calibrated).
+
+        L1-clipping at ``clip_bound`` bounds the L2 norm by the same
+        constant, so ``clip_bound`` is a sound sensitivity for the
+        Gaussian calibration.
+        """
+        return distributed_gaussian_sigma(
+            self.clip_bound, self.epsilon, self.delta, self.quorum_count
+        )
+
+    def fingerprint(self) -> str:
+        """A stable key for checkpoint matching: config identity as JSON."""
+        return json.dumps(asdict(self), sort_keys=True)

@@ -1,0 +1,323 @@
+"""Memory-bounded streaming aggregation over an adaptive spatial grid.
+
+The server-side half of the federated backend.  Two pieces:
+
+* :class:`AdaptiveGrid` — the published spatial partition clients map
+  themselves onto.  Round 0 is a uniform ``nx x ny`` grid over the city
+  bounds; after each committed round, cells holding at least
+  ``split_fraction`` of the released mass are quartered for the next
+  round (the adaptive refinement of the location-heatmaps protocol),
+  bounded by ``max_split_depth`` and by the cell cap the memory budget
+  affords.  The grid is a pure function of the split history, so it
+  checkpoints as a list of split decisions and restores bit-identically.
+
+* :class:`StreamingMerger` — fixed-size ``(n_cells, n_types)`` float64
+  accumulators that contributions are folded into chunk by chunk.  Peak
+  working memory is the accumulator plus one chunk buffer — bounded by
+  the config's ``memory_budget_mb`` and asserted at allocation time —
+  and never ``O(clients x types)``: the fold consumes a *stream* of
+  contributions and retains nothing per client.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.federated.config import FederatedConfig
+from repro.geo.bbox import BBox
+
+__all__ = ["AdaptiveGrid", "MergeStats", "StreamingMerger"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Cell:
+    """One active cell: its box and its split depth."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    depth: int
+
+
+class AdaptiveGrid:
+    """The spatial partition one round aggregates on.
+
+    Cells are held in a deterministic order (level-0 row-major, children
+    replacing their parent in place, NW/NE/SW/SE), so cell indices are
+    reproducible across processes and resumes.
+    """
+
+    def __init__(self, bounds: BBox, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise ConfigError(f"grid must have positive shape, got {nx}x{ny}")
+        self._bounds = bounds
+        self._nx = nx
+        self._ny = ny
+        dx = (bounds.max_x - bounds.min_x) / nx
+        dy = (bounds.max_y - bounds.min_y) / ny
+        self._cells: list[_Cell] = [
+            _Cell(
+                bounds.min_x + i * dx,
+                bounds.min_y + j * dy,
+                bounds.min_x + (i + 1) * dx,
+                bounds.min_y + (j + 1) * dy,
+                0,
+            )
+            for j in range(ny)
+            for i in range(nx)
+        ]
+        #: Ordered record of every split applied, for checkpointing.
+        self._splits: list[int] = []
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def bounds(self) -> BBox:
+        return self._bounds
+
+    def cell_box(self, index: int) -> tuple[float, float, float, float]:
+        c = self._cells[index]
+        return (c.x0, c.y0, c.x1, c.y1)
+
+    def cell_depth(self, index: int) -> int:
+        return self._cells[index].depth
+
+    def locate(self, x: float, y: float) -> int:
+        """Cell index containing ``(x, y)``; clamped to the bounds.
+
+        The level-0 cell is O(1) arithmetic; within it, the (at most
+        ``4^depth``) descendants are scanned.  Clients call this against
+        the *published* grid, so the server never learns a finer
+        location than the cell.
+        """
+        x = min(max(x, self._bounds.min_x), np.nextafter(self._bounds.max_x, -np.inf))
+        y = min(max(y, self._bounds.min_y), np.nextafter(self._bounds.max_y, -np.inf))
+        for index, c in enumerate(self._cells):
+            if c.x0 <= x < c.x1 and c.y0 <= y < c.y1:
+                return index
+        raise ConfigError(f"no active cell contains ({x}, {y})")  # pragma: no cover
+
+    def locate_batch(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`locate` over an ``(n, 2)`` array."""
+        x = np.clip(xy[:, 0], self._bounds.min_x, np.nextafter(self._bounds.max_x, -np.inf))
+        y = np.clip(xy[:, 1], self._bounds.min_y, np.nextafter(self._bounds.max_y, -np.inf))
+        out = np.full(len(xy), -1, dtype=np.int64)
+        for index, c in enumerate(self._cells):
+            mask = (out < 0) & (x >= c.x0) & (x < c.x1) & (y >= c.y0) & (y < c.y1)
+            out[mask] = index
+        return out
+
+    def split(self, index: int) -> None:
+        """Quarter one cell in place (children replace the parent)."""
+        c = self._cells[index]
+        mx = (c.x0 + c.x1) / 2.0
+        my = (c.y0 + c.y1) / 2.0
+        children = [
+            _Cell(c.x0, my, mx, c.y1, c.depth + 1),  # NW
+            _Cell(mx, my, c.x1, c.y1, c.depth + 1),  # NE
+            _Cell(c.x0, c.y0, mx, my, c.depth + 1),  # SW
+            _Cell(mx, c.y0, c.x1, my, c.depth + 1),  # SE
+        ]
+        self._cells[index : index + 1] = children
+        self._splits.append(index)
+
+    def refine(
+        self, mass: np.ndarray, config: FederatedConfig, n_types: int
+    ) -> tuple[int, bool]:
+        """Split dense cells for the next round.
+
+        *mass* is the per-cell released total (post-noise, clamped at 0 —
+        a data-independent transformation of the DP release, so refining
+        on it is privacy-free post-processing).  Returns ``(n_splits,
+        capped)`` where *capped* records that at least one split was
+        withheld because the memory budget's cell cap was reached.
+        """
+        if mass.shape != (self.n_cells,):
+            raise ConfigError(
+                f"mass has shape {mass.shape}, expected ({self.n_cells},)"
+            )
+        total = float(mass.sum())
+        if total <= 0:
+            return 0, False
+        cap = config.max_cells(n_types)
+        dense = [
+            i
+            for i in range(self.n_cells)
+            if mass[i] / total >= config.split_fraction
+            and self._cells[i].depth < config.max_split_depth
+        ]
+        n_splits = 0
+        capped = False
+        # Split in descending index order so earlier indices stay valid.
+        for i in sorted(dense, reverse=True):
+            if self.n_cells + 3 > cap:
+                capped = True
+                break
+            self.split(i)
+            n_splits += 1
+        return n_splits, capped
+
+    # -- checkpointing ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """The split history; with the config it rebuilds the grid."""
+        return {
+            "nx": self._nx,
+            "ny": self._ny,
+            "bounds": [
+                self._bounds.min_x,
+                self._bounds.min_y,
+                self._bounds.max_x,
+                self._bounds.max_y,
+            ],
+            "splits": list(self._splits),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdaptiveGrid":
+        b = state["bounds"]
+        grid = cls(BBox(b[0], b[1], b[2], b[3]), int(state["nx"]), int(state["ny"]))
+        for index in state["splits"]:
+            grid.split(int(index))
+        grid._splits = [int(i) for i in state["splits"]]
+        return grid
+
+
+@dataclass
+class MergeStats:
+    """What one merge pass did and what it cost."""
+
+    n_contributions: int = 0
+    n_chunks: int = 0
+    peak_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "n_contributions": self.n_contributions,
+            "n_chunks": self.n_chunks,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+class StreamingMerger:
+    """Fold admitted contributions into fixed-size cell accumulators.
+
+    The accumulator is ``(n_cells, n_types)`` float64 — a function of
+    the *grid*, never of the client count — and the fold path holds at
+    most ``chunk_clients`` contributions at once.  Allocation is refused
+    up front when the accumulator would not fit the config's memory
+    budget, so an over-split grid fails loudly instead of paging.
+    """
+
+    def __init__(self, n_cells: int, n_types: int, config: FederatedConfig) -> None:
+        if n_cells < 1 or n_types < 1:
+            raise ConfigError("n_cells and n_types must be positive")
+        accumulator_bytes = n_cells * n_types * 8 + n_cells * 8
+        if accumulator_bytes > config.accumulator_budget_bytes:
+            raise ConfigError(
+                f"accumulator needs {accumulator_bytes} B for {n_cells} cells x "
+                f"{n_types} types, over the {config.accumulator_budget_bytes} B "
+                f"slice of memory_budget_mb={config.memory_budget_mb}"
+            )
+        self._config = config
+        self._n_types = n_types
+        # Bounded by the grid and the vocabulary — never by client count
+        # (lint rule PL010 guards exactly this).
+        self._sums = np.zeros((n_cells, n_types), dtype=np.float64)
+        self._counts = np.zeros(n_cells, dtype=np.int64)
+        self.stats = MergeStats(peak_bytes=accumulator_bytes)
+
+    @property
+    def n_cells(self) -> int:
+        return self._sums.shape[0]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-cell contribution counts (read-only view)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    def fold(self, cells: Sequence[int], vectors: np.ndarray) -> None:
+        """Add one chunk of admitted contributions.
+
+        *cells* are grid cell indices (one per contribution), *vectors*
+        the matching ``(k, n_types)`` payload-plus-noise rows.  The chunk
+        is the caller's admission output; it is bounded by
+        ``chunk_clients`` upstream, and this method accounts its bytes
+        against the budget.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._n_types:
+            raise ConfigError(
+                f"chunk has shape {vectors.shape}, expected (k, {self._n_types})"
+            )
+        if len(cells) != vectors.shape[0]:
+            raise ConfigError(
+                f"{len(cells)} cells for {vectors.shape[0]} vectors"
+            )
+        if vectors.shape[0] > self._config.chunk_clients:
+            raise ConfigError(
+                f"chunk of {vectors.shape[0]} exceeds chunk_clients="
+                f"{self._config.chunk_clients}"
+            )
+        chunk_bytes = vectors.nbytes + len(cells) * 8
+        accumulator_bytes = self._sums.nbytes + self._counts.nbytes
+        self.stats.peak_bytes = max(
+            self.stats.peak_bytes, accumulator_bytes + chunk_bytes
+        )
+        if accumulator_bytes + chunk_bytes > self._config.memory_budget_bytes:
+            raise ConfigError(
+                f"fold would use {accumulator_bytes + chunk_bytes} B, over "
+                f"memory_budget_mb={self._config.memory_budget_mb}"
+            )
+        index = np.asarray(cells, dtype=np.int64)
+        np.add.at(self._sums, index, vectors)
+        np.add.at(self._counts, index, 1)
+        self.stats.n_contributions += int(vectors.shape[0])
+        self.stats.n_chunks += 1
+
+    def add_dense(self, matrix: np.ndarray) -> None:
+        """Add a full-domain ``(n_cells, n_types)`` matrix.
+
+        The fold path for the protocol noise-share sums, which span the
+        whole grid rather than one cell.  Exactly one transient
+        accumulator-sized buffer — which is why the accumulator may
+        claim only half the memory budget.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != self._sums.shape:
+            raise ConfigError(
+                f"dense fold has shape {matrix.shape}, expected {self._sums.shape}"
+            )
+        self.stats.peak_bytes = max(
+            self.stats.peak_bytes,
+            2 * self._sums.nbytes + self._counts.nbytes,
+        )
+        self._sums += matrix
+
+    def fold_stream(
+        self, stream: Iterable[tuple[int, np.ndarray]]
+    ) -> None:
+        """Fold an unbounded stream of ``(cell, vector)`` pairs in chunks."""
+        cells: list[int] = []
+        rows: list[np.ndarray] = []
+        for cell, vector in stream:
+            cells.append(cell)
+            rows.append(vector)
+            if len(cells) >= self._config.chunk_clients:
+                self.fold(cells, np.stack(rows))
+                cells, rows = [], []
+        if cells:
+            self.fold(cells, np.stack(rows))
+
+    def totals(self) -> np.ndarray:
+        """The accumulated ``(n_cells, n_types)`` sums (a copy)."""
+        return self._sums.copy()

@@ -15,6 +15,8 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 
+from repro.core.fates import fates_accounted
+
 __all__ = [
     "POLICIES",
     "FATES",
@@ -109,7 +111,7 @@ class IngestReport:
     @property
     def accounted(self) -> bool:
         """Whether every input record landed in exactly one fate."""
-        return sum(self.counts.values()) == self.n_records
+        return fates_accounted(self.n_records, self.counts)
 
     @property
     def clean(self) -> bool:

@@ -7,7 +7,7 @@ cannot see: seed discipline (every stochastic component threads an explicit
 the accountant-guarded defense layer), the batch Freq engine's int32 /
 ``np.hypot`` bit-identity contract, picklable module-level shard workers,
 and wall-clock-free checkpointed experiment paths.  :mod:`repro.lint`
-encodes each of those invariants as a rule (PL001–PL007) over the syntax
+encodes each of those invariants as a rule (PL001–PL010) over the syntax
 tree, so an aggressive refactor that silently breaks one fails in CI with a
 rule ID and a ``file:line`` instead of with a subtly wrong figure.
 

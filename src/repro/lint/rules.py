@@ -770,6 +770,83 @@ class UnmanagedSharedMemory(Rule):
         )
 
 
+#: numpy allocation constructors whose shape arguments PL010 inspects.
+_ALLOC_FNS = {"numpy.zeros", "numpy.empty", "numpy.ones", "numpy.full"}
+
+#: Names that key a dimension on the enrolled-client population.
+_CLIENT_COUNT_NAMES = {"n_clients", "n_users", "n_enrolled", "enrolled"}
+
+
+class ClientKeyedAllocation(Rule):
+    """PL010 — federated accumulators are config-bounded, never client-bounded."""
+
+    id = "PL010"
+    name = "client-keyed-allocation"
+    summary = "repro.federated allocations must not scale with client count"
+    rationale = (
+        "The federated backend's memory contract is that aggregate-side "
+        "working memory is bounded by the *config* — the grid, the type "
+        "vocabulary, and chunk_clients — and never by the enrolled "
+        "population, so a 10^6-client round fits the same memory_budget "
+        "as a 10^3-client one (asserted by the bench's peak-RSS check). "
+        "One np.zeros((n_clients, ...)) materializes per-client state, "
+        "silently reintroduces the O(users x types) blow-up the "
+        "streaming merger exists to avoid, and only fails in production "
+        "at population scale. Fold contributions through the chunked "
+        "streaming path instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_test or not ctx.module.startswith("repro.federated"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.imports.resolve(node.func) not in _ALLOC_FNS:
+                continue
+            shape = node.args[0] if node.args else None
+            if shape is None:
+                shape = next(
+                    (kw.value for kw in node.keywords if kw.arg == "shape"), None
+                )
+            if shape is None:
+                continue
+            culprit = self._client_keyed(shape)
+            if culprit is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"allocation shaped on the client population ({culprit}) "
+                    "breaks the memory-budget contract; accumulators must be "
+                    "bounded by the grid/vocabulary and contributions folded "
+                    "in chunk_clients-sized chunks",
+                )
+
+    @staticmethod
+    def _client_keyed(shape: ast.expr) -> "str | None":
+        """The client-count expression a shape depends on, if any."""
+        for part in ast.walk(shape):
+            if isinstance(part, ast.Name) and part.id in _CLIENT_COUNT_NAMES:
+                return part.id
+            if isinstance(part, ast.Attribute) and part.attr in _CLIENT_COUNT_NAMES:
+                return part.attr
+            if (
+                isinstance(part, ast.Call)
+                and isinstance(part.func, ast.Name)
+                and part.func.id == "len"
+                and part.args
+            ):
+                for sub in ast.walk(part.args[0]):
+                    name = None
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    if name is not None and "client" in name:
+                        return f"len({name})"
+        return None
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     AccountantBypass(),
@@ -780,6 +857,7 @@ RULES: tuple[Rule, ...] = (
     NonAtomicRoleWrite(),
     UnboundedServeBlocking(),
     UnmanagedSharedMemory(),
+    ClientKeyedAllocation(),
 )
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.clock import Clock
 from repro.core.errors import ConfigError, ReproError
+from repro.core.fates import fates_accounted
 
 __all__ = ["FATES", "FateCounters", "Job", "JobStore", "ReleaseRequest"]
 
@@ -126,7 +127,9 @@ class FateCounters:
 
     def consistent(self) -> bool:
         """``sum(fates) == accepted`` once the service has drained."""
-        return self.terminal == self.accepted
+        return fates_accounted(
+            self.accepted, {fate: getattr(self, fate) for fate in FATES}
+        )
 
     def as_dict(self) -> dict[str, int]:
         return {

@@ -38,6 +38,7 @@ class TestRegistry:
             "uniqueness",
             "seed_sensitivity",
             "ablation_faults",
+            "federated",
             "fig2",
             "fig3",
             "fig4",

@@ -1,0 +1,131 @@
+"""Admission pipeline and the single-fate round ledger."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.fates import FateAccountingError
+from repro.federated import (
+    AdmissionPipeline,
+    ClientFaultPlan,
+    ClientPopulation,
+    FederatedConfig,
+    RoundLedger,
+)
+from repro.federated.merger import AdaptiveGrid
+
+
+@pytest.fixture()
+def config():
+    return FederatedConfig(
+        n_clients=80, chunk_clients=128, memory_budget_mb=64.0, clip_bound=32.0
+    )
+
+
+@pytest.fixture()
+def population(db, config):
+    return ClientPopulation(db, config, seed=11)
+
+
+@pytest.fixture()
+def grid(db, config):
+    return AdaptiveGrid(db.bounds, config.grid_nx, config.grid_ny)
+
+
+def admit(db, config, population, grid, plan=None):
+    ledger = RoundLedger(round_id=0, enrolled=config.n_clients)
+    pipeline = AdmissionPipeline(config, db.n_types, grid.n_cells)
+    batch, silent = population.contribution_batch(0, 0, grid, fault_plan=plan)
+    cells, values, ids = pipeline.admit_batch(batch, ledger)
+    return ledger, cells, values, ids, silent
+
+
+class TestAdmission:
+    def test_healthy_batch_fully_accepted(self, db, config, population, grid):
+        ledger, cells, values, ids, silent = admit(db, config, population, grid)
+        assert ledger.accepted == config.n_clients
+        assert len(ids) == config.n_clients and len(silent) == 0
+        ledger.require_accounted()
+
+    def test_malformed_rejected_without_touching_others(
+        self, db, config, population, grid
+    ):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 10, "malformed"),))
+        ledger, cells, values, ids, _ = admit(db, config, population, grid, plan)
+        assert ledger.rejected_malformed == 1
+        assert 10 not in ids
+        assert np.isfinite(values).all()
+
+    def test_poisoned_contribution_clipped_to_bound(
+        self, db, config, population, grid
+    ):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 10, "poisoned"),))
+        ledger, cells, values, ids, _ = admit(db, config, population, grid, plan)
+        assert ledger.clipped == 1
+        row = ids.tolist().index(10)
+        assert np.abs(values[row]).sum() == pytest.approx(config.clip_bound)
+        # every admitted row respects the bound
+        assert (np.abs(values).sum(axis=1) <= config.clip_bound * (1 + 1e-9)).all()
+
+    def test_duplicate_refused_without_second_fate(
+        self, db, config, population, grid
+    ):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 10, "duplicate"),))
+        ledger, *_ = admit(db, config, population, grid, plan)
+        assert ledger.duplicates_refused == 1
+        assert ledger.accepted == config.n_clients  # the first submission counted
+        ledger.require_accounted()
+
+    def test_resubmitted_batch_is_wholly_refused(self, db, config, population, grid):
+        ledger = RoundLedger(round_id=0, enrolled=config.n_clients)
+        pipeline = AdmissionPipeline(config, db.n_types, grid.n_cells)
+        batch, _ = population.contribution_batch(0, 0, grid)
+        pipeline.admit_batch(batch, ledger)
+        cells, values, ids = pipeline.admit_batch(batch, ledger)  # replay
+        assert len(ids) == 0
+        assert ledger.duplicates_refused == config.n_clients
+        ledger.require_accounted()
+
+    def test_late_arrivals_refused(self, db, population, grid):
+        # arrivals sampled under the normal deadline, admitted under a tiny one
+        tight = FederatedConfig(
+            n_clients=80, chunk_clients=128, memory_budget_mb=64.0,
+            clip_bound=32.0, deadline_s=1e-9,
+        )
+        ledger = RoundLedger(round_id=0, enrolled=tight.n_clients)
+        pipeline = AdmissionPipeline(tight, db.n_types, grid.n_cells)
+        batch, _ = population.contribution_batch(0, 0, grid)
+        _, _, ids = pipeline.admit_batch(batch, ledger)
+        assert len(ids) == 0
+        assert ledger.refused_late == tight.n_clients
+        ledger.require_accounted()
+
+    def test_shape_mismatch_is_a_contract_error(self, db, config, population, grid):
+        pipeline = AdmissionPipeline(config, db.n_types + 1, grid.n_cells)
+        batch, _ = population.contribution_batch(0, 0, grid)
+        with pytest.raises(ConfigError):
+            pipeline.admit_batch(batch, RoundLedger(round_id=0, enrolled=80))
+
+
+class TestRoundLedger:
+    def test_unknown_fate_rejected(self):
+        with pytest.raises(ConfigError):
+            RoundLedger(round_id=0, enrolled=1).record("vanished", 0)
+
+    def test_unaccounted_ledger_raises_with_detail(self):
+        ledger = RoundLedger(round_id=2, enrolled=5)
+        ledger.record("accepted", 0)
+        assert not ledger.accounted
+        with pytest.raises(FateAccountingError, match="round 2"):
+            ledger.require_accounted()
+
+    def test_roundtrip_through_dict(self):
+        ledger = RoundLedger(round_id=1, enrolled=3)
+        ledger.record("accepted", 0)
+        ledger.record("clipped", 1)
+        ledger.record("dropped_out", 2)
+        ledger.duplicates_refused = 4
+        restored = RoundLedger.from_dict(ledger.as_dict())
+        assert restored.as_dict() == ledger.as_dict()
+        assert restored.accounted
+        assert restored.contributed == 2

@@ -1,0 +1,167 @@
+"""Client population: determinism, clipping, faults, and noise shares."""
+
+import numpy as np
+import pytest
+
+from repro.federated import ClientFaultPlan, ClientPopulation, FederatedConfig, clip_l1
+from repro.federated.merger import AdaptiveGrid
+
+
+@pytest.fixture()
+def config():
+    return FederatedConfig(
+        n_clients=150, chunk_clients=64, memory_budget_mb=64.0, clip_bound=32.0
+    )
+
+
+@pytest.fixture()
+def population(db, config):
+    return ClientPopulation(db, config, seed=11)
+
+
+@pytest.fixture()
+def grid(db, config):
+    return AdaptiveGrid(db.bounds, config.grid_nx, config.grid_ny)
+
+
+class TestClipL1:
+    def test_rows_inside_bound_untouched(self):
+        rows = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        assert np.array_equal(clip_l1(rows, 10.0), rows)
+
+    def test_rows_over_bound_scaled_to_bound(self):
+        rows = np.array([[30.0, 40.0], [-60.0, 60.0]])
+        clipped = clip_l1(rows, 10.0)
+        norms = np.abs(clipped).sum(axis=1)
+        assert norms == pytest.approx([10.0, 10.0])
+        # direction preserved
+        assert clipped[0, 1] / clipped[0, 0] == pytest.approx(4.0 / 3.0)
+
+
+class TestDeterminism:
+    def test_chunking_covers_every_client_once(self, population):
+        ids = np.concatenate(
+            [population.chunk_client_ids(c) for c in range(population.n_chunks)]
+        )
+        assert np.array_equal(ids, np.arange(population.config.n_clients))
+
+    def test_locations_and_payloads_deterministic(self, db, config, population):
+        again = ClientPopulation(db, config, seed=11)
+        assert np.array_equal(population.locations(1), again.locations(1))
+        assert np.array_equal(population.payloads(1), again.payloads(1))
+        other = ClientPopulation(db, config, seed=12)
+        assert not np.array_equal(population.locations(1), other.locations(1))
+
+    def test_payloads_respect_clip_bound(self, population, config):
+        for chunk in range(population.n_chunks):
+            norms = np.abs(population.payloads(chunk)).sum(axis=1)
+            assert (norms <= config.clip_bound + 1e-9).all()
+
+    def test_locations_inside_city_bounds(self, db, population):
+        xy = population.locations(0)
+        assert (xy[:, 0] >= db.bounds.min_x).all()
+        assert (xy[:, 0] <= db.bounds.max_x).all()
+
+
+class TestNoiseShareSum:
+    def test_payload_independent_and_deterministic(self, db, config, population):
+        contributors = population.chunk_client_ids(0)
+        a = population.noise_share_sum(0, 0, contributors, n_cells=64)
+        b = ClientPopulation(db, config, seed=11).noise_share_sum(
+            0, 0, contributors, n_cells=64
+        )
+        assert np.array_equal(a, b)
+        assert a.shape == (64, db.n_types)
+
+    def test_subset_sums_are_position_keyed(self, population):
+        """Dropping one contributor removes exactly that client's share."""
+        all_ids = population.chunk_client_ids(0)
+        full = population.noise_share_sum(0, 0, all_ids, n_cells=16)
+        without = population.noise_share_sum(0, 0, all_ids[1:], n_cells=16)
+        first_only = population.noise_share_sum(0, 0, all_ids[:1], n_cells=16)
+        assert np.allclose(full - without, first_only)
+
+    def test_round_keyed(self, population):
+        ids = population.chunk_client_ids(0)
+        assert not np.array_equal(
+            population.noise_share_sum(0, 0, ids, n_cells=16),
+            population.noise_share_sum(1, 0, ids, n_cells=16),
+        )
+
+
+class TestContributionBatch:
+    def test_healthy_batch_has_every_client(self, population, grid):
+        batch, silent = population.contribution_batch(0, 0, grid)
+        assert len(batch) == 64
+        assert len(silent) == 0
+        assert batch.cells.min() >= 0 and batch.cells.max() < grid.n_cells
+        assert np.isfinite(batch.payloads).all()
+
+    def test_crash_and_hang_are_silent(self, population, grid):
+        plan = ClientFaultPlan(
+            seed=5, overrides=((0, 3, "crash"), (0, 7, "hang"))
+        )
+        batch, silent = population.contribution_batch(0, 0, grid, fault_plan=plan)
+        assert sorted(silent.tolist()) == [3, 7]
+        assert 3 not in batch.client_ids and 7 not in batch.client_ids
+        assert len(batch) == 62
+
+    def test_crashed_client_succeeds_on_retry(self, population, grid):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 3, "crash"),))
+        _, silent = population.contribution_batch(0, 0, grid, fault_plan=plan)
+        retry, still_silent = population.contribution_batch(
+            0, 0, grid, attempt=2, only_clients=silent, fault_plan=plan
+        )
+        assert len(still_silent) == 0
+        assert retry.client_ids.tolist() == [3]
+
+    def test_malformed_rows_are_structurally_damaged(self, population, grid):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 10, "malformed"),))
+        batch, _ = population.contribution_batch(0, 0, grid, fault_plan=plan)
+        row = batch.client_ids.tolist().index(10)
+        assert batch.damage[row] == "malformed"
+        assert np.isnan(batch.payloads[row]).all()
+        assert batch.cells[row] == -1
+        # the damage stayed in its own row
+        healthy = np.delete(batch.payloads, row, axis=0)
+        assert np.isfinite(healthy).all()
+
+    def test_poisoned_rows_inflated(self, population, grid, config):
+        plan = ClientFaultPlan(seed=5, overrides=((0, 10, "poisoned"),))
+        batch, _ = population.contribution_batch(0, 0, grid, fault_plan=plan)
+        row = batch.client_ids.tolist().index(10)
+        assert batch.damage[row] == "poisoned"
+        assert np.abs(batch.payloads[row]).sum() > config.clip_bound
+
+    def test_zero_payload_probe(self, population, grid):
+        batch, _ = population.contribution_batch(
+            0, 0, grid, zero_payload_clients=frozenset({4})
+        )
+        row = batch.client_ids.tolist().index(4)
+        assert (batch.payloads[row] == 0).all()
+        assert batch.payloads.sum() > 0  # others untouched
+
+
+class TestFaultPlan:
+    def test_rates_must_sum_to_at_most_one(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ClientFaultPlan(crash_rate=0.6, hang_rate=0.6)
+
+    def test_decide_is_deterministic(self):
+        plan = ClientFaultPlan(crash_rate=0.3, malformed_rate=0.3, seed=9)
+        fates = [plan.decide(0, c, 1) for c in range(50)]
+        assert fates == [plan.decide(0, c, 1) for c in range(50)]
+        assert any(f == "crash" for f in fates)
+        assert any(f == "malformed" for f in fates)
+
+    def test_attempts_beyond_budget_are_healthy(self):
+        plan = ClientFaultPlan(crash_rate=1.0, seed=9, max_faults_per_client=1)
+        assert plan.decide(0, 1, 1) == "crash"
+        assert plan.decide(0, 1, 2) is None
+
+    def test_ok_override_forces_health(self):
+        plan = ClientFaultPlan(crash_rate=1.0, seed=9, overrides=((0, 1, "ok"),))
+        assert plan.decide(0, 1, 1) is None
+        assert plan.decide(0, 2, 1) == "crash"

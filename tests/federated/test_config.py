@@ -1,0 +1,84 @@
+"""FederatedConfig: validation, derived quantities, and DP calibration."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.dp.mechanisms import (
+    PrivacyError,
+    distributed_gaussian_sigma,
+    gaussian_sigma,
+)
+from repro.federated import FederatedConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        FederatedConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_clients", 0),
+            ("n_rounds", 0),
+            ("epsilon", -1.0),
+            ("delta", 0.0),
+            ("delta", 1.0),
+            ("clip_bound", 0.0),
+            ("quorum", 0.0),
+            ("quorum", 1.5),
+            ("deadline_s", 0.0),
+            ("retries", -1),
+            ("memory_budget_mb", 0.0),
+            ("chunk_clients", 0),
+            ("grid_nx", 0),
+            ("max_split_depth", -1),
+            ("split_fraction", 0.0),
+            ("radius_m", -5.0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises((ConfigError, PrivacyError)):
+            FederatedConfig(**{field: value})
+
+
+class TestDerived:
+    def test_quorum_count_boundaries(self):
+        assert FederatedConfig(n_clients=100, quorum=0.8).quorum_count == 80
+        assert FederatedConfig(n_clients=100, quorum=1.0).quorum_count == 100
+        # ceil: 0.8 * 101 = 80.8 -> 81 contributions required
+        assert FederatedConfig(n_clients=101, quorum=0.8).quorum_count == 81
+        # a tiny quorum never drops below one contribution
+        assert FederatedConfig(n_clients=3, quorum=0.01).quorum_count == 1
+
+    def test_share_sigma_matches_centralized_at_quorum(self):
+        """quorum-many shares sum to the centralized mechanism's noise."""
+        config = FederatedConfig(n_clients=250, quorum=0.8)
+        central = gaussian_sigma(config.clip_bound, config.epsilon, config.delta)
+        summed = config.share_sigma() * math.sqrt(config.quorum_count)
+        assert summed == pytest.approx(central, rel=1e-12)
+
+    def test_distributed_sigma_rejects_bad_share_count(self):
+        with pytest.raises(PrivacyError):
+            distributed_gaussian_sigma(1.0, 1.0, 0.2, 0)
+
+    def test_memory_budget_bytes(self):
+        config = FederatedConfig(memory_budget_mb=2.0)
+        assert config.memory_budget_bytes == 2 * 1024 * 1024
+        assert config.accumulator_budget_bytes == config.memory_budget_bytes // 2
+
+    def test_max_cells_scales_with_budget(self):
+        small = FederatedConfig(memory_budget_mb=1.0)
+        large = FederatedConfig(memory_budget_mb=64.0)
+        assert large.max_cells(40) > small.max_cells(40)
+        # never below the level-0 grid
+        tiny = FederatedConfig(memory_budget_mb=0.001, grid_nx=8, grid_ny=8)
+        assert tiny.max_cells(1_000_000) == 64
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        a = FederatedConfig()
+        b = FederatedConfig()
+        c = FederatedConfig(n_clients=2)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()

@@ -1,0 +1,159 @@
+"""Adaptive grid geometry and the memory-bounded streaming merger."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.federated import AdaptiveGrid, FederatedConfig, StreamingMerger
+from repro.geo.bbox import BBox
+
+BOUNDS = BBox(0.0, 0.0, 800.0, 800.0)
+
+
+@pytest.fixture()
+def config():
+    return FederatedConfig(
+        n_clients=100, chunk_clients=16, memory_budget_mb=64.0, clip_bound=32.0
+    )
+
+
+class TestAdaptiveGrid:
+    def test_level0_is_row_major(self):
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        assert grid.n_cells == 16
+        assert grid.locate(50.0, 50.0) == 0
+        assert grid.locate(250.0, 50.0) == 1
+        assert grid.locate(50.0, 250.0) == 4
+
+    def test_locate_clamps_to_bounds(self):
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        assert grid.locate(-10.0, -10.0) == 0
+        assert grid.locate(800.0, 800.0) == 15
+        assert grid.locate(1e9, 1e9) == 15
+
+    def test_locate_batch_matches_scalar(self):
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        grid.split(5)
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(-50.0, 850.0, size=(200, 2))
+        batch = grid.locate_batch(xy)
+        assert batch.tolist() == [grid.locate(x, y) for x, y in xy]
+        assert (batch >= 0).all()
+
+    def test_split_replaces_parent_with_quadrants(self):
+        grid = AdaptiveGrid(BOUNDS, 2, 2)
+        grid.split(0)
+        assert grid.n_cells == 7
+        # children carry depth 1; the untouched cells stay at depth 0
+        assert [grid.cell_depth(i) for i in range(4)] == [1, 1, 1, 1]
+        assert grid.cell_depth(4) == 0
+        # a point in the parent's SW quarter lands in the SW child
+        x0, y0, x1, y1 = grid.cell_box(2)
+        assert grid.locate((x0 + x1) / 2, (y0 + y1) / 2) == 2
+
+    def test_refine_splits_only_dense_cells(self, config):
+        grid = AdaptiveGrid(BOUNDS, config.grid_nx, config.grid_ny)
+        mass = np.zeros(grid.n_cells)
+        mass[3] = 100.0  # everything in one cell
+        n_splits, capped = grid.refine(mass, config, n_types=40)
+        assert n_splits == 1 and not capped
+        assert grid.n_cells == config.grid_nx * config.grid_ny + 3
+
+    def test_refine_respects_max_depth(self, config):
+        grid = AdaptiveGrid(BOUNDS, 2, 2)
+        for _ in range(config.max_split_depth + 2):
+            mass = np.zeros(grid.n_cells)
+            mass[0] = 1.0
+            grid.refine(mass, config, n_types=40)
+        assert max(grid.cell_depth(i) for i in range(grid.n_cells)) <= (
+            config.max_split_depth
+        )
+
+    def test_refine_capped_by_memory_budget(self):
+        tiny = FederatedConfig(memory_budget_mb=0.001, grid_nx=4, grid_ny=4)
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        mass = np.ones(grid.n_cells)  # every cell dense enough
+        n_splits, capped = grid.refine(mass, tiny, n_types=1_000)
+        assert capped
+        assert grid.n_cells <= tiny.max_cells(1_000)
+
+    def test_refine_on_zero_mass_is_a_noop(self, config):
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        assert grid.refine(np.zeros(16), config, n_types=40) == (0, False)
+        assert grid.n_cells == 16
+
+    def test_state_roundtrip_is_bit_identical(self, config):
+        grid = AdaptiveGrid(BOUNDS, 4, 4)
+        grid.split(5)
+        grid.split(5)  # split a child of the first split
+        restored = AdaptiveGrid.from_state(grid.to_state())
+        assert restored.n_cells == grid.n_cells
+        assert restored.to_state() == grid.to_state()
+        for i in range(grid.n_cells):
+            assert restored.cell_box(i) == grid.cell_box(i)
+
+    def test_degenerate_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveGrid(BOUNDS, 0, 4)
+
+
+class TestStreamingMerger:
+    def test_fold_accumulates_per_cell(self, config):
+        merger = StreamingMerger(n_cells=8, n_types=3, config=config)
+        merger.fold([0, 0, 5], np.array([[1.0, 0, 0], [2.0, 0, 0], [0, 0, 7.0]]))
+        totals = merger.totals()
+        assert totals[0, 0] == 3.0 and totals[5, 2] == 7.0
+        assert merger.counts.tolist() == [2, 0, 0, 0, 0, 1, 0, 0]
+        assert merger.stats.n_contributions == 3
+
+    def test_accumulator_bounded_by_grid_not_clients(self, config):
+        """The footprint is a function of (cells, types) only."""
+        merger = StreamingMerger(n_cells=8, n_types=3, config=config)
+        for _ in range(50):  # 800 contributions through an 8x3 accumulator
+            merger.fold(list(range(8)) * 2, np.ones((16, 3)))
+        assert merger.stats.peak_bytes < 1024  # accumulator + one chunk
+        assert merger.stats.n_contributions == 800
+
+    def test_oversized_accumulator_refused_at_allocation(self):
+        small = FederatedConfig(memory_budget_mb=0.01)
+        with pytest.raises(ConfigError, match="memory_budget"):
+            StreamingMerger(n_cells=10_000, n_types=100, config=small)
+
+    def test_oversized_chunk_refused(self, config):
+        merger = StreamingMerger(n_cells=8, n_types=3, config=config)
+        k = config.chunk_clients + 1
+        with pytest.raises(ConfigError, match="chunk_clients"):
+            merger.fold([0] * k, np.ones((k, 3)))
+
+    def test_shape_mismatches_refused(self, config):
+        merger = StreamingMerger(n_cells=8, n_types=3, config=config)
+        with pytest.raises(ConfigError):
+            merger.fold([0], np.ones((1, 4)))
+        with pytest.raises(ConfigError):
+            merger.fold([0, 1], np.ones((1, 3)))
+        with pytest.raises(ConfigError):
+            merger.add_dense(np.ones((7, 3)))
+
+    def test_add_dense_folds_protocol_noise(self, config):
+        merger = StreamingMerger(n_cells=4, n_types=2, config=config)
+        merger.fold([1], np.array([[1.0, 1.0]]))
+        merger.add_dense(np.full((4, 2), 0.5))
+        totals = merger.totals()
+        assert totals[1].tolist() == [1.5, 1.5]
+        assert totals[0].tolist() == [0.5, 0.5]
+        # dense folds do not count as contributions
+        assert merger.stats.n_contributions == 1
+        assert merger.counts.tolist() == [0, 1, 0, 0]
+
+    def test_fold_stream_chunks_transparently(self, config):
+        merger = StreamingMerger(n_cells=8, n_types=3, config=config)
+        stream = ((i % 8, np.full(3, float(i))) for i in range(100))
+        merger.fold_stream(stream)
+        assert merger.stats.n_contributions == 100
+        assert merger.stats.n_chunks == int(np.ceil(100 / config.chunk_clients))
+        assert merger.totals().sum() == pytest.approx(sum(range(100)) * 3)
+
+    def test_counts_view_is_read_only(self, config):
+        merger = StreamingMerger(n_cells=4, n_types=2, config=config)
+        with pytest.raises(ValueError):
+            merger.counts[0] = 9

@@ -1,0 +1,205 @@
+"""Round supervision: quorum boundaries, atomic commits, and resume.
+
+The satellite-3 suite: exactly-quorum commits, quorum-1 aborts with the
+budget unspent, and a SIGKILLed aggregator resumes the campaign
+bit-identically with each round's budget spent exactly once.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.dp.mechanisms import PrivacyParams
+from repro.federated import (
+    ClientFaultPlan,
+    FederatedConfig,
+    round_checkpoint_path,
+    run_campaign,
+)
+
+CONFIG = FederatedConfig(
+    n_clients=100,
+    n_rounds=1,
+    chunk_clients=64,
+    memory_budget_mb=64.0,
+    clip_bound=32.0,
+    quorum=0.8,
+    retries=1,
+)
+
+SEED = 11
+
+
+def crash_plan(n_crashed, *, max_faults=99):
+    """Crash exactly the first *n_crashed* clients through every attempt."""
+    return ClientFaultPlan(
+        seed=5,
+        max_faults_per_client=max_faults,
+        overrides=tuple((0, c, "crash") for c in range(n_crashed)),
+    )
+
+
+class TestQuorumBoundary:
+    def test_exactly_quorum_commits(self, db):
+        """quorum_count contributions are enough — not one more."""
+        n_crashed = CONFIG.n_clients - CONFIG.quorum_count  # 20
+        result = run_campaign(db, CONFIG, SEED, fault_plan=crash_plan(n_crashed))
+        (outcome,) = result.rounds
+        assert outcome.committed
+        assert outcome.ledger.contributed == CONFIG.quorum_count
+        assert outcome.ledger.dropped_out == n_crashed
+        assert result.accountant.total_epsilon == pytest.approx(CONFIG.epsilon)
+
+    def test_one_below_quorum_aborts_with_budget_unspent(self, db):
+        n_crashed = CONFIG.n_clients - CONFIG.quorum_count + 1  # 21
+        result = run_campaign(db, CONFIG, SEED, fault_plan=crash_plan(n_crashed))
+        (outcome,) = result.rounds
+        assert not outcome.committed
+        assert "quorum not met" in outcome.abort_reason
+        assert outcome.released is None
+        assert result.released is None
+        assert result.accountant.total_epsilon == 0.0
+        assert result.accountant.n_invocations == 0
+        outcome.ledger.require_accounted()
+
+    def test_crashed_client_rescued_by_retry(self, db):
+        """One crash with one retry budget never costs the round a client."""
+        result = run_campaign(
+            db, CONFIG, SEED, fault_plan=crash_plan(1, max_faults=1)
+        )
+        (outcome,) = result.rounds
+        assert outcome.ledger.accepted == CONFIG.n_clients
+        assert outcome.ledger.dropped_out == 0
+
+    def test_budget_refusal_aborts_without_spending(self, db):
+        config = FederatedConfig(
+            n_clients=100, n_rounds=3, chunk_clients=64,
+            memory_budget_mb=64.0, clip_bound=32.0,
+        )
+        budget = PrivacyParams(config.epsilon * 2, config.delta * 2)
+        result = run_campaign(db, config, SEED, budget=budget)
+        assert [r.committed for r in result.rounds] == [True, True, False]
+        assert "budget refused" in result.rounds[2].abort_reason
+        assert result.accountant.total_epsilon == pytest.approx(2 * config.epsilon)
+        # the final release is the last *committed* round's
+        assert np.array_equal(result.released, result.rounds[1].released)
+
+
+class TestDeterminismAndResume:
+    def test_campaign_is_a_pure_function_of_its_inputs(self, db):
+        a = run_campaign(db, CONFIG, SEED)
+        b = run_campaign(db, CONFIG, SEED)
+        assert np.array_equal(a.released, b.released)
+        assert not np.array_equal(
+            a.released, run_campaign(db, CONFIG, SEED + 1).released
+        )
+
+    def test_resume_restores_every_round_bit_identically(self, db, tmp_path):
+        config = FederatedConfig(
+            n_clients=100, n_rounds=3, chunk_clients=64,
+            memory_budget_mb=64.0, clip_bound=32.0,
+        )
+        live = run_campaign(db, config, SEED, out=tmp_path)
+        resumed = run_campaign(db, config, SEED, out=tmp_path, resume=True)
+        assert resumed.resumed_rounds == config.n_rounds
+        for a, b in zip(live.rounds, resumed.rounds):
+            assert np.array_equal(a.released, b.released)
+            assert a.ledger.as_dict() == b.ledger.as_dict()
+        assert resumed.accountant.to_state() == live.accountant.to_state()
+        assert resumed.grid.to_state() == live.grid.to_state()
+
+    def test_resume_ignores_checkpoints_from_other_configs(self, db, tmp_path):
+        run_campaign(db, CONFIG, SEED, out=tmp_path)
+        other = FederatedConfig(
+            n_clients=100, n_rounds=1, chunk_clients=64,
+            memory_budget_mb=64.0, clip_bound=16.0,  # different fingerprint
+        )
+        resumed = run_campaign(db, other, SEED, out=tmp_path, resume=True)
+        assert resumed.resumed_rounds == 0
+
+    def test_resume_ignores_checkpoints_from_other_fault_plans(self, db, tmp_path):
+        run_campaign(db, CONFIG, SEED, out=tmp_path)
+        resumed = run_campaign(
+            db, CONFIG, SEED, out=tmp_path, resume=True,
+            fault_plan=crash_plan(1),
+        )
+        assert resumed.resumed_rounds == 0
+
+    def test_resume_without_out_is_a_config_error(self, db):
+        with pytest.raises(ConfigError):
+            run_campaign(db, CONFIG, SEED, resume=True)
+
+    def test_torn_checkpoint_is_rerun(self, db, tmp_path):
+        run_campaign(db, CONFIG, SEED, out=tmp_path)
+        round_checkpoint_path(tmp_path, 0).write_text('{"torn":')  # corrupt half-write
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(round_checkpoint_path(tmp_path, 0).read_text())
+        # a torn file would never exist under atomic replace; even so, guard:
+        round_checkpoint_path(tmp_path, 0).write_text(json.dumps({"half": True}))
+        resumed = run_campaign(db, CONFIG, SEED, out=tmp_path, resume=True)
+        assert resumed.resumed_rounds == 0
+        assert resumed.rounds[0].committed
+
+
+class TestParentSigkill:
+    def test_sigkilled_campaign_resumes_identically(self, db, tmp_path):
+        """SIGKILL the aggregator mid-campaign; resume == uninterrupted.
+
+        The subprocess runs a 60-round campaign; the parent waits for the
+        first checkpoint and then kills it cold, exactly like a preempted
+        node.  The resumed campaign must restore the checkpointed prefix,
+        re-run the torn suffix, and land on the same releases with each
+        round's budget spent exactly once.
+        """
+        config = FederatedConfig(
+            n_clients=200, n_rounds=60, chunk_clients=128,
+            memory_budget_mb=64.0, clip_bound=32.0, delta=0.01,
+            grid_nx=4, grid_ny=4, max_split_depth=0,
+        )
+        out = tmp_path / "killed"
+        script = f"""
+import sys
+sys.path.insert(0, {str(Path(__file__).resolve().parents[2] / "src")!r})
+from repro.federated import FederatedConfig, run_campaign
+from repro.poi.cities import small_city
+
+config = FederatedConfig(
+    n_clients=200, n_rounds=60, chunk_clients=128,
+    memory_budget_mb=64.0, clip_bound=32.0, delta=0.01,
+    grid_nx=4, grid_ny=4, max_split_depth=0,
+)
+run_campaign(small_city(seed=7).database, config, {SEED}, out={str(out)!r})
+"""
+        proc = subprocess.Popen([sys.executable, "-c", script])
+        first = round_checkpoint_path(out, 0)
+        deadline = time.monotonic() + 60
+        try:
+            while not first.exists():
+                assert time.monotonic() < deadline, "round 0 never checkpointed"
+                if proc.poll() is not None:
+                    pytest.fail("campaign exited before it could be killed")
+                time.sleep(0.005)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        resumed = run_campaign(db, config, SEED, out=out, resume=True)
+        uninterrupted = run_campaign(db, config, SEED)
+
+        assert resumed.resumed_rounds >= 1  # the kill landed after round 0
+        assert resumed.n_committed == config.n_rounds
+        for a, b in zip(resumed.rounds, uninterrupted.rounds):
+            assert np.array_equal(a.released, b.released)
+        # exactly one spend per committed round — a torn round re-ran from
+        # the last finished round's accountant, never double-charging
+        assert resumed.accountant.total_epsilon == pytest.approx(
+            config.n_rounds * config.epsilon
+        )
+        assert resumed.accountant.n_invocations == config.n_rounds

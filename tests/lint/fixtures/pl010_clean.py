@@ -1,0 +1,21 @@
+"""PL010 fixture: config-bounded federated accumulators (clean)."""
+
+import numpy as np
+
+
+def accumulator(n_cells, n_types):
+    # Bounded by the grid and the vocabulary, never the population.
+    return np.zeros((n_cells, n_types), dtype=np.float64)
+
+
+def chunk_buffer(chunk_size, n_types):
+    return np.empty((chunk_size, n_types), dtype=np.float64)
+
+
+def chunk_mask(ids):
+    # A chunk's ids are bounded by chunk_clients upstream.
+    return np.ones(len(ids), dtype=bool)
+
+
+def literal_shape():
+    return np.full((8, 8), -1.0)

@@ -1,0 +1,23 @@
+"""PL010 fixture: client-population-keyed allocations in the federated layer."""
+
+import numpy as np
+
+
+def dense_matrix(config, n_types):
+    return np.zeros((config.n_clients, n_types))  # PL010
+
+
+def per_user_buffer(n_users, n_types):
+    return np.empty((n_users, n_types), dtype=np.float64)  # PL010
+
+
+def flags_for_everyone(enrolled):
+    return np.ones(enrolled, dtype=bool)  # PL010
+
+
+def full_by_len(clients, n_types):
+    return np.full((len(clients), n_types), 0.0)  # PL010
+
+
+def shape_keyword(n_clients):
+    return np.zeros(shape=(n_clients, 4))  # PL010

@@ -39,6 +39,8 @@ CASES = [
     ("pl008_clean.py", "src/repro/serve/fixture.py", "PL008", 0),
     ("pl009_violations.py", "src/repro/experiments/fixture.py", "PL009", 5),
     ("pl009_clean.py", "src/repro/experiments/fixture.py", "PL009", 0),
+    ("pl010_violations.py", "src/repro/federated/fixture.py", "PL010", 5),
+    ("pl010_clean.py", "src/repro/federated/fixture.py", "PL010", 0),
 ]
 
 

@@ -87,6 +87,13 @@ REGRESSIONS = [
         "    SharedMemory(name=name, create=False).unlink()\n",
         "src/repro/experiments/planted.py",
     ),
+    (
+        "PL010",
+        "import numpy as np\n\n"
+        "def collect_all(config, n_types):\n"
+        "    return np.zeros((config.n_clients, n_types))\n",
+        "src/repro/federated/planted.py",
+    ),
 ]
 
 
