@@ -2,13 +2,21 @@
 
 SCALE ?= ci
 
-.PHONY: install test bench reproduce report figures clean
+.PHONY: install test bench check reproduce report figures clean
 
 install:
 	pip install -e ".[dev]" --no-build-isolation
 
 test:
 	pytest tests/
+
+## The full local gate: style, strict typing, per-file invariant rules,
+## and the project-wide dataflow pass (mirrors CI's lint + dataflow jobs).
+check:
+	ruff check src/ tests/ benchmarks/ examples/
+	mypy --strict src/repro
+	poiagg check
+	poiagg check --analysis all
 
 bench:
 	pytest benchmarks/ --benchmark-only

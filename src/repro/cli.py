@@ -362,12 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="run the PL invariant linter over first-party code",
         description=(
-            "AST-based invariant linter (rules PL001-PL010): seed "
-            "discipline, DP accounting, Freq dtype/hypot discipline, "
-            "picklable shard workers, wall-clock-free experiment paths, "
-            "no deprecated attack shims, atomic cache/checkpoint writes, "
-            "timeout-bounded blocking in the serve path, managed shared "
-            "memory, config-bounded federated accumulators. "
+            "Invariant linter (rules PL001-PL014). Per-file syntactic "
+            "rules (PL001-PL010): seed discipline, DP accounting, Freq "
+            "dtype/hypot discipline, picklable shard workers, wall-clock-"
+            "free experiment paths, no deprecated attack shims, atomic "
+            "cache/checkpoint writes, timeout-bounded blocking in the "
+            "serve path, managed shared memory, config-bounded federated "
+            "accumulators. Project-wide dataflow analyses (PL011-PL014, "
+            "enabled with --analysis taint,locks,commit or 'all'): "
+            "privacy-taint source-to-sink tracking, exception-skippable "
+            "budget spends, lock-order/blocking discipline, and commit-"
+            "protocol ordering. "
             "Exit codes: 0 = clean, 1 = violations, 2 = bad invocation."
         ),
     )

@@ -35,7 +35,6 @@ invocation itself was bad (unknown experiment, ``--resume`` without
 from __future__ import annotations
 
 import json
-import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -45,6 +44,7 @@ from repro.core.errors import ConfigError
 from repro.experiments.registry import run_experiment
 from repro.experiments.results import ExperimentResult
 from repro.experiments.scale import ExperimentScale
+from repro.ingest.atomic import atomic_write_text
 from repro.ingest.report import collecting_ingest_reports
 from repro.poi.engine import collecting_query_plans, summarize_query_plans
 
@@ -120,15 +120,17 @@ def checkpoint_path(out: Path, experiment_id: str, scale: ExperimentScale) -> Pa
 
 
 def write_checkpoint(path: Path, payload: dict) -> Path:
-    """Atomically persist *payload* (write temp file, then rename over)."""
+    """Atomically persist *payload* (temp file, fsync, then rename over).
+
+    The rename alone is not enough: os.replace publishes the name, but a
+    crash before the data blocks hit disk can surface a committed-but-
+    torn checkpoint that resume would then trust (PL014 caught exactly
+    this here). atomic_write_text fsyncs the temp file before renaming.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
     # default=float: shard checkpoints embed result rows, which may hold
     # numpy scalars; json round-trips their repr exactly.
-    tmp.write_text(json.dumps(payload, indent=2, default=float))
-    os.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2, default=float))
 
 
 def load_checkpoint(path: Path) -> "dict | None":

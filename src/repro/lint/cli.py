@@ -15,8 +15,14 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.lint.engine import check_paths, format_report
-from repro.lint.rules import RULES
+from repro.lint.engine import (
+    apply_baseline,
+    check_paths,
+    format_report,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.rules import ANALYSIS_FAMILIES, RULES
 
 __all__ = ["add_check_arguments", "run_check", "DEFAULT_CHECK_PATHS"]
 
@@ -59,6 +65,43 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--analysis",
+        default=None,
+        metavar="FAMILIES",
+        help=(
+            "comma-separated project-wide dataflow families to run "
+            f"({', '.join(ANALYSIS_FAMILIES)}, or 'all'); these power "
+            "rules PL011-PL014 and see the whole file set at once"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "suppress violations recorded in FILE (written by "
+            "--write-baseline); only new violations fail the gate"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the current violations to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parse and lint files in N parallel processes (0 = one per "
+            "CPU); the dataflow pass itself stays single-process"
+        ),
+    )
 
 
 def run_check(args: argparse.Namespace) -> int:
@@ -81,13 +124,60 @@ def run_check(args: argparse.Namespace) -> int:
             )
             return EXIT_USAGE
 
+    analysis: tuple[str, ...] = ()
+    if args.analysis is not None:
+        requested = [
+            f.strip().lower() for f in args.analysis.split(",") if f.strip()
+        ]
+        if "all" in requested:
+            analysis = tuple(ANALYSIS_FAMILIES)
+        else:
+            unknown_families = sorted(set(requested) - set(ANALYSIS_FAMILIES))
+            if unknown_families:
+                print(
+                    f"poiagg check: unknown analysis family "
+                    f"{unknown_families[0]!r}; choose from "
+                    f"{['all', *ANALYSIS_FAMILIES]}",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            analysis = tuple(dict.fromkeys(requested))
+
+    jobs = args.jobs
+    if jobs < 0:
+        print("poiagg check: --jobs must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+
+    baseline: "dict[str, int] | None" = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(
+                f"poiagg check: no such baseline file: {args.baseline}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        baseline = load_baseline(args.baseline)
+
     paths = list(args.paths) if args.paths else [Path(p) for p in DEFAULT_CHECK_PATHS]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"poiagg check: no such path: {missing[0]}", file=sys.stderr)
         return EXIT_USAGE
 
-    report = check_paths(paths, select=select)
+    report = check_paths(paths, select=select, analysis=analysis, jobs=jobs)
+    if args.write_baseline is not None:
+        write_baseline(report, args.write_baseline)
+        print(
+            f"poiagg check: recorded {len(report.violations)} violation(s) "
+            f"to {args.write_baseline}"
+        )
+        return EXIT_OK
+    if baseline is not None:
+        report = apply_baseline(report, baseline)
     rendered = format_report(report, args.fmt)
     if rendered:
         print(rendered)

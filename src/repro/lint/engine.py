@@ -21,11 +21,14 @@ __all__ = [
     "ImportMap",
     "LintReport",
     "Violation",
+    "apply_baseline",
     "check_file",
     "check_paths",
     "check_source",
     "format_report",
     "iter_python_files",
+    "load_baseline",
+    "write_baseline",
 ]
 
 #: Directories never linted, wherever they appear in a path.
@@ -72,7 +75,9 @@ class ImportMap:
     the import spelling.
     """
 
-    def __init__(self, tree: ast.Module) -> None:
+    def __init__(
+        self, tree: ast.Module, *, module: str = "", is_package: bool = False
+    ) -> None:
         self.modules: dict[str, str] = {}
         self.symbols: dict[str, str] = {}
         for node in ast.walk(tree):
@@ -85,9 +90,40 @@ class ImportMap:
                         # `import numpy.random` binds `numpy`, but the full
                         # dotted path is reachable through that root.
                         self.modules.setdefault(alias.name.split(".")[0], alias.name.split(".")[0])
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module
+                else:
+                    base = self._relative_base(node, module, is_package)
+                if not base:
+                    continue  # relative import with no module context
                 for alias in node.names:
-                    self.symbols[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+                    self.symbols[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _relative_base(
+        node: ast.ImportFrom, module: str, is_package: bool
+    ) -> str | None:
+        """The absolute package a relative import anchors to, or None.
+
+        ``from .sibling import x`` in ``repro.pkg.mod`` anchors to
+        ``repro.pkg.sibling``; each extra dot ascends one package.
+        Without a *module* the anchor is unknowable and the import is
+        skipped rather than guessed.
+        """
+        if not module:
+            return None
+        parts = module.split(".")
+        if not is_package:
+            parts = parts[:-1]  # a plain module's dot starts at its package
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None  # beyond the top-level package: a syntax-time error
+        if ascend:
+            parts = parts[:-ascend]
+        if node.module:
+            parts = [*parts, *node.module.split(".")]
+        return ".".join(parts)
 
     def resolve(self, node: ast.expr) -> str | None:
         """Canonical dotted name for a Name/Attribute chain, or ``None``.
@@ -142,6 +178,8 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     n_files: int = 0
     n_suppressed: int = 0
+    n_baselined: int = 0
+    analyses: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -173,7 +211,23 @@ def _classify(path: Path) -> tuple[str, str]:
     return "script", ""
 
 
-def _parse_suppressions(source: str) -> Suppressions:
+#: Simple (non-compound) statements: a trailing pragma on any of their
+#: lines covers the whole statement extent.  Compound statements (for,
+#: with, def, ...) are deliberately excluded — a pragma on a ``for``
+#: header must not blanket the loop body.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+)
+
+
+def _parse_suppressions(source: str, tree: ast.Module | None = None) -> Suppressions:
     file_rules: set[str] = set()
     line_rules: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -188,6 +242,24 @@ def _parse_suppressions(source: str) -> Suppressions:
             file_rules |= rules
         else:
             line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+    if tree is not None and line_rules:
+        # A pragma trailing any line of a multi-line simple statement must
+        # suppress violations reported on its continuation lines too — the
+        # rule may anchor the violation on the call's first line while the
+        # pragma sits on the closing paren (or vice versa).
+        for node in ast.walk(tree):
+            if not isinstance(node, _SIMPLE_STMTS):
+                continue
+            end = node.end_lineno or node.lineno
+            if end == node.lineno:
+                continue
+            span = range(node.lineno, end + 1)
+            spanned: frozenset[str] = frozenset()
+            for covered in span:
+                spanned |= line_rules.get(covered, frozenset())
+            if spanned:
+                for covered in span:
+                    line_rules[covered] = line_rules.get(covered, frozenset()) | spanned
     return Suppressions(frozenset(file_rules), line_rules)
 
 
@@ -213,8 +285,10 @@ def check_source(
         tree=tree,
         role=role if role is not None else inferred_role,
         module=module,
-        imports=ImportMap(tree),
-        suppressions=_parse_suppressions(source),
+        imports=ImportMap(
+            tree, module=module, is_package=Path(path).name == "__init__.py"
+        ),
+        suppressions=_parse_suppressions(source, tree),
     )
     wanted = set(select) if select is not None else None
     raw: list[Violation] = []
@@ -236,26 +310,129 @@ def check_file(
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
-    """Yield the ``.py`` files under *paths*, skipping junk directories."""
+    """Yield the ``.py`` files under *paths*, deduplicated and in a
+    deterministic order (sorted by path string), skipping junk directories.
+
+    ``rglob`` order is filesystem-dependent; sorting the full collected
+    set keeps ``--format github`` annotations and the JSON report stable
+    across machines and across overlapping path arguments.
+    """
+    collected: set[Path] = set()
     for root in paths:
         if root.is_file():
             if root.suffix == ".py":
-                yield root
+                collected.add(root)
             continue
-        for candidate in sorted(root.rglob("*.py")):
+        for candidate in root.rglob("*.py"):
             if not _SKIP_DIRS.intersection(candidate.parts):
-                yield candidate
+                collected.add(candidate)
+    yield from sorted(collected, key=str)
+
+
+def _check_one(path_str: str, select: Sequence[str] | None) -> list[Violation]:
+    """Module-level per-file worker: picklable for ``jobs > 1``."""
+    return check_file(Path(path_str), select=select)
 
 
 def check_paths(
-    paths: Sequence[Path], *, select: Sequence[str] | None = None
+    paths: Sequence[Path],
+    *,
+    select: Sequence[str] | None = None,
+    analysis: Sequence[str] = (),
+    jobs: int = 1,
 ) -> LintReport:
-    """Lint every python file under *paths* and aggregate a report."""
-    report = LintReport()
-    for file_path in iter_python_files(paths):
-        report.n_files += 1
-        report.violations.extend(check_file(file_path, select=select))
+    """Lint every python file under *paths* and aggregate a report.
+
+    *analysis* names project-wide dataflow families (``taint`` /
+    ``locks`` / ``commit``) to run on top of the per-file rules; they
+    see the whole file set at once (see :mod:`repro.lint.dataflow`).
+    *jobs* > 1 parses and lints files in parallel processes — the
+    per-file rules are independent, so the split is embarrassingly
+    parallel; the dataflow pass always runs in-process because it needs
+    the shared project index.
+    """
+    report = LintReport(analyses=tuple(analysis))
+    files = list(iter_python_files(paths))
+    report.n_files = len(files)
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        select_list = list(select) if select is not None else None
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(
+                _check_one,
+                [str(p) for p in files],
+                [select_list] * len(files),
+                chunksize=8,
+            ):
+                report.violations.extend(batch)
+    else:
+        for file_path in files:
+            report.violations.extend(check_file(file_path, select=select))
+    if analysis:
+        from repro.lint.dataflow import run_analyses
+
+        report.violations.extend(
+            run_analyses(files, analysis, select=select)
+        )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return report
+
+
+def _fingerprint(v: Violation) -> str:
+    """Baseline identity for a violation: location-line free on purpose.
+
+    Keyed on (path, rule, message) — not the line number — so an
+    unrelated edit above a baselined violation does not un-baseline it.
+    Duplicate fingerprints are counted: a *new* instance of an already-
+    baselined pattern in the same file still fails the gate.
+    """
+    return f"{v.path}::{v.rule_id}::{v.message}"
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a baseline file written by :func:`write_baseline`."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts = data.get("violations", {})
+    return {str(k): int(c) for k, c in counts.items()}
+
+
+def write_baseline(report: LintReport, path: Path) -> None:
+    """Record *report*'s violations as the accepted baseline."""
+    counts: dict[str, int] = {}
+    for v in report.violations:
+        key = _fingerprint(v)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "format": 1,
+        "violations": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(report: LintReport, baseline: dict[str, int]) -> LintReport:
+    """Drop violations covered by *baseline*; keep only new ones.
+
+    Each baseline entry absorbs up to its recorded count of matching
+    violations — the (count + 1)-th instance is new and survives.
+    """
+    budget = dict(baseline)
+    kept: list[Violation] = []
+    n_baselined = report.n_baselined
+    for v in report.violations:
+        key = _fingerprint(v)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            n_baselined += 1
+        else:
+            kept.append(v)
+    return LintReport(
+        violations=kept,
+        n_files=report.n_files,
+        n_suppressed=report.n_suppressed,
+        n_baselined=n_baselined,
+        analyses=report.analyses,
+    )
 
 
 def _format_github(violations: Sequence[Violation]) -> str:
@@ -277,6 +454,8 @@ def format_report(report: LintReport, fmt: str = "text") -> str:
             {
                 "ok": report.ok,
                 "n_files": report.n_files,
+                "n_baselined": report.n_baselined,
+                "analyses": list(report.analyses),
                 "violations": [
                     {
                         "path": v.path,
@@ -299,5 +478,7 @@ def format_report(report: LintReport, fmt: str = "text") -> str:
             if report.violations
             else f"{report.n_files} file(s) clean"
         )
+        if report.n_baselined:
+            summary += f" ({report.n_baselined} baselined)"
         return "\n".join([*lines, summary])
     raise ValueError(f"unknown lint output format: {fmt!r}")

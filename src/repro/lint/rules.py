@@ -18,7 +18,14 @@ from collections.abc import Iterator
 
 from repro.lint.engine import FileContext, Violation
 
-__all__ = ["Rule", "RULES", "rule_by_id"]
+__all__ = [
+    "ANALYSES",
+    "ANALYSIS_FAMILIES",
+    "DataflowRule",
+    "Rule",
+    "RULES",
+    "rule_by_id",
+]
 
 
 class Rule:
@@ -847,6 +854,103 @@ class ClientKeyedAllocation(Rule):
         return None
 
 
+class DataflowRule(Rule):
+    """Base for the project-wide analyses (PL011–PL014).
+
+    These rules need the whole-project call graph, so their logic lives
+    in :mod:`repro.lint.dataflow` / :mod:`repro.lint.taint` and runs
+    only when ``poiagg check --analysis`` requests the family.  The
+    per-file ``check`` is a no-op by design: a single file cannot prove
+    or refute a cross-module property, and silently half-checking it
+    would teach people to trust a green that means nothing.
+    """
+
+    family: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+
+class PrivacyTaintLeak(DataflowRule):
+    """PL011 — raw aggregates must not reach a release sink unsanitized."""
+
+    id = "PL011"
+    name = "privacy-taint-leak"
+    family = "taint"
+    summary = "no source→sink dataflow path without a defense sanitizer (--analysis taint)"
+    rationale = (
+        "The paper's defense contract is structural: every value derived "
+        "from a raw per-user frequency aggregate (POIDatabase.freq*/"
+        "anchor_freqs, federated contribution batches) must pass through "
+        "a defense mechanism before it crosses a release boundary — HTTP "
+        "response bodies, journals/WALs, checkpoints, artifacts, job "
+        "results. Membership-inference (Pyrgelis et al.) and "
+        "reconstruction attacks (Buchholz et al.) exploit exactly the "
+        "paths where that fails. The taint pass tracks source→sink flows "
+        "across module boundaries via call-graph summaries; scalar "
+        "aggregations (len, comparisons) deliberately kill taint."
+    )
+
+
+class SkippableSpend(DataflowRule):
+    """PL012 — accountant spends must not be skippable on exception edges."""
+
+    id = "PL012"
+    name = "skippable-spend"
+    family = "taint"
+    summary = "no swallowed exception may skip a spend while the release proceeds (--analysis taint)"
+    rationale = (
+        "The (epsilon, delta) ledger is only sound if a refused or failed "
+        "spend stops the release. A try/except that swallows the "
+        "accountant's exception and falls through to the mechanism call "
+        "releases unmetered exactly when the budget ran out — the worst "
+        "possible time. The pass flags handlers that neither re-raise "
+        "nor divert control while a sanitizer call or value return "
+        "follows the try block."
+    )
+
+
+class LockDiscipline(DataflowRule):
+    """PL013 — no blocking under a lock; no lock-order cycles."""
+
+    id = "PL013"
+    name = "lock-discipline"
+    family = "locks"
+    summary = "no blocking while holding a lock, no lock-order cycles (--analysis locks)"
+    rationale = (
+        "The serve layer's degrade-never-hang guarantee and the "
+        "federated supervisor's drain deadlines assume no thread parks "
+        "while holding a lock other threads need: the shed ladder, "
+        "status endpoint, and shutdown path all contend for the same "
+        "handful of locks. The pass tracks which locks are held at every "
+        "call site, follows call edges to transitively-blocking work "
+        "(unbounded get/wait/join, sleeps, fsync), flags same-lock "
+        "reacquisition (threading.Lock self-deadlocks), and reports "
+        "cycles in the acquired-while-holding graph. Subsumes PL008's "
+        "per-line heuristic with path sensitivity."
+    )
+
+
+class CommitProtocol(DataflowRule):
+    """PL014 — durable writers must follow the commit orderings."""
+
+    id = "PL014"
+    name = "commit-protocol"
+    family = "commit"
+    summary = "fsync-before-rename, payload-first/manifest-last, durable WAL appends (--analysis commit)"
+    rationale = (
+        "Crash safety here is an *ordering* property, not a "
+        "call-presence one (PL007 checks presence): os.replace without "
+        "a prior fsync publishes a file whose bytes can still vanish; "
+        "a manifest written before its payload vouches for data that is "
+        "not there; a WAL append that is never fsync'd can acknowledge "
+        "a spend that power loss erases; a write to the temp path after "
+        "its rename corrupts the committed file. The pass orders each "
+        "function's write/flush/fsync/replace events, crediting "
+        "delegated fsyncs (repro.ingest.atomic) through the call graph."
+    )
+
+
 RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
     AccountantBypass(),
@@ -858,7 +962,18 @@ RULES: tuple[Rule, ...] = (
     UnboundedServeBlocking(),
     UnmanagedSharedMemory(),
     ClientKeyedAllocation(),
+    PrivacyTaintLeak(),
+    SkippableSpend(),
+    LockDiscipline(),
+    CommitProtocol(),
 )
+
+#: The project-wide analyses, keyed by family for ``--analysis``.
+ANALYSES: tuple[DataflowRule, ...] = tuple(
+    rule for rule in RULES if isinstance(rule, DataflowRule)
+)
+
+ANALYSIS_FAMILIES: tuple[str, ...] = ("taint", "locks", "commit")
 
 
 def rule_by_id(rule_id: str) -> Rule:

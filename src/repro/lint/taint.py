@@ -1,0 +1,713 @@
+"""Privacy-taint analysis (PL011) and exception-edge spend checks (PL012).
+
+The invariant, from the paper's defense contract: no value derived from
+a raw per-user frequency aggregate may cross a release boundary without
+passing through a defense mechanism.  Here that is a classic taint
+problem over the :class:`~repro.lint.dataflow.FactsDB` call graph:
+
+* **sources** — ``POIDatabase`` frequency producers (``freq``,
+  ``freq_batch``, ``anchor_freqs``, ``freq_bounds``, ``freq_at_poi``)
+  and federated client payloads (``contribution_batch``);
+* **sanitizers** — defense-layer ``apply`` / ``release`` /
+  ``sanitize`` / ``sanitize_vector`` calls (the defense object is the
+  accountant-guarded boundary: PL002 and PL012 police the spend);
+* **sinks** — HTTP response writers, journal/WAL appends, checkpoint
+  and artifact writers, and job-result finalization in the
+  ``repro.serve`` / ``repro.federated`` / ``repro.ingest`` release
+  modules.
+
+Taint is propagated intraprocedurally in statement order (with
+positional precision through ``zip`` unpacking — tainting every loop
+variable of ``for job, vector in zip(granted, results)`` would drown
+the analysis in false positives), and interprocedurally two ways:
+bottom-up *summaries* (which params flow to the return value, which
+returns are source-fresh) and a top-down fixpoint pushing concrete
+taint into callee parameters.  Scalar aggregations (``len``, ``int``,
+``float``, comparisons) deliberately kill taint: a queue depth derived
+from tainted rows is not a per-user release.
+
+PL012 is a separate, syntactic-plus-summary check: an
+``accountant.spend`` inside a ``try`` whose handler swallows the
+exception while the release below still executes means the mechanism
+can run unmetered exactly when the ledger is refusing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import FunctionInfo
+from repro.lint.dataflow import FactsDB, FunctionFacts, _violation
+from repro.lint.engine import Violation
+
+__all__ = ["analyze_taint"]
+
+#: Method spellings that produce raw per-user frequency aggregates.
+_SOURCE_METHODS = {
+    "freq",
+    "freq_batch",
+    "freq_at_poi",
+    "freq_bounds",
+    "anchor_freqs",
+    "contribution_batch",
+}
+
+#: Sanitizing method names; ``apply``/``release`` additionally require a
+#: defense-ish receiver spelling (they are too generic alone).
+_SANITIZER_METHODS = {"apply", "release", "sanitize", "sanitize_vector"}
+_SANITIZER_RECEIVER_HINTS = (
+    "defense",
+    "sanitiz",
+    "mechanism",
+    "fallback",
+    "laplace",
+    "noise",
+    "cloak",
+)
+
+#: Builtins whose result is a scalar/boolean aggregate, not the data.
+_SCALAR_KILLS = {
+    "len",
+    "int",
+    "float",
+    "bool",
+    "str",
+    "abs",
+    "round",
+    "min",
+    "max",
+    "sum",
+    "any",
+    "all",
+    "isinstance",
+    "hasattr",
+    "repr",
+    "format",
+    "id",
+    "hash",
+}
+
+#: Modules whose writes are release boundaries.
+_SINK_SCOPE = ("repro.serve", "repro.federated", "repro.ingest")
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in _SINK_SCOPE
+    )
+
+
+def _receiver_spelling(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        try:
+            return ast.unparse(func.value).lower()
+        except Exception:
+            return ""
+    return ""
+
+
+@dataclass
+class _Summary:
+    """Bottom-up summary: what flows out of a function's return value."""
+
+    # Tags over {"param:<i>", "src:<label>"}.
+    return_tags: set[str] = field(default_factory=set)
+
+
+class _Evaluator:
+    """One in-order taint walk of a function body."""
+
+    def __init__(
+        self,
+        analysis: "TaintAnalysis",
+        facts: FunctionFacts,
+        param_tags: dict[str, set[str]],
+        *,
+        report: bool,
+    ) -> None:
+        self.analysis = analysis
+        self.facts = facts
+        self.fn = facts.fn
+        self.env: dict[str, set[str]] = {
+            name: set(tags) for name, tags in param_tags.items()
+        }
+        self.return_tags: set[str] = set()
+        self.report = report
+        self.violations: list[Violation] = []
+
+    def run(self) -> None:
+        # Two passes: the second catches loop-carried and
+        # defined-later-used-earlier flows (env only grows).
+        self._walk(self.fn.node.body)
+        self._walk(self.fn.node.body)
+
+    # ------------------------------------------------------------------
+
+    def _walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self._expr(stmt.value)
+            root = self._root_name(stmt.target)
+            if root is not None:
+                self.env.setdefault(root, set()).update(tags)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_tags |= self._expr(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_loop_target(stmt.target, stmt.iter)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tags)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc)
+        else:
+            # Leaf statements (Assert, Delete, Global, Pass, ...): walk
+            # calls so sinks inside them are still observed.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._call(node)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _root_name(expr: ast.expr) -> str | None:
+        cur = expr
+        while isinstance(cur, (ast.Attribute, ast.Subscript, ast.Starred)):
+            cur = cur.value
+        return cur.id if isinstance(cur, ast.Name) else None
+
+    def _bind(self, target: ast.expr, tags: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(tags)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tags)
+        elif isinstance(target, (ast.Attribute, ast.Subscript, ast.Starred)):
+            # Field-insensitive store: the container/object absorbs taint.
+            root = self._root_name(target)
+            if root is not None:
+                self.env.setdefault(root, set()).update(tags)
+
+    def _assign(self, targets: list[ast.expr], value: ast.expr) -> None:
+        tags = self._expr(value)
+        positional = self._positional_tags(value)
+        for target in targets:
+            if positional is not None and isinstance(
+                target, (ast.Tuple, ast.List)
+            ) and len(target.elts) == len(positional):
+                for elt, elt_tags in zip(target.elts, positional):
+                    self._bind(elt, elt_tags)
+            else:
+                self._bind(target, tags)
+
+    def _bind_loop_target(self, target: ast.expr, iter_expr: ast.expr) -> None:
+        positional = self._positional_tags(iter_expr)
+        iter_tags = self._expr(iter_expr)
+        if positional is not None and isinstance(
+            target, (ast.Tuple, ast.List)
+        ) and len(target.elts) == len(positional):
+            for elt, elt_tags in zip(target.elts, positional):
+                self._bind(elt, elt_tags)
+        else:
+            self._bind(target, iter_tags)
+
+    def _positional_tags(self, expr: ast.expr) -> list[set[str]] | None:
+        """Per-position taint for ``zip(...)``/``enumerate(...)`` iterables.
+
+        ``for job, vector in zip(granted, results)`` must taint only
+        ``vector`` when only ``results`` is tainted.
+        """
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "zip":
+            return [self._expr(arg) for arg in expr.args]
+        if isinstance(func, ast.Name) and func.id == "enumerate" and expr.args:
+            return [set(), self._expr(expr.args[0])]
+        if isinstance(func, ast.Attribute) and func.attr == "items":
+            base = self._expr(func.value)
+            return [base, base]
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: ast.expr) -> set[str]:
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Constant):
+            return set()
+        if isinstance(expr, ast.Attribute):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Compare):
+            for side in [expr.left, *expr.comparators]:
+                self._expr(side)
+            return set()  # a boolean is an aggregate, not the data
+        if isinstance(expr, ast.BinOp):
+            return self._expr(expr.left) | self._expr(expr.right)
+        if isinstance(expr, ast.BoolOp):
+            tags: set[str] = set()
+            for value in expr.values:
+                tags |= self._expr(value)
+            return tags
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            self._expr(expr.test)
+            return self._expr(expr.body) | self._expr(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            tags = set()
+            for elt in expr.elts:
+                tags |= self._expr(elt)
+            return tags
+        if isinstance(expr, ast.Dict):
+            tags = set()
+            for key in expr.keys:
+                if key is not None:
+                    tags |= self._expr(key)
+            for value in expr.values:
+                tags |= self._expr(value)
+            return tags
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in expr.generators:
+                self._bind_loop_target(gen.target, gen.iter)
+                for cond in gen.ifs:
+                    self._expr(cond)
+            if isinstance(expr, ast.DictComp):
+                return self._expr(expr.key) | self._expr(expr.value)
+            return self._expr(expr.elt)
+        if isinstance(expr, ast.JoinedStr):
+            tags = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    tags |= self._expr(value.value)
+            return tags
+        if isinstance(expr, ast.Starred):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Await):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Slice):
+            return set()
+        if isinstance(expr, ast.Lambda):
+            return set()
+        if isinstance(expr, ast.NamedExpr):
+            tags = self._expr(expr.value)
+            self._bind(expr.target, tags)
+            return tags
+        return set()
+
+    # ------------------------------------------------------------------
+
+    def _call(self, call: ast.Call) -> set[str]:
+        func = call.func
+        callee = self.facts.resolution.get(id(call))
+        arg_tags = [self._expr(arg) for arg in call.args]
+        kw_tags = {
+            kw.arg: self._expr(kw.value) for kw in call.keywords if kw.arg
+        }
+        star_tags: set[str] = set()
+        for kw in call.keywords:
+            if kw.arg is None:
+                star_tags |= self._expr(kw.value)
+        receiver_tags: set[str] = set()
+        method = None
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver_tags = self._expr(func.value)
+
+        # Sources: raw aggregate producers.
+        if method in _SOURCE_METHODS or (
+            callee is not None and callee.rsplit(".", 1)[-1] in _SOURCE_METHODS
+        ):
+            label = method or callee.rsplit(".", 1)[-1]  # type: ignore[union-attr]
+            return {f"src:{label}@{self.fn.qualname}"}
+
+        # Sanitizers: the defense boundary launders the value.
+        if self._is_sanitizer(call, callee, method):
+            return set()
+
+        if self.report:
+            self._check_sink(call, callee, method, arg_tags, kw_tags)
+
+        # Project callees: apply the summary; record incoming param taint.
+        if callee is not None and callee in self.analysis.summaries:
+            target_fn = self.analysis.db.facts[callee].fn
+            self.analysis.push_incoming(
+                target_fn, call, arg_tags, kw_tags, receiver_tags,
+                is_method_call=isinstance(func, ast.Attribute),
+            )
+            summary = self.analysis.summaries[callee]
+            result: set[str] = set()
+            for tag in summary.return_tags:
+                if tag.startswith("param:"):
+                    idx = int(tag.split(":", 1)[1])
+                    result |= self._tags_for_param(
+                        target_fn, idx, arg_tags, kw_tags, receiver_tags,
+                        is_method_call=isinstance(func, ast.Attribute),
+                    )
+                else:
+                    result.add(tag)
+            return result
+
+        # Constructors of project classes: the instance absorbs its args.
+        if callee is not None and callee in self.analysis.db.index.classes:
+            tags = receiver_tags | star_tags
+            for t in arg_tags:
+                tags |= t
+            for t in kw_tags.values():
+                tags |= t
+            init = self.analysis.db.index.lookup_method(callee, "__init__")
+            if init is not None:
+                self.analysis.push_incoming(
+                    init, call, arg_tags, kw_tags, set(), is_method_call=True
+                )
+            return tags
+
+        # Scalar aggregations kill taint.
+        if isinstance(func, ast.Name) and func.id in _SCALAR_KILLS:
+            return set()
+        if callee in _SCALAR_KILLS:
+            return set()
+
+        # Unknown call: conservative union of everything flowing in.
+        tags = receiver_tags | star_tags
+        for t in arg_tags:
+            tags |= t
+        for t in kw_tags.values():
+            tags |= t
+        return tags
+
+    @staticmethod
+    def _tags_for_param(
+        target_fn: FunctionInfo,
+        idx: int,
+        arg_tags: list[set[str]],
+        kw_tags: dict[str, set[str]],
+        receiver_tags: set[str],
+        *,
+        is_method_call: bool,
+    ) -> set[str]:
+        offset = 1 if (target_fn.cls is not None and is_method_call) else 0
+        if target_fn.cls is not None and is_method_call and idx == 0:
+            return set(receiver_tags)
+        pos = idx - offset
+        if 0 <= pos < len(arg_tags):
+            return set(arg_tags[pos])
+        if 0 <= idx < len(target_fn.params):
+            return set(kw_tags.get(target_fn.params[idx], set()))
+        return set()
+
+    def _is_sanitizer(
+        self, call: ast.Call, callee: str | None, method: str | None
+    ) -> bool:
+        if method is None:
+            return False
+        if method not in _SANITIZER_METHODS:
+            return False
+        if method in ("sanitize", "sanitize_vector"):
+            return True
+        # apply/release are generic: require a defense-ish receiver or a
+        # resolved defense-layer callee.
+        if callee is not None and (
+            ".defense." in callee
+            or callee.startswith("repro.defense")
+            or ".dp." in callee
+        ):
+            return True
+        spelled = _receiver_spelling(call.func)
+        return any(hint in spelled for hint in _SANITIZER_RECEIVER_HINTS)
+
+    # ------------------------------------------------------------------
+
+    def _check_sink(
+        self,
+        call: ast.Call,
+        callee: str | None,
+        method: str | None,
+        arg_tags: list[set[str]],
+        kw_tags: dict[str, set[str]],
+    ) -> None:
+        if not _in_scope(self.fn.module):
+            return
+        spelled = _receiver_spelling(call.func)
+        any_arg = set().union(*arg_tags) if arg_tags else set()
+        any_kw = set().union(*kw_tags.values()) if kw_tags else set()
+        flowing = any_arg | any_kw
+
+        sink_desc: str | None = None
+        tainted: set[str] = set()
+        name = callee.rsplit(".", 1)[-1] if callee else ""
+        if method == "_send" or (
+            isinstance(call.func, ast.Name) and call.func.id == "_send"
+        ):
+            sink_desc, tainted = "the HTTP response body", flowing
+        elif method == "write" and "wfile" in spelled:
+            sink_desc, tainted = "the HTTP response stream", flowing
+        elif method in ("event", "write", "record") and (
+            "journal" in spelled or "_wal" in spelled
+        ):
+            sink_desc, tainted = "the journal/WAL", flowing
+        elif name.startswith("atomic_write") or name == "atomic_writer":
+            data = set().union(*arg_tags[1:]) if len(arg_tags) > 1 else set()
+            data |= any_kw
+            sink_desc, tainted = "an on-disk artifact", data
+        elif method in ("write_text", "write_bytes"):
+            sink_desc, tainted = "an on-disk artifact", flowing
+        elif method == "release" and "merger" in spelled:
+            sink_desc, tainted = "the streaming aggregate release", flowing
+        elif callee == "json.dump":
+            sink_desc, tainted = "a serialized artifact", (
+                arg_tags[0] if arg_tags else set()
+            )
+        elif method == "finalize":
+            sink_desc, tainted = "the job result store", set(
+                kw_tags.get("result", set())
+            )
+        if sink_desc is None:
+            return
+        sources = sorted(t[4:] for t in tainted if t.startswith("src:"))
+        if not sources:
+            return
+        self.violations.append(
+            _violation(
+                "PL011",
+                self.fn.path,
+                call,
+                f"raw aggregate data reaches {sink_desc} without a defense: "
+                f"value tainted by {', '.join(sources)} flows into this "
+                "release boundary unsanitized — route it through a "
+                "defense.apply/release (with its accountant spend) first",
+            )
+        )
+
+
+class TaintAnalysis:
+    """Summary computation, top-down propagation, and the report pass."""
+
+    def __init__(self, db: FactsDB) -> None:
+        self.db = db
+        self.summaries: dict[str, _Summary] = {
+            q: _Summary() for q in db.facts
+        }
+        self.incoming: dict[str, dict[int, set[str]]] = {q: {} for q in db.facts}
+        self._dirty: set[str] = set()
+
+    # -- interprocedural bookkeeping -----------------------------------
+
+    def push_incoming(
+        self,
+        target_fn: FunctionInfo,
+        call: ast.Call,
+        arg_tags: list[set[str]],
+        kw_tags: dict[str, set[str]],
+        receiver_tags: set[str],
+        *,
+        is_method_call: bool,
+    ) -> None:
+        qualname = target_fn.qualname
+        params = target_fn.params
+        cls = target_fn.cls
+        offset = 1 if (cls is not None and is_method_call) else 0
+        slot = self.incoming.setdefault(qualname, {})
+        changed = False
+
+        def _add(idx: int, tags: set[str]) -> None:
+            nonlocal changed
+            concrete = {t for t in tags if t.startswith("src:")}
+            if not concrete:
+                return
+            have = slot.setdefault(idx, set())
+            if not concrete <= have:
+                have |= concrete
+                changed = True
+
+        if offset and receiver_tags:
+            _add(0, receiver_tags)
+        for pos, tags in enumerate(arg_tags):
+            _add(pos + offset, tags)
+        for kw_name, tags in kw_tags.items():
+            if kw_name in params:
+                _add(params.index(kw_name), tags)
+        if changed:
+            self._dirty.add(qualname)
+
+    def _param_tags(self, facts: FunctionFacts, *, symbolic: bool) -> dict[str, set[str]]:
+        tags: dict[str, set[str]] = {}
+        inc = self.incoming.get(facts.fn.qualname, {})
+        for idx, name in enumerate(facts.fn.params):
+            tags[name] = set(inc.get(idx, set()))
+            if symbolic:
+                tags[name].add(f"param:{idx}")
+        return tags
+
+    # -- phases --------------------------------------------------------
+
+    def run(self) -> list[Violation]:
+        order = sorted(self.db.facts)
+        # Phase 1: bottom-up summaries to a fixpoint (tags only grow).
+        pending = set(order)
+        while pending:
+            qualname = sorted(pending)[0]
+            pending.discard(qualname)
+            facts = self.db.facts[qualname]
+            ev = _Evaluator(
+                self, facts, self._param_tags(facts, symbolic=True), report=False
+            )
+            ev.run()
+            if not ev.return_tags <= self.summaries[qualname].return_tags:
+                self.summaries[qualname].return_tags |= ev.return_tags
+                pending |= self.db.callers.get(qualname, set())
+        # Phase 2: top-down incoming-taint fixpoint.
+        self._dirty = set(order)
+        rounds = 0
+        while self._dirty and rounds < 50:
+            rounds += 1
+            batch, self._dirty = sorted(self._dirty), set()
+            for qualname in batch:
+                facts = self.db.facts[qualname]
+                ev = _Evaluator(
+                    self,
+                    facts,
+                    self._param_tags(facts, symbolic=False),
+                    report=False,
+                )
+                ev.run()
+        # Phase 3: report sinks with the final incoming taint.
+        violations: list[Violation] = []
+        for qualname in order:
+            facts = self.db.facts[qualname]
+            if not _in_scope(facts.fn.module):
+                continue
+            ev = _Evaluator(
+                self, facts, self._param_tags(facts, symbolic=False), report=True
+            )
+            ev.run()
+            violations.extend(ev.violations)
+        violations.extend(self._check_exception_edges())
+        # The report pass visits each function once but the evaluator
+        # walks bodies twice; dedupe identical findings.
+        unique = {
+            (v.path, v.line, v.col, v.rule_id, v.message): v for v in violations
+        }
+        return [unique[k] for k in sorted(unique)]
+
+    # -- PL012 ---------------------------------------------------------
+
+    def _check_exception_edges(self) -> list[Violation]:
+        violations: list[Violation] = []
+        for qualname in sorted(self.db.facts):
+            facts = self.db.facts[qualname]
+            body = facts.fn.node
+            for node in ast.walk(body):
+                if not isinstance(node, ast.Try):
+                    continue
+                if not self._spends(node.body):
+                    continue
+                swallowing = [
+                    h for h in node.handlers if self._swallows(h)
+                ]
+                if not swallowing:
+                    continue
+                if not self._releases_after(body, node):
+                    continue
+                for handler in swallowing:
+                    violations.append(
+                        _violation(
+                            "PL012",
+                            facts.fn.path,
+                            handler,
+                            "accountant spend inside this try can be "
+                            "skipped: the handler swallows the exception "
+                            "and the release below still executes, so the "
+                            "mechanism runs unmetered exactly when the "
+                            "ledger refuses — re-raise, or return the "
+                            "refusal instead of falling through",
+                        )
+                    )
+        return violations
+
+    @staticmethod
+    def _spends(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("spend", "try_spend", "spend_batch")
+                ):
+                    spelled = _receiver_spelling(node.func)
+                    if "account" in spelled or "ledger" in spelled:
+                        return True
+        return False
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return False
+        if handler.body and isinstance(
+            handler.body[-1], (ast.Return, ast.Break, ast.Continue)
+        ):
+            return False  # the except path exits before the release
+        return True
+
+    def _releases_after(
+        self, fn_node: ast.FunctionDef | ast.AsyncFunctionDef, try_node: ast.Try
+    ) -> bool:
+        boundary = try_node.end_lineno or try_node.lineno
+        for node in ast.walk(fn_node):
+            lineno = getattr(node, "lineno", 0)
+            if lineno <= boundary:
+                continue
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not (
+                    isinstance(node.value, ast.Constant)
+                    and node.value.value is None
+                ):
+                    return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SANITIZER_METHODS
+            ):
+                return True
+        return False
+
+
+def analyze_taint(db: FactsDB) -> list[Violation]:
+    """PL011 + PL012 over the project facts."""
+    return TaintAnalysis(db).run()

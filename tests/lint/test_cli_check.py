@@ -68,3 +68,120 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006", "PL007"):
         assert rule_id in out
+
+
+def test_list_rules_includes_dataflow_catalog(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("PL011", "PL012", "PL013", "PL014"):
+        assert rule_id in out
+
+
+TAINTED = (
+    "import json\n\n"
+    "class Handler:\n"
+    "    def __init__(self, database, wfile):\n"
+    "        self._db = database\n"
+    "        self.wfile = wfile\n\n"
+    "    def emit(self, x, y, radius):\n"
+    "        row = self._db.freq_batch([[x, y]], radius)\n"
+    "        self.wfile.write(json.dumps({'r': row[0].tolist()}).encode())\n"
+)
+
+
+@pytest.fixture
+def tainted_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "serve"
+    pkg.mkdir(parents=True)
+    (pkg / "handler.py").write_text(TAINTED)
+    return tmp_path / "src"
+
+
+def test_analysis_all_finds_taint_flow(tainted_tree, capsys):
+    # The per-file pass alone misses it; the dataflow pass flags it.
+    assert main(["check", str(tainted_tree)]) == 0
+    assert main(["check", str(tainted_tree), "--analysis", "all"]) == 1
+    out = capsys.readouterr().out
+    assert "PL011" in out
+
+
+def test_analysis_family_subset(tainted_tree):
+    assert main(["check", str(tainted_tree), "--analysis", "locks,commit"]) == 0
+    assert main(["check", str(tainted_tree), "--analysis", "taint"]) == 1
+
+
+def test_unknown_analysis_family_is_usage_error(tainted_tree, capsys):
+    assert main(["check", str(tainted_tree), "--analysis", "warp"]) == 2
+    assert "unknown analysis family" in capsys.readouterr().err
+
+
+def test_baseline_roundtrip(tainted_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "check",
+                str(tainted_tree),
+                "--analysis",
+                "all",
+                "--write-baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    # Known violations are absorbed by the baseline...
+    assert (
+        main(
+            [
+                "check",
+                str(tainted_tree),
+                "--analysis",
+                "all",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    assert "baselined" in capsys.readouterr().out
+
+    # ...but a new violation in another file still fails the gate.
+    extra = tainted_tree / "repro" / "serve" / "extra.py"
+    extra.write_text("import numpy as np\nnp.random.seed(0)\n")
+    assert (
+        main(
+            [
+                "check",
+                str(tainted_tree),
+                "--analysis",
+                "all",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "PL001" in out
+    assert "PL011" not in out
+
+
+def test_missing_baseline_is_usage_error(tree, capsys):
+    assert main(["check", str(tree), "--baseline", "/nonexistent.json"]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_jobs_flag_matches_serial_output(tree, capsys):
+    assert main(["check", str(tree), "--format", "json"]) == 1
+    serial = json.loads(capsys.readouterr().out)
+    assert main(["check", str(tree), "--format", "json", "--jobs", "2"]) == 1
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial["violations"] == parallel["violations"]
+
+
+def test_negative_jobs_is_usage_error(tree, capsys):
+    assert main(["check", str(tree), "--jobs", "-1"]) == 2
+    capsys.readouterr()

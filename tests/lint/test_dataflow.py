@@ -1,0 +1,100 @@
+"""Marker-driven tests for the dataflow analyses (PL011–PL014).
+
+Each fixture under ``fixtures/`` plants violations with a ``# PLxxx``
+comment on the exact line the analysis must flag; the clean twins must
+produce nothing.  The fixtures are copied into a throwaway ``src/repro``
+tree so they classify under the library role the analyses scope to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.dataflow import run_analyses
+from repro.lint.engine import check_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# rule -> (analysis family, fixture stem, role path inside src/repro)
+CASES = {
+    "PL011": ("taint", "pl011", "serve"),
+    "PL012": ("taint", "pl012", "defense"),
+    "PL013": ("locks", "pl013", "serve"),
+    "PL014": ("commit", "pl014", "ingest"),
+}
+
+
+def plant(tmp_path: Path, fixture: str, role: str) -> Path:
+    source = (FIXTURES / f"{fixture}.py").read_text()
+    dest = tmp_path / "src" / "repro" / role / "fixture.py"
+    dest.parent.mkdir(parents=True)
+    dest.write_text(source)
+    return dest
+
+
+def marker_lines(path: Path, rule: str) -> list[int]:
+    return [
+        lineno
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
+        if f"# {rule}" in line
+    ]
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_planted_violations_are_flagged_on_marked_lines(tmp_path, rule):
+    family, stem, role = CASES[rule]
+    dest = plant(tmp_path, f"{stem}_violations", role)
+    expected = marker_lines(dest, rule)
+    assert expected, f"fixture {stem}_violations has no {rule} markers"
+
+    report = check_paths([tmp_path], analysis=(family,), select=[rule])
+
+    assert not report.ok
+    flagged = sorted(v.line for v in report.violations)
+    assert flagged == expected
+    assert all(v.rule_id == rule for v in report.violations)
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_compliant_twin_is_clean(tmp_path, rule):
+    family, stem, role = CASES[rule]
+    plant(tmp_path, f"{stem}_clean", role)
+
+    report = check_paths([tmp_path], analysis=(family,), select=[rule])
+
+    assert report.ok, [f"{v.line}: {v.message}" for v in report.violations]
+
+
+def test_pragma_suppresses_an_analysis_finding(tmp_path):
+    source = (FIXTURES / "pl013_violations.py").read_text()
+    source = source.replace(
+        "return self._queue.get()  # PL013",
+        "return self._queue.get()  # poiagg: disable=PL013",
+    )
+    dest = tmp_path / "src" / "repro" / "serve" / "fixture.py"
+    dest.parent.mkdir(parents=True)
+    dest.write_text(source)
+
+    report = check_paths([tmp_path], analysis=("locks",), select=["PL013"])
+
+    flagged = {v.line for v in report.violations}
+    suppressed_line = next(
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if "disable=PL013" in line
+    )
+    assert suppressed_line not in flagged
+    assert flagged  # the other planted violations still fire
+
+
+def test_unknown_analysis_family_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown analysis famil"):
+        run_analyses([], ("warp",))
+
+
+def test_select_excludes_analysis_rules(tmp_path):
+    plant(tmp_path, "pl014_violations", "ingest")
+    report = check_paths([tmp_path], analysis=("commit",), select=["PL001"])
+    assert report.ok

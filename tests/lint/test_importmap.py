@@ -1,0 +1,132 @@
+"""Alias-resolution coverage for ImportMap and ProjectIndex.
+
+Satellite for the dataflow PR: the project-wide analyses lean on
+ImportMap resolving relative imports and aliased names to canonical
+dotted paths, and on ProjectIndex chasing ``__init__`` re-export
+chains back to the defining module.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.callgraph import ProjectIndex
+from repro.lint.engine import ImportMap
+
+
+def imap(source: str, *, module: str = "", is_package: bool = False) -> ImportMap:
+    return ImportMap(ast.parse(source), module=module, is_package=is_package)
+
+
+def resolve(m: ImportMap, dotted: str) -> str | None:
+    """Resolve a dotted spelling the way a rule would: as an AST chain."""
+    return m.resolve(ast.parse(dotted, mode="eval").body)
+
+
+class TestAbsoluteImports:
+    def test_plain_import(self):
+        m = imap("import numpy")
+        assert resolve(m, "numpy") == "numpy"
+
+    def test_aliased_import(self):
+        m = imap("import numpy as np")
+        assert resolve(m, "np") == "numpy"
+        assert resolve(m, "numpy") is None
+
+    def test_dotted_import_binds_root(self):
+        m = imap("import os.path")
+        assert resolve(m, "os") == "os"
+
+    def test_from_import_with_alias(self):
+        m = imap("from numpy import random as npr")
+        assert resolve(m, "npr") == "numpy.random"
+
+    def test_from_import_symbol_alias(self):
+        m = imap("from repro.poi.database import POIDatabase as DB")
+        assert resolve(m, "DB") == "repro.poi.database.POIDatabase"
+
+    def test_attribute_resolution(self):
+        m = imap("from repro import defense")
+        assert resolve(m, "defense.LaplaceMechanism") == (
+            "repro.defense.LaplaceMechanism"
+        )
+
+
+class TestRelativeImports:
+    def test_sibling_module(self):
+        m = imap(
+            "from .sibling import helper",
+            module="repro.pkg.mod",
+        )
+        assert resolve(m, "helper") == "repro.pkg.sibling.helper"
+
+    def test_bare_relative_import(self):
+        m = imap("from . import sibling", module="repro.pkg.mod")
+        assert resolve(m, "sibling") == "repro.pkg.sibling"
+
+    def test_package_init_anchors_at_itself(self):
+        m = imap(
+            "from .database import POIDatabase",
+            module="repro.poi",
+            is_package=True,
+        )
+        assert resolve(m, "POIDatabase") == "repro.poi.database.POIDatabase"
+
+    def test_two_level_ascent(self):
+        m = imap(
+            "from ..core.rng import make_rng",
+            module="repro.serve.handlers",
+        )
+        assert resolve(m, "make_rng") == "repro.core.rng.make_rng"
+
+    def test_ascent_past_root_is_unresolved(self):
+        m = imap("from ...nowhere import thing", module="repro.mod")
+        assert resolve(m, "thing") is None
+
+    def test_relative_without_module_context_is_unresolved(self):
+        m = imap("from .sibling import helper")
+        assert resolve(m, "helper") is None
+
+
+def build_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        dest = tmp_path / "src" / "repro" / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(source)
+    return tmp_path
+
+
+class TestProjectIndexCanonicalization:
+    def test_init_reexport_chain(self, tmp_path):
+        """A symbol re-exported through two __init__ hops canonicalizes to
+        its defining module."""
+        root = build_tree(
+            tmp_path,
+            {
+                "__init__.py": "from repro.inner import Thing\n",
+                "inner/__init__.py": "from .impl import Thing\n",
+                "inner/impl.py": "class Thing:\n    pass\n",
+            },
+        )
+        files = sorted(root.rglob("*.py"))
+        index = ProjectIndex(files)
+        assert index.canonicalize("repro.Thing") == "repro.inner.impl.Thing"
+        assert index.canonicalize("repro.inner.Thing") == "repro.inner.impl.Thing"
+        assert "repro.inner.impl.Thing" in index.classes
+
+    def test_aliased_reexport(self, tmp_path):
+        root = build_tree(
+            tmp_path,
+            {
+                "__init__.py": "from .impl import Thing as PublicThing\n",
+                "impl.py": "class Thing:\n    pass\n",
+            },
+        )
+        index = ProjectIndex(sorted(root.rglob("*.py")))
+        assert index.canonicalize("repro.PublicThing") == "repro.impl.Thing"
+
+    def test_unknown_name_is_left_alone(self, tmp_path):
+        root = build_tree(tmp_path, {"impl.py": "class Thing:\n    pass\n"})
+        index = ProjectIndex(sorted(root.rglob("*.py")))
+        assert index.canonicalize("numpy.ndarray") == "numpy.ndarray"

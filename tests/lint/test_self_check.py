@@ -21,7 +21,20 @@ def test_first_party_tree_is_clean():
     assert report.ok, "\n".join(v.render() for v in report.violations)
 
 
-#: One reintroduction per invariant: (rule, planted source, role path).
+def test_first_party_tree_is_clean_under_full_dataflow():
+    """`poiagg check --analysis all` exits 0 at HEAD.
+
+    Every latent PL011–PL014 finding has been either fixed or pragma-
+    suppressed with a written rationale; a new finding here means a
+    fresh leak/deadlock/commit hazard, not a stale baseline.
+    """
+    paths = [REPO / p for p in DEFAULT_CHECK_PATHS]
+    report = check_paths(paths, analysis=("taint", "locks", "commit"))
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+
+
+#: One reintroduction per invariant:
+#: (rule, planted source, role path, analysis families to enable).
 REGRESSIONS = [
     (
         "PL001",
@@ -94,15 +107,74 @@ REGRESSIONS = [
         "    return np.zeros((config.n_clients, n_types))\n",
         "src/repro/federated/planted.py",
     ),
+    (
+        "PL011",
+        "import json\n\n"
+        "class Handler:\n"
+        "    def __init__(self, database, wfile):\n"
+        "        self._db = database\n"
+        "        self.wfile = wfile\n\n"
+        "    def emit(self, x, y, radius):\n"
+        "        row = self._db.freq_batch([[x, y]], radius)\n"
+        "        body = {'result': row[0].tolist()}\n"
+        "        self.wfile.write(json.dumps(body).encode())\n",
+        "src/repro/serve/planted.py",
+        ("taint",),
+    ),
+    (
+        "PL012",
+        "class Release:\n"
+        "    def __init__(self, accountant, defense):\n"
+        "        self._accountant = accountant\n"
+        "        self._defense = defense\n\n"
+        "    def release(self, row, rng):\n"
+        "        try:\n"
+        "            self._accountant.spend(1.0, 1e-6)\n"
+        "        except Exception:\n"
+        "            pass\n"
+        "        return self._defense.apply(row, rng)\n",
+        "src/repro/defense/planted.py",
+        ("taint",),
+    ),
+    (
+        "PL013",
+        "import queue\n"
+        "import threading\n\n"
+        "class Worker:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._queue = queue.Queue()\n\n"
+        "    def drain(self):\n"
+        "        with self._lock:\n"
+        "            return self._queue.get()\n",
+        "src/repro/serve/planted.py",
+        ("locks",),
+    ),
+    (
+        "PL014",
+        "import json\n"
+        "import os\n\n"
+        "def write_checkpoint(path, payload):\n"
+        "    tmp = path.with_suffix('.tmp')\n"
+        "    tmp.write_text(json.dumps(payload))\n"
+        "    os.replace(tmp, path)\n",
+        "src/repro/ingest/planted.py",
+        ("commit",),
+    ),
 ]
 
+#: Pad the syntactic triples so every row is (rule, source, path, analysis).
+REGRESSIONS = [row if len(row) == 4 else (*row, ()) for row in REGRESSIONS]
 
-@pytest.mark.parametrize("rule,source,as_path", REGRESSIONS)
-def test_reintroduced_violation_fails_the_gate(tmp_path, rule, source, as_path):
+
+@pytest.mark.parametrize("rule,source,as_path,analysis", REGRESSIONS)
+def test_reintroduced_violation_fails_the_gate(
+    tmp_path, rule, source, as_path, analysis
+):
     planted = tmp_path / as_path
     planted.parent.mkdir(parents=True, exist_ok=True)
     planted.write_text(source)
-    report = check_paths([tmp_path])
+    report = check_paths([tmp_path], analysis=analysis)
     assert report.exit_code == 1
     assert any(v.rule_id == rule for v in report.violations), (
         rule,
@@ -116,4 +188,4 @@ def test_reintroduced_violation_fails_the_gate(tmp_path, rule, source, as_path):
 def test_every_rule_has_a_regression_case():
     from repro.lint import RULES
 
-    assert {r for r, _, _ in REGRESSIONS} == {rule.id for rule in RULES}
+    assert {r for r, _, _, _ in REGRESSIONS} == {rule.id for rule in RULES}
