@@ -11,12 +11,14 @@ test:
 	pytest tests/
 
 ## The full local gate: style, strict typing, per-file invariant rules,
-## and the project-wide dataflow pass (mirrors CI's lint + dataflow jobs).
+## the project-wide dataflow pass (mirrors CI's lint + dataflow jobs),
+## and the crash-point recovery sweep over every durable writer.
 check:
 	ruff check src/ tests/ benchmarks/ examples/
 	mypy --strict src/repro
 	poiagg check
 	poiagg check --analysis all
+	poiagg crashsweep
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,6 +1,6 @@
 """Bench: the serve subsystem at paper-scale user counts.
 
-Two measurements, recorded in ``BENCH_serve.json`` at the repo root:
+Three measurements, recorded in ``BENCH_serve.json`` at the repo root:
 
 * **paper-scale run** — the ``bench`` load profile (10,000 simulated
   users, 20,000 release requests) through a live threaded
@@ -10,7 +10,12 @@ Two measurements, recorded in ``BENCH_serve.json`` at the repo root:
   ``batch_max=64`` versus ``batch_max=1`` (per-request dispatch).  The
   batched path amortises the :meth:`~repro.poi.database.POIDatabase.freq_batch`
   query, the ledger's WAL fsync, and the journal write across the whole
-  batch, and must show a measurable throughput gain.
+  batch, and must show a measurable throughput gain;
+* **WAL growth under sustained load** — the same slice served with WAL
+  compaction on (tight ``ledger_compact_every`` window) versus
+  effectively off.  The compacted ledger's on-disk WAL must stay under a
+  constant bound (one compaction window plus one sealed segment) while
+  the uncompacted twin grows with the request count.
 
 Submission is paced by backpressure: a rejected submit is retried after
 a short sleep, so the queue — not the driver loop — sets the pace and
@@ -40,8 +45,14 @@ _ABLATION_REQUESTS = 2_000
 #: not refusal (the bench mix averages ~2 laplace releases per user).
 _BUDGET = PrivacyParams(50.0, 0.0)
 
+#: WAL-growth arm: a tight compaction window so the sustained-load slice
+#: crosses many windows, and a generous per-record ceiling for the bound.
+_COMPACT_EVERY = 128
+_SEGMENT_MAX_BYTES = 1 << 14
+_RECORD_BYTES = 160
 
-def _config(batch_max: int) -> ServeConfig:
+
+def _config(batch_max: int, **ledger_cfg) -> ServeConfig:
     return ServeConfig(
         queue_capacity=512,
         n_workers=2,
@@ -53,6 +64,7 @@ def _config(batch_max: int) -> ServeConfig:
         # raw dispatch throughput, not graceful degradation.
         degrade_queue_ratio=2.0,
         refuse_queue_ratio=2.0,
+        **ledger_cfg,
     )
 
 
@@ -86,16 +98,20 @@ def _drive(service: ReleaseService, requests) -> dict:
     }
 
 
-def _run(db, tmp_path, tag: str, batch_max: int, requests) -> dict:
+def _run(db, tmp_path, tag: str, batch_max: int, requests, **ledger_cfg) -> dict:
     service = ReleaseService(
         db,
         _BUDGET,
-        config=_config(batch_max),
+        config=_config(batch_max, **ledger_cfg),
         ledger_dir=str(tmp_path / f"ledger-{tag}"),
         seed=0,
     )
     with service:
-        return _drive(service, requests)
+        result = _drive(service, requests)
+        # Captured before close() runs its final compaction: this is the
+        # steady-state footprint a long-lived server would carry.
+        result["wal_bytes"] = service.ledger.wal_bytes_on_disk()
+    return result
 
 
 def test_bench_serve(benchmark, bench_scale, tmp_path):
@@ -119,6 +135,29 @@ def test_bench_serve(benchmark, bench_scale, tmp_path):
     assert per_request["n_batches"] >= len(slice_)  # truly one job per batch
     speedup = batched["throughput_rps"] / per_request["throughput_rps"]
 
+    # --- WAL growth under sustained load: compaction on vs off ---
+    compacted = _run(
+        db, tmp_path, "wal-compacted", 64, slice_,
+        ledger_compact_every=_COMPACT_EVERY,
+        wal_segment_max_bytes=_SEGMENT_MAX_BYTES,
+    )
+    unbounded = _run(
+        db, tmp_path, "wal-unbounded", 64, slice_,
+        ledger_compact_every=10**9,
+        wal_segment_max_bytes=1 << 30,
+    )
+    # Without compaction the WAL carries the full spend history; with it,
+    # the footprint is one compaction window plus at most one sealed
+    # segment awaiting GC — a constant, not a function of request count.
+    wal_bound = _RECORD_BYTES * (_COMPACT_EVERY + 1) + _SEGMENT_MAX_BYTES
+    assert compacted["wal_bytes"] <= wal_bound, (
+        f"compacted WAL {compacted['wal_bytes']}B exceeds bound {wal_bound}B"
+    )
+    assert compacted["wal_bytes"] < unbounded["wal_bytes"], (
+        "compaction did not shrink the WAL: "
+        f"{compacted['wal_bytes']}B vs {unbounded['wal_bytes']}B"
+    )
+
     report = {
         "benchmark": "serve",
         "profile": profile.name,
@@ -131,6 +170,14 @@ def test_bench_serve(benchmark, bench_scale, tmp_path):
             "batched": batched,
             "per_request": per_request,
             "batching_speedup": speedup,
+        },
+        "wal_growth": {
+            "n_requests": len(slice_),
+            "compact_every": _COMPACT_EVERY,
+            "segment_max_bytes": _SEGMENT_MAX_BYTES,
+            "compacted_wal_bytes": compacted["wal_bytes"],
+            "unbounded_wal_bytes": unbounded["wal_bytes"],
+            "bound_bytes": wal_bound,
         },
     }
     _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -146,6 +193,11 @@ def test_bench_serve(benchmark, bench_scale, tmp_path):
         f"micro-batching: {batched['throughput_rps']:.0f} vs "
         f"{per_request['throughput_rps']:.0f} req/s "
         f"({speedup:.1f}x)  [{_RESULT_PATH.name}]"
+    )
+    print(
+        f"wal growth: {compacted['wal_bytes']}B compacted vs "
+        f"{unbounded['wal_bytes']}B unbounded "
+        f"(bound {wal_bound}B)"
     )
 
     assert speedup >= 1.2, f"micro-batching only {speedup:.2f}x per-request"

@@ -208,6 +208,33 @@ class LedgerIntegrityError(ReproError):
     """
 
 
+class DiskPressureError(ReproError):
+    """A durable write failed for environmental reasons (``ENOSPC``/``EIO``).
+
+    Raised by durable writers (the budget ledger's WAL, checkpoint
+    writers) when the disk refuses the bytes.  The distinguishing
+    property from :class:`LedgerIntegrityError` is that *nothing was
+    committed*: the in-memory state still matches the last durable
+    state, so the caller can degrade gracefully — the serve layer
+    answers 503 with Retry-After, the supervisor fails the shard rather
+    than the run — and retry once the pressure clears.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str = "",
+        path: "object | None" = None,
+        errno: "int | None" = None,
+    ) -> None:
+        location = f" [{op} {path}]" if path is not None else ""
+        super().__init__(message + location)
+        self.op = op
+        self.path = str(path) if path is not None else None
+        self.errno = errno
+
+
 class ServeFaultError(ReproError):
     """Base class for faults the serve chaos injector fires in workers."""
 

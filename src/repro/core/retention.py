@@ -1,0 +1,68 @@
+"""Retention and garbage collection for ``.checkpoints/`` trees.
+
+Long campaigns accumulate checkpoint files without bound: a federated
+run writes one ``round-NNNN.json`` per round, a crash-sweep leaves
+sweep reports, a supervised sweep leaves per-shard partials.  Retention
+is the disk-bound counterpart of WAL compaction — the durable history
+is pruned down to what resume can still use:
+
+* **keep-last-N** (:func:`prune_keep_last`) — for linear histories
+  where each checkpoint subsumes everything the rounds before it needed
+  (the federated accountant/grid state is cumulative): keep the N
+  newest, unlink the rest.  Resume from a pruned prefix simply re-runs
+  those rounds — every runner is a pure function of ``(config, seed)``,
+  so pruning trades recompute for disk, never correctness.
+* **subsumed-clears** — for hierarchical checkpoints (shard partials
+  under an experiment-level checkpoint), the owner deletes its
+  children once the parent commits:
+  :func:`repro.experiments.supervisor.clear_shard_checkpoints`.
+
+Deletions route through :mod:`repro.core.vfs`, so crash sweeps and
+disk-chaos suites cover them: each unlink is individually atomic, and a
+crash mid-prune merely leaves extra checkpoints for the next prune —
+retention never needs its own recovery protocol.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.errors import ConfigError
+from repro.core.vfs import get_vfs
+
+__all__ = ["prune_keep_last"]
+
+
+def prune_keep_last(
+    directory: "Path | str", pattern: str, keep_last: int
+) -> list[Path]:
+    """Unlink all but the ``keep_last`` newest files matching *pattern*.
+
+    "Newest" is by sorted filename, which every checkpoint layout in
+    this repo makes chronological by zero-padding its sequence number
+    (``round-0007.json``); mtimes are untrusted on purpose — they do
+    not survive clock jumps or file copies.  Returns the pruned paths.
+
+    A missing *directory* prunes nothing (the writer may not have
+    committed anything yet); ``keep_last`` must be >= 1 — retention
+    that deletes the newest checkpoint is indistinguishable from data
+    loss, so "keep none" is refused rather than interpreted.
+    """
+    if keep_last < 1:
+        raise ConfigError(f"keep_last must be >= 1, got {keep_last}")
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    matches = sorted(p for p in directory.glob(pattern) if p.is_file())
+    victims = matches[:-keep_last] if keep_last < len(matches) else []
+    vfs = get_vfs()
+    pruned: list[Path] = []
+    for path in victims:
+        try:
+            vfs.unlink(path, missing_ok=True)
+        except OSError:
+            # Disk trouble during GC must not fail the campaign that
+            # triggered it; the file stays for the next prune.
+            continue
+        pruned.append(path)
+    return pruned

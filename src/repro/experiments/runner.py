@@ -230,25 +230,42 @@ def run_many(
                     return summary
                 continue
             elapsed = time.time() - start
-            if out is not None:
-                result.save(Path(out) / f"{experiment_id}_{scale.name}.json")
-                write_checkpoint(
-                    ckpt_path,
-                    {
-                        "experiment_id": experiment_id,
-                        "scale": scale.name,
-                        "seed": scale.seed,
-                        "elapsed_s": elapsed,
-                        "completed_at": time.time(),
-                    },
-                )
-                # The experiment-level checkpoint subsumes any per-shard
-                # checkpoints a supervised run_sharded left behind; drop
-                # them so a later sweep cannot resume from stale partials.
-                # (Function-level import: supervisor imports this module.)
-                from repro.experiments.supervisor import clear_shard_checkpoints
+            try:
+                if out is not None:
+                    result.save(Path(out) / f"{experiment_id}_{scale.name}.json")
+                    write_checkpoint(
+                        ckpt_path,
+                        {
+                            "experiment_id": experiment_id,
+                            "scale": scale.name,
+                            "seed": scale.seed,
+                            "elapsed_s": elapsed,
+                            "completed_at": time.time(),
+                        },
+                    )
+                    # The experiment-level checkpoint subsumes any per-shard
+                    # checkpoints a supervised run_sharded left behind; drop
+                    # them so a later sweep cannot resume from stale partials.
+                    # (Function-level import: supervisor imports this module.)
+                    from repro.experiments.supervisor import clear_shard_checkpoints
 
-                clear_shard_checkpoints(out, experiment_id, scale)
+                    clear_shard_checkpoints(out, experiment_id, scale)
+            except OSError as exc:
+                # Disk pressure fails this experiment, never the batch:
+                # atomic_write guarantees nothing torn was published, so
+                # a re-run (without a checkpoint to skip on) redoes it.
+                run = ExperimentRun(
+                    experiment_id,
+                    "failed",
+                    elapsed_s=elapsed,
+                    error=f"persist refused by disk: {type(exc).__name__}: {exc}",
+                )
+                summary.runs.append(run)
+                if after is not None:
+                    after(run)
+                if not keep_going:
+                    return summary
+                continue
             run = ExperimentRun(experiment_id, "ok", elapsed_s=elapsed, result=result)
         summary.runs.append(run)
         if after is not None:

@@ -64,6 +64,7 @@ from pathlib import Path
 
 from repro.core.errors import ConfigError, TransientError
 from repro.core.rng import derive_rng
+from repro.core.vfs import VFSFile, get_vfs
 from repro.experiments.registry import get_experiment
 from repro.experiments.runner import load_checkpoint, write_checkpoint
 from repro.experiments.scale import ExperimentScale
@@ -233,9 +234,10 @@ def clear_shard_checkpoints(
     resume from stale partials.  Returns the number of files removed.
     """
     removed = 0
+    vfs = get_vfs()
     shard_dir = Path(out) / _SHARD_CHECKPOINT_DIR
     for path in shard_dir.glob(f"{experiment_id}_{scale.name}_*.json"):
-        path.unlink(missing_ok=True)
+        vfs.unlink(path, missing_ok=True)
         removed += 1
     return removed
 
@@ -266,21 +268,37 @@ def _checkpoint_matches(
 
 
 class _Journal:
-    """Append-only JSONL event log (no-op when no path is given)."""
+    """Append-only JSONL event log (no-op when no path is given).
+
+    Telemetry degrades, the sweep does not: a disk that refuses the
+    journal (``ENOSPC``/``EIO``) disables it instead of failing shards.
+    """
 
     def __init__(self, path: "Path | None") -> None:
-        self._fh = None
+        self._fh: "VFSFile | None" = None
+        self.disabled_reason: "str | None" = None
         if path is not None:
             path = Path(path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = path.open("a")
+            vfs = get_vfs()
+            try:
+                vfs.mkdir(path.parent, parents=True, exist_ok=True)
+                self._fh = vfs.open(path, "a")
+            except OSError as exc:
+                self.disabled_reason = f"journal open refused: {exc}"
 
     def write(self, event: str, **fields: object) -> None:
         if self._fh is None:
             return
         record = {"ts": round(time.time(), 3), "event": event, **fields}
-        self._fh.write(json.dumps(record, default=repr) + "\n")
-        self._fh.flush()
+        try:
+            self._fh.write(json.dumps(record, default=repr) + "\n")
+        except OSError as exc:
+            self.disabled_reason = f"journal write refused: {exc}"
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
 
     def close(self) -> None:
         if self._fh is not None:
@@ -501,7 +519,16 @@ def supervise_shards(
         report.status = "ok" if report.attempts == 1 else "retried"
         report.error = report.traceback = None
         partials[att.index] = payload
-        _checkpoint(att.index)
+        try:
+            _checkpoint(att.index)
+        except OSError as exc:
+            # Disk pressure is contained to this shard: its result (in
+            # memory) still merges into the sweep, only resumability is
+            # lost.  atomic_writer guarantees no torn checkpoint exists.
+            report.error = f"checkpoint write refused: {exc}"
+            journal.write(
+                "checkpoint_failed", shard=shards[att.index], error=str(exc)
+            )
         journal.write(
             "ok",
             shard=shards[att.index],
@@ -617,7 +644,13 @@ def supervise_shards(
             report.serial_fallback = True
             report.error = report.traceback = None
             partials[index] = payload
-            _checkpoint(index)
+            try:
+                _checkpoint(index)
+            except OSError as exc:
+                report.error = f"checkpoint write refused: {exc}"
+                journal.write(
+                    "checkpoint_failed", shard=shards[index], error=str(exc)
+                )
             journal.write("fallback_ok", shard=shards[index])
     finally:
         for att in running.values():

@@ -30,6 +30,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.errors import ConfigError
+from repro.core.retention import prune_keep_last
+from repro.core.vfs import get_vfs
 from repro.dp.accountant import PrivacyAccountant
 from repro.dp.mechanisms import PrivacyParams
 from repro.federated.admission import AdmissionPipeline, RoundLedger
@@ -248,19 +250,37 @@ class CampaignResult:
 
 
 class _Journal:
-    """Append-only campaign event log (advisory, like the shard journal)."""
+    """Append-only campaign event log (advisory, like the shard journal).
+
+    Telemetry degrades, the campaign does not: a disk that refuses the
+    journal disables it instead of aborting rounds.
+    """
 
     def __init__(self, path: "Path | None") -> None:
         self._fh = None
+        self.disabled_reason: "str | None" = None
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = path.open("a")
+            vfs = get_vfs()
+            try:
+                vfs.mkdir(path.parent, parents=True, exist_ok=True)
+                self._fh = vfs.open(path, "a")
+            except OSError as exc:
+                self.disabled_reason = f"journal open refused: {exc}"
 
     def write(self, event: str, **fields: object) -> None:
         if self._fh is None:
             return
-        self._fh.write(json.dumps({"event": event, **fields}, sort_keys=True) + "\n")
-        self._fh.flush()
+        try:
+            self._fh.write(
+                json.dumps({"event": event, **fields}, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            self.disabled_reason = f"journal write refused: {exc}"
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
 
     def close(self) -> None:
         if self._fh is not None:
@@ -290,6 +310,7 @@ def run_campaign(
     zero_payload_clients: "frozenset[int] | None" = None,
     out: "Path | str | None" = None,
     resume: bool = False,
+    checkpoint_keep_last: "int | None" = None,
 ) -> CampaignResult:
     """Run ``config.n_rounds`` federated rounds as one campaign.
 
@@ -306,7 +327,19 @@ def run_campaign(
     *budget* defaults to exactly ``n_rounds`` rounds' worth, so a
     healthy campaign commits every round; pass a smaller budget to
     exercise the refusal path.
+
+    *checkpoint_keep_last* bounds the round-checkpoint history: after
+    each round commits its checkpoint, older ``round-*.json`` files
+    beyond the N newest are pruned
+    (:func:`repro.core.retention.prune_keep_last`).  Each checkpoint
+    carries the *cumulative* accountant and grid state, so resume only
+    ever needs the newest one; pruned rounds re-run bit-identically if
+    the newest is gone too.  ``None`` keeps everything.
     """
+    if checkpoint_keep_last is not None and checkpoint_keep_last < 1:
+        raise ConfigError(
+            f"checkpoint_keep_last must be >= 1 or None, got {checkpoint_keep_last}"
+        )
     if resume and out is None:
         raise ConfigError("resume needs an output directory for checkpoints")
     if budget is None:
@@ -381,6 +414,19 @@ def run_campaign(
                         sort_keys=True,
                     ),
                 )
+                if checkpoint_keep_last is not None:
+                    pruned = prune_keep_last(
+                        Path(out) / _CHECKPOINT_DIR,
+                        "round-*.json",
+                        checkpoint_keep_last,
+                    )
+                    if pruned:
+                        journal.write(
+                            "checkpoints_pruned",
+                            round_id=round_id,
+                            n_pruned=len(pruned),
+                            keep_last=checkpoint_keep_last,
+                        )
     finally:
         journal.close()
 

@@ -12,11 +12,11 @@ spell out the same temp + replace sequence locally).
 from __future__ import annotations
 
 import hashlib
-import os
 from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO
+
+from repro.core.vfs import VFSFile, get_vfs
 
 __all__ = [
     "atomic_write_bytes",
@@ -31,28 +31,33 @@ _TMP_SUFFIX = ".tmp"
 
 
 @contextmanager
-def atomic_writer(path: "str | Path", mode: str = "w") -> Iterator[IO]:
+def atomic_writer(path: "str | Path", mode: str = "w") -> Iterator[VFSFile]:
     """Open ``<path>.tmp`` for writing; rename over *path* on clean exit.
 
     On an exception the temp file is removed and *path* is untouched, so
     a crash mid-write can never leave a half-written artifact under the
     final name.  ``mode`` must be a write mode (``"w"``/``"wb"``).
+
+    Every filesystem side effect routes through the installed
+    :mod:`repro.core.vfs` layer, so the fault fabric can inject disk
+    errors and enumerate each commit step (mkdir, open, writes, fsync,
+    replace) for the crash-point sweeps.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    vfs = get_vfs()
+    vfs.mkdir(path.parent, parents=True, exist_ok=True)
     tmp = path.with_name(path.name + _TMP_SUFFIX)
-    handle = tmp.open(mode, newline="" if "b" not in mode else None)
+    handle = vfs.open(tmp, mode)
     try:
         yield handle
     except BaseException:
         handle.close()
-        tmp.unlink(missing_ok=True)
+        vfs.unlink(tmp, missing_ok=True)
         raise
     else:
-        handle.flush()
-        os.fsync(handle.fileno())
+        vfs.fsync(handle)
         handle.close()
-        os.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
+        vfs.replace(tmp, path)  # atomic on POSIX: readers never see a torn file
 
 
 def atomic_write_text(path: "str | Path", text: str) -> Path:

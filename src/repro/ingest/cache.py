@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.errors import CacheIntegrityError
+from repro.core.vfs import get_vfs
 from repro.geo.bbox import BBox
 from repro.ingest.atomic import atomic_write_bytes, atomic_write_text, file_sha256
 from repro.poi.database import POIDatabase
@@ -138,7 +139,7 @@ class DatasetCache:
         source = Path(source)
         digest = source_digest if source_digest is not None else file_sha256(source)
         entry = self.entry_dir(source, digest)
-        entry.mkdir(parents=True, exist_ok=True)
+        get_vfs().mkdir(entry, parents=True, exist_ok=True)
 
         buffer = io.BytesIO()
         np.savez(

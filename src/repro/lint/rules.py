@@ -854,6 +854,49 @@ class ClientKeyedAllocation(Rule):
         return None
 
 
+#: The os-level durable-I/O primitives that bypass the injectable VFS.
+_VFS_PRIMITIVES = ("os.open", "os.write", "os.fsync", "os.replace")
+
+
+class UnroutedDurableIO(Rule):
+    """PL015 — durable I/O primitives must route through repro.core.vfs."""
+
+    id = "PL015"
+    name = "vfs-routing"
+    summary = "os.open/os.write/os.fsync/os.replace must route through repro.core.vfs"
+    rationale = (
+        "Every durability claim in this repo is only as tested as the "
+        "fault layer can see: the disk-fault plans, crash-point sweeps, "
+        "and chaos suites all inject through repro.core.vfs, so a writer "
+        "calling os.open/os.write/os.fsync/os.replace directly is "
+        "invisible to them — its commit steps are never enumerated, its "
+        "ENOSPC path never exercised, and a green sweep proves nothing "
+        "about it. Route durable I/O through get_vfs() (or the "
+        "repro.ingest.atomic helpers, which already do); only "
+        "repro.core.vfs itself may touch the primitives."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # The VFS is the sanctioned owner of the primitives.
+        if ctx.is_test or ctx.module == "repro.core.vfs":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target not in _VFS_PRIMITIVES:
+                continue
+            short = target.rsplit(".", 1)[-1]
+            yield self.violation(
+                ctx,
+                node,
+                f"direct {target} is invisible to the injectable fault "
+                f"layer — crash sweeps and disk-chaos plans cannot reach "
+                f"it; call get_vfs().{short}(...) (repro.core.vfs) or a "
+                "repro.ingest.atomic helper instead",
+            )
+
+
 class DataflowRule(Rule):
     """Base for the project-wide analyses (PL011–PL014).
 
@@ -962,6 +1005,7 @@ RULES: tuple[Rule, ...] = (
     UnboundedServeBlocking(),
     UnmanagedSharedMemory(),
     ClientKeyedAllocation(),
+    UnroutedDurableIO(),
     PrivacyTaintLeak(),
     SkippableSpend(),
     LockDiscipline(),

@@ -206,7 +206,9 @@ class _Attachment:
         self._shm: "shared_memory.SharedMemory | None" = None
         path = f"/dev/shm/{name}"
         if sys.platform == "linux" and os.path.exists(path):
-            fd = os.open(path, os.O_RDONLY)
+            # Read-only attach to ephemeral shared memory — not durable
+            # state, so there is nothing for the fault fabric to inject.
+            fd = os.open(path, os.O_RDONLY)  # poiagg: disable=PL015
             try:
                 size = os.fstat(fd).st_size
                 self._mm = mmap.mmap(fd, size, prot=mmap.PROT_READ)

@@ -64,6 +64,16 @@ class ServeConfig:
         Freq engine mode the service pins on its database
         (:class:`~repro.poi.engine.FreqEngine`): ``"auto"`` (default,
         radius-tiered), ``"banded"`` or ``"pyramid"``.
+    ledger_compact_every / wal_segment_max_bytes:
+        Budget-ledger WAL compaction cadence and segment-rotation size
+        (:class:`~repro.serve.ledger.BudgetLedger`); together they bound
+        ledger disk usage under sustained load.
+    journal_max_bytes:
+        Rotate the JSONL heartbeat/audit journal at this size (``None``
+        leaves it unbounded — short-lived runs and tests).
+    disk_retry_after_s:
+        Retry-After horizon advertised when the ledger's disk refuses a
+        WAL append (the 503 DiskPressure path).
     """
 
     queue_capacity: int = 256
@@ -85,6 +95,10 @@ class ServeConfig:
     heartbeat_interval_s: float = 5.0
     attack_audit: bool = False
     engine: str = "auto"
+    ledger_compact_every: int = 1024
+    wal_segment_max_bytes: int = 1 << 20
+    journal_max_bytes: "int | None" = None
+    disk_retry_after_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_MODES:
@@ -139,4 +153,20 @@ class ServeConfig:
         if self.heartbeat_interval_s <= 0:
             raise ConfigError(
                 f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.ledger_compact_every < 1:
+            raise ConfigError(
+                f"ledger_compact_every must be >= 1, got {self.ledger_compact_every}"
+            )
+        if self.wal_segment_max_bytes < 1:
+            raise ConfigError(
+                f"wal_segment_max_bytes must be >= 1, got {self.wal_segment_max_bytes}"
+            )
+        if self.journal_max_bytes is not None and self.journal_max_bytes < 1:
+            raise ConfigError(
+                f"journal_max_bytes must be >= 1 or None, got {self.journal_max_bytes}"
+            )
+        if self.disk_retry_after_s <= 0:
+            raise ConfigError(
+                f"disk_retry_after_s must be > 0, got {self.disk_retry_after_s}"
             )

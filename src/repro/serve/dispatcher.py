@@ -37,6 +37,7 @@ from repro.attacks.region import RegionAttack
 from repro.core.clock import Clock
 from repro.core.errors import (
     ConfigError,
+    DiskPressureError,
     MidCommitKillFault,
     WorkerCrashFault,
 )
@@ -136,6 +137,17 @@ class MicroBatchDispatcher:
         self._last_heartbeat = clock.now()
         self.n_batches = 0
         self.n_requeues = 0
+        self.n_disk_pressure = 0
+        #: Clock time until which charged admissions are refused because
+        #: the ledger's disk refused an append (503 + Retry-After); the
+        #: first charged batch after the horizon probes the disk again.
+        self._disk_pressure_until = 0.0
+
+    @property
+    def disk_pressure_retry_after(self) -> "float | None":
+        """Seconds to advertise in Retry-After, or ``None`` if healthy."""
+        remaining = self._disk_pressure_until - self._clock.now()
+        return remaining if remaining > 0 else None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -316,12 +328,29 @@ class MicroBatchDispatcher:
             else:
                 to_spend.append((job, spec))
         if to_spend:
-            outcomes = self._ledger.spend_batch(
-                [
-                    (job.request.user_id, spec.epsilon, spec.delta)
-                    for job, spec in to_spend
-                ]
-            )
+            try:
+                outcomes = self._ledger.spend_batch(
+                    [
+                        (job.request.user_id, spec.epsilon, spec.delta)
+                        for job, spec in to_spend
+                    ]
+                )
+            except DiskPressureError as exc:
+                # Nothing was committed — durably or in memory — so the
+                # charged jobs fail cleanly while uncharged work (raw /
+                # sanitize) keeps flowing.  Admission refuses charged
+                # submits with 503 + Retry-After until the horizon.
+                self.n_disk_pressure += 1
+                self._disk_pressure_until = (
+                    self._clock.now() + self._config.disk_retry_after_s
+                )
+                self._shedder.record_failure()
+                for job, _spec in to_spend:
+                    self._store.finalize(job, "failed", error=str(exc))
+                    self._journal.event(
+                        "failed", job_id=job.job_id, reason="disk pressure"
+                    )
+                return granted
             for (job, spec), refusal in zip(to_spend, outcomes):
                 if refusal is None:
                     job.charged = True

@@ -11,6 +11,7 @@ queued                 202     ``{"job_id": ..., "state": "pending"}``
 refused (budget)       429     the typed ``BudgetExhausted`` payload
 shed (ladder)          503     ``{"error": "LoadShed"}`` + Retry-After
 rejected (queue full)  503     ``{"error": "Backpressure"}`` + Retry-After
+unavailable (disk)     503     ``{"error": "DiskPressure"}`` + Retry-After
 =====================  ======  =========================================
 
 Endpoints:
@@ -110,6 +111,14 @@ class _Handler(BaseHTTPRequestHandler):
             if outcome.job is not None:
                 body_out["job_id"] = outcome.job.job_id
             self._send(503, body_out, headers)
+        elif outcome.status == "unavailable":
+            # The ledger's disk refused a WAL append: charged releases
+            # cannot be durably accounted, so nothing was committed.
+            self._send(
+                503,
+                {"error": "DiskPressure", "state": "unavailable"},
+                _retry_after(outcome.retry_after_s),
+            )
         else:  # rejected: backpressure, never became a job
             self._send(
                 503,

@@ -7,7 +7,17 @@ post-mortem can reconstruct the fate of every accepted request.
 
 Append-only event logs are incremental by design and cannot be
 committed by rename (the PL007 rationale explicitly scopes them out);
-durability-critical state lives in the ledger, not here.
+durability-critical state lives in the ledger, not here.  Two
+robustness properties the journal does own:
+
+* **bounded disk** — when the active file outgrows ``max_bytes`` it is
+  rotated (atomic rename to ``<name>.1``, older generations shifted up,
+  generations beyond ``keep_rotated`` unlinked), so sustained traffic
+  cannot grow the journal without bound;
+* **graceful degradation** — telemetry must never take the service
+  down: a write refused by the disk (``ENOSPC``/``EIO``) disables the
+  journal and records why, instead of propagating into the request
+  path.  Durable accounting failures are the ledger's job to escalate.
 """
 
 from __future__ import annotations
@@ -15,9 +25,10 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
-from typing import IO, Any
+from typing import Any
 
 from repro.core.clock import Clock
+from repro.core.vfs import VFSFile, get_vfs
 
 __all__ = ["ServeJournal"]
 
@@ -25,14 +36,31 @@ __all__ = ["ServeJournal"]
 class ServeJournal:
     """Thread-safe JSONL event sink; a ``None`` path makes it a no-op."""
 
-    def __init__(self, path: "str | Path | None", clock: Clock) -> None:
+    def __init__(
+        self,
+        path: "str | Path | None",
+        clock: Clock,
+        *,
+        max_bytes: "int | None" = None,
+        keep_rotated: int = 3,
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
-        self._handle: "IO[str] | None" = None
+        self._handle: "VFSFile | None" = None
+        self._path: "Path | None" = None
+        self._max_bytes = max_bytes
+        self._keep_rotated = max(1, keep_rotated)
+        self._offset = 0
+        self.disabled_reason: "str | None" = None
         if path is not None:
-            file_path = Path(path)
-            file_path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = file_path.open("a", encoding="utf-8")
+            self._path = Path(path)
+            vfs = get_vfs()
+            vfs.mkdir(self._path.parent, parents=True, exist_ok=True)
+            self._handle = vfs.open(self._path, "a")
+            try:
+                self._offset = self._path.stat().st_size
+            except OSError:
+                self._offset = 0
 
     @property
     def enabled(self) -> bool:
@@ -46,8 +74,55 @@ class ServeJournal:
         with self._lock:
             if self._handle is None:
                 return
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            try:
+                self._handle.write(line + "\n")
+            except OSError as exc:
+                # Telemetry degrades, the service does not: disable the
+                # journal rather than poison the request path.
+                self._disable_locked(f"journal write refused: {exc}")
+                return
+            self._offset += len(line) + 1
+            self._maybe_rotate_locked()
+
+    def _maybe_rotate_locked(self) -> None:
+        if (
+            self._max_bytes is None
+            or self._path is None
+            or self._handle is None
+            or self._offset < self._max_bytes
+        ):
+            return
+        vfs = get_vfs()
+        try:
+            self._handle.close()
+            # Shift generations up: .(k-1) -> .k, ..., active -> .1;
+            # then drop anything beyond the retention horizon.
+            for gen in range(self._keep_rotated, 1, -1):
+                older = self._generation(gen - 1)
+                if older.exists():
+                    vfs.replace(older, self._generation(gen))
+            vfs.replace(self._path, self._generation(1))
+            for extra in self._path.parent.glob(self._path.name + ".*"):
+                suffix = extra.suffix[1:]
+                if suffix.isdigit() and int(suffix) > self._keep_rotated:
+                    vfs.unlink(extra, missing_ok=True)
+            self._handle = vfs.open(self._path, "a")
+            self._offset = 0
+        except OSError as exc:
+            self._disable_locked(f"journal rotation refused: {exc}")
+
+    def _generation(self, k: int) -> Path:
+        assert self._path is not None
+        return self._path.with_name(f"{self._path.name}.{k}")
+
+    def _disable_locked(self, reason: str) -> None:
+        self.disabled_reason = reason
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
 
     def close(self) -> None:
         with self._lock:

@@ -6,13 +6,18 @@ exactly here: sloppy accounting across repeated queries quietly voids
 the guarantee.  The ledger therefore treats the spend record — not the
 response — as the ground truth, with a *write-ahead* discipline:
 
-1. a spend is appended to the write-ahead log (``ledger.wal``) and
-   fsynced **before** the release is computed or returned;
-2. every ``compact_every`` appends, the full per-user accountant state
-   is snapshotted to ``ledger.json`` through the atomic temp-file +
-   ``os.replace`` protocol and the WAL is (atomically) truncated.
+1. a spend is appended to the active write-ahead-log segment
+   (``ledger.wal``) and fsynced **before** the release is computed or
+   returned;
+2. when the active segment outgrows ``segment_max_bytes`` it is sealed
+   (atomically renamed to ``ledger.wal.<NNNNNNNN>``) and a fresh active
+   segment is opened — appends stay O(append), never O(log);
+3. every ``compact_every`` appends (and on clean shutdown), the full
+   per-user accountant state is snapshotted to ``ledger.json`` through
+   the atomic temp-file + rename protocol, every sealed segment is
+   garbage-collected, and the active segment is truncated.
 
-Crash analysis, in both directions:
+Crash analysis, in all directions:
 
 * killed after the WAL append but before the response left — the spend
   is counted on restart although nothing was served.  Budget is lost,
@@ -22,10 +27,22 @@ Crash analysis, in both directions:
 * killed mid-append — the torn trailing WAL line is dropped on replay.
   Safe, because the corresponding release was only ever served *after*
   a complete, fsynced append.
-* killed between snapshot replace and WAL truncation — WAL records
-  carry monotonic sequence numbers and the snapshot stores the last
-  sequence it absorbed, so replay skips records the snapshot already
-  contains.  Spends are counted exactly once.
+* killed between segment seal and reopening the active segment — the
+  restart sees the sealed segments and no active file, and simply opens
+  a fresh one.
+* killed between snapshot replace and segment GC / truncation — WAL
+  records carry monotonic sequence numbers and the snapshot stores the
+  last sequence it absorbed, so replay skips records the snapshot
+  already contains.  Spends are counted exactly once, and the leftover
+  segments are GC'd by the next compaction.
+* the disk refuses the append (``ENOSPC``/``EIO``) — nothing is
+  committed in memory, the torn tail is truncated away so later appends
+  cannot poison the log, and the caller gets a typed
+  :class:`~repro.core.errors.DiskPressureError` (the serve layer's
+  503 + Retry-After path).
+
+All durable I/O routes through :mod:`repro.core.vfs`, so the disk-chaos
+suite and the crash-point sweeps exercise every window above.
 
 Accounting itself is the same implementation the offline runners use —
 one :class:`~repro.dp.accountant.PrivacyAccountant` per user, persisted
@@ -36,23 +53,44 @@ boundary is bit-identical between the service and the experiments.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from collections.abc import Sequence
 from pathlib import Path
-from typing import IO, Any
+from typing import Any
 
-from repro.core.errors import BudgetExhaustedError, ConfigError, LedgerIntegrityError
+from repro.core.errors import (
+    BudgetExhaustedError,
+    ConfigError,
+    DiskPressureError,
+    LedgerIntegrityError,
+)
+from repro.core.vfs import VFSFile, get_vfs
 from repro.dp.accountant import PrivacyAccountant
 from repro.dp.mechanisms import PrivacyParams
 from repro.ingest.atomic import atomic_write_text
 
-__all__ = ["BudgetLedger", "SNAPSHOT_NAME", "WAL_NAME"]
+__all__ = ["BudgetLedger", "SNAPSHOT_NAME", "WAL_NAME", "sealed_segment_paths"]
 
 SNAPSHOT_NAME = "ledger.json"
 WAL_NAME = "ledger.wal"
 
 _SNAPSHOT_VERSION = 1
+
+
+def sealed_segment_paths(directory: "str | Path") -> list[Path]:
+    """The sealed WAL segments under *directory*, oldest first.
+
+    Sealed segments are named ``ledger.wal.<8-digit index>``; the
+    suffix filter keeps ``ledger.wal.tmp`` (an in-flight atomic write)
+    out of replay.
+    """
+    directory = Path(directory)
+    sealed = [
+        path
+        for path in directory.glob(f"{WAL_NAME}.*")
+        if path.suffix[1:].isdigit()
+    ]
+    return sorted(sealed, key=lambda p: int(p.suffix[1:]))
 
 
 class BudgetLedger:
@@ -67,10 +105,15 @@ class BudgetLedger:
         is deterministic: the first spend that would push a user past
         the budget is refused, as is every spend after it.
     directory:
-        Where ``ledger.json`` / ``ledger.wal`` live.  ``None`` keeps the
-        ledger purely in memory (tests, ephemeral load generation).
+        Where ``ledger.json`` / ``ledger.wal*`` live.  ``None`` keeps
+        the ledger purely in memory (tests, ephemeral load generation).
     compact_every:
         WAL appends between snapshot compactions.
+    segment_max_bytes:
+        Size at which the active WAL segment is sealed and rotated.
+        Bounds the worst-case replay read and keeps compaction's GC
+        incremental; disk usage stays under roughly one snapshot plus
+        ``compact_every`` records plus one segment.
     """
 
     def __init__(
@@ -78,24 +121,37 @@ class BudgetLedger:
         budget: PrivacyParams,
         directory: "str | Path | None" = None,
         compact_every: int = 1024,
+        segment_max_bytes: int = 1 << 20,
     ) -> None:
         if compact_every < 1:
             raise ConfigError(f"compact_every must be >= 1, got {compact_every}")
+        if segment_max_bytes < 1:
+            raise ConfigError(
+                f"segment_max_bytes must be >= 1, got {segment_max_bytes}"
+            )
         self._budget = budget
         self._dir = Path(directory) if directory is not None else None
         self._compact_every = compact_every
+        self._segment_max_bytes = segment_max_bytes
         self._lock = threading.Lock()
         self._accounts: dict[str, PrivacyAccountant] = {}
         self._seq = 0
         self._snapshot_seq = 0
         self._appends_since_compact = 0
-        self._wal: "IO[str] | None" = None
+        self._wal: "VFSFile | None" = None
+        #: Byte length of the active segment's last durably-complete
+        #: record; a failed append truncates back to this offset so the
+        #: torn tail can never poison later appends.
+        self._wal_offset = 0
+        self._sealed: list[Path] = []
+        self._next_segment = 1
         self.n_granted = 0
         self.n_refused = 0
         if self._dir is not None:
-            self._dir.mkdir(parents=True, exist_ok=True)
+            vfs = get_vfs()
+            vfs.mkdir(self._dir, parents=True, exist_ok=True)
             self._restore()
-            self._wal = (self._dir / WAL_NAME).open("a", encoding="utf-8")
+            self._open_active_segment()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -166,7 +222,48 @@ class BudgetLedger:
                 "total_epsilon_spent": sum(
                     a.total_epsilon for a in self._accounts.values()
                 ),
+                "wal_bytes": float(self._wal_bytes_locked()),
+                "wal_segments": float(len(self._sealed) + 1 if self._dir else 0),
             }
+
+    def to_state(self) -> dict[str, Any]:
+        """The ledger's durable state as a canonical, comparable dict.
+
+        Everything a restart restores: the sequence high-water mark, the
+        budget, and each user's accountant snapshot.  Compaction and WAL
+        rotation are invisible here — the property suite asserts
+        ``to_state()`` is bit-identical across both, including across a
+        crash planted mid-compaction.  Users whose every spend was
+        refused are omitted: a refusal commits nothing durable, so an
+        empty accountant is an in-memory artifact a restart is not
+        obliged to reproduce.
+        """
+        with self._lock:
+            return {
+                "seq": self._seq,
+                "budget": [self._budget.epsilon, self._budget.delta],
+                "users": {
+                    user_id: self._accounts[user_id].to_state()
+                    for user_id in sorted(self._accounts)
+                    if self._accounts[user_id].n_invocations > 0
+                },
+            }
+
+    def wal_bytes_on_disk(self) -> int:
+        """Bytes currently held by the active + sealed WAL segments."""
+        with self._lock:
+            return self._wal_bytes_locked()
+
+    def _wal_bytes_locked(self) -> int:
+        if self._dir is None:
+            return 0
+        total = 0
+        for path in [self._dir / WAL_NAME, *self._sealed]:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     # ------------------------------------------------------------------
     # Spending
@@ -196,6 +293,11 @@ class BudgetLedger:
         batch is decided sequentially under the lock (two spends by one
         user in one batch compose), and all granted spends become
         durable together before any of them is committed in memory.
+
+        Raises :class:`~repro.core.errors.DiskPressureError` when the
+        disk refuses the append; in that case *nothing* was committed —
+        neither durably nor in memory — so the caller can refuse the
+        whole batch and retry later.
         """
         for user_id, epsilon, delta in spends:
             if epsilon <= 0:
@@ -251,7 +353,15 @@ class BudgetLedger:
                 for user_id, epsilon, delta in granted:
                     self._accounts[user_id].spend(epsilon, delta, label="serve")
                     self.n_granted += 1
-                self._maybe_compact()  # poiagg: disable=PL013
+                try:
+                    self._maybe_rotate()  # poiagg: disable=PL013
+                    self._maybe_compact()  # poiagg: disable=PL013
+                except OSError:
+                    # Rotation and compaction are disk-usage
+                    # optimizations; the spends above are already durable
+                    # and committed, so disk trouble here must not turn a
+                    # granted batch into an error.  A later spend retries.
+                    pass
             return outcomes
 
     def _account(self, user_id: str) -> PrivacyAccountant:
@@ -265,9 +375,38 @@ class BudgetLedger:
     # Persistence
     # ------------------------------------------------------------------
 
+    def _open_active_segment(self) -> None:
+        assert self._dir is not None
+        wal_path = self._dir / WAL_NAME
+        self._wal = get_vfs().open(wal_path, "a")
+        try:
+            self._wal_offset = wal_path.stat().st_size
+        except OSError:
+            self._wal_offset = 0
+
     def _append_wal(self, granted: Sequence[tuple[str, float, float]]) -> None:
-        if self._wal is None:
+        if self._dir is None:
             return
+        if self._wal is None:
+            # A failed torn-tail repair parked the WAL (``_wal_offset``
+            # still marks the last durably-complete record).  Retry the
+            # truncate before accepting appends — blessing the torn tail
+            # would turn end-of-file damage into mid-file corruption —
+            # and refuse the batch if the disk still will not cooperate.
+            wal_path = self._dir / WAL_NAME
+            try:
+                if not wal_path.exists():
+                    self._wal_offset = 0
+                elif wal_path.stat().st_size != self._wal_offset:
+                    get_vfs().truncate(wal_path, self._wal_offset)
+                self._wal = get_vfs().open(wal_path, "a")
+            except OSError as exc:
+                raise DiskPressureError(
+                    f"WAL unavailable after failed tail repair: {exc}",
+                    op="open",
+                    path=wal_path,
+                    errno=exc.errno,
+                ) from exc
         lines = []
         seq = self._seq
         for user_id, epsilon, delta in granted:
@@ -278,11 +417,70 @@ class BudgetLedger:
                     separators=(",", ":"),
                 )
             )
-        self._wal.write("\n".join(lines) + "\n")
-        self._wal.flush()
-        os.fsync(self._wal.fileno())
+        payload = "\n".join(lines) + "\n"
+        vfs = get_vfs()
+        wal_path = self._wal.path
+        try:
+            self._wal.write(payload)
+            vfs.fsync(self._wal)
+        except OSError as exc:
+            # The repair may park the WAL handle, so name the path first.
+            self._repair_torn_tail()
+            raise DiskPressureError(
+                f"WAL append refused by the disk: {exc}",
+                op="write",
+                path=wal_path,
+                errno=exc.errno,
+            ) from exc
         self._seq = seq
+        self._wal_offset += len(payload.encode("utf-8"))
         self._appends_since_compact += len(granted)
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate the active segment back to its last complete record.
+
+        Best-effort (the same disk that refused the append may refuse
+        the truncate); if it fails, replay's torn-tail tolerance still
+        covers a restart, but we refuse further appends until a truncate
+        succeeds so a partial record can never be extended into a
+        mid-file corruption.
+        """
+        if self._wal is None or self._dir is None:
+            return
+        wal_path = self._dir / WAL_NAME
+        try:
+            if wal_path.stat().st_size != self._wal_offset:
+                get_vfs().truncate(wal_path, self._wal_offset)
+        except OSError:
+            # Reopen-before-append will retry the repair.
+            self._wal.close()
+            self._wal = None
+
+    def _maybe_rotate(self) -> None:
+        if (
+            self._wal is None
+            or self._dir is None
+            or self._wal_offset < self._segment_max_bytes
+        ):
+            return
+        vfs = get_vfs()
+        wal_path = self._dir / WAL_NAME
+        sealed_path = self._dir / f"{WAL_NAME}.{self._next_segment:08d}"
+        self._wal.close()
+        # Park the handle across the rename: if the seal or the reopen
+        # fails, the next append must recover through the parked-WAL path
+        # instead of writing into a closed handle.
+        self._wal = None
+        try:
+            vfs.replace(wal_path, sealed_path)
+        except OSError:
+            # Rotation is an optimization; under disk pressure keep
+            # appending to the oversized segment rather than failing.
+            self._open_active_segment()
+            return
+        self._sealed.append(sealed_path)
+        self._next_segment += 1
+        self._open_active_segment()
 
     def _maybe_compact(self) -> None:
         if self._wal is None or self._appends_since_compact < self._compact_every:
@@ -290,12 +488,12 @@ class BudgetLedger:
         self._compact_locked()
 
     def compact(self) -> None:
-        """Snapshot all accounts atomically and truncate the WAL.
+        """Snapshot all accounts atomically, GC sealed segments, truncate.
 
         Public so the service can compact on clean shutdown.  Safe to
-        call at any point: the snapshot lands via ``os.replace`` first,
-        and replay's sequence filter makes the not-yet-truncated WAL a
-        no-op if we crash in between.
+        call at any point: the snapshot lands via the atomic-rename
+        protocol first, and replay's sequence filter makes every
+        not-yet-GC'd segment a no-op if we crash in between.
         """
         with self._lock:
             # Compaction must see a frozen account table, so the snapshot
@@ -307,11 +505,23 @@ class BudgetLedger:
         if self._dir is None:
             return
         self._write_snapshot()
+        # Everything sealed (and the active segment's current records)
+        # is now absorbed by the snapshot: GC the segments, truncate the
+        # active file.  A crash anywhere in here only leaves seq-filtered
+        # no-op records for replay; the next compaction re-GCs leftovers.
+        vfs = get_vfs()
+        for path in self._sealed:
+            vfs.unlink(path, missing_ok=True)
+        self._sealed = []
         if self._wal is None:
             return
         self._wal.close()
+        # Park the handle before the truncate-by-rewrite: if the disk
+        # refuses it, the next append must recover through the parked-WAL
+        # path instead of writing into a closed handle.
+        self._wal = None
         atomic_write_text(self._dir / WAL_NAME, "")
-        self._wal = (self._dir / WAL_NAME).open("a", encoding="utf-8")
+        self._open_active_segment()
         self._appends_since_compact = 0
 
     def _write_snapshot(self) -> None:
@@ -333,7 +543,12 @@ class BudgetLedger:
         with self._lock:
             # Final compaction on shutdown: same frozen-table argument as
             # compact(); nothing else can contend after close() anyway.
-            self._compact_locked()  # poiagg: disable=PL013
+            try:
+                self._compact_locked()  # poiagg: disable=PL013
+            except OSError:
+                # Shutdown must not fail because the disk is full; every
+                # granted spend is already durable in the WAL.
+                pass
             if self._wal is not None:
                 self._wal.close()
                 self._wal = None
@@ -353,9 +568,18 @@ class BudgetLedger:
         snapshot_path = self._dir / SNAPSHOT_NAME
         if snapshot_path.exists():
             self._restore_snapshot(snapshot_path)
-        wal_path = self._dir / WAL_NAME
-        if wal_path.exists():
-            self._replay_wal(wal_path)
+        # Sealed segments replay oldest-first, then the active segment;
+        # only the final file of the chain may carry a torn tail (the
+        # one the dying process was appending to).
+        self._sealed = sealed_segment_paths(self._dir)
+        if self._sealed:
+            self._next_segment = int(self._sealed[-1].suffix[1:]) + 1
+        chain = list(self._sealed)
+        active = self._dir / WAL_NAME
+        if active.exists():
+            chain.append(active)
+        for index, path in enumerate(chain):
+            self._replay_wal(path, allow_torn_tail=index == len(chain) - 1)
 
     def _restore_snapshot(self, path: Path) -> None:
         try:
@@ -388,12 +612,13 @@ class BudgetLedger:
             raise LedgerIntegrityError(f"malformed ledger snapshot {path}: {exc}") from exc
         self._snapshot_seq = self._seq
 
-    def _replay_wal(self, path: Path) -> None:
+    def _replay_wal(self, path: Path, *, allow_torn_tail: bool) -> None:
         lines = path.read_text(encoding="utf-8").splitlines()
         # Trailing blank lines are artifacts of the final append.
         while lines and not lines[-1].strip():
             lines.pop()
-        last_seq = self._snapshot_seq
+        last_seq = self._seq
+        anchored = False  # has this replay chain advanced past the snapshot?
         for index, line in enumerate(lines):
             if not line.strip():
                 raise LedgerIntegrityError(
@@ -406,16 +631,16 @@ class BudgetLedger:
                 epsilon = float(record["eps"])
                 delta = float(record["delta"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                if index == len(lines) - 1:
+                if allow_torn_tail and index == len(lines) - 1:
                     # Torn trailing append: the process died mid-write, so
                     # the corresponding release was never served.  Drop it.
                     break
                 raise LedgerIntegrityError(
                     f"ledger WAL {path} is corrupt at line {index + 1}: {exc}"
                 ) from exc
-            if seq <= self._snapshot_seq:
-                continue  # already absorbed by the snapshot before the crash
-            if seq != last_seq + 1 and last_seq != self._snapshot_seq:
+            if seq <= self._snapshot_seq or seq <= last_seq:
+                continue  # already absorbed by the snapshot (or a prior segment)
+            if anchored and seq != last_seq + 1:
                 raise LedgerIntegrityError(
                     f"ledger WAL {path} sequence jumps from {last_seq} to {seq} "
                     f"at line {index + 1}"
@@ -428,4 +653,5 @@ class BudgetLedger:
                     f"{index + 1}: {exc}"
                 ) from exc
             last_seq = seq
+            anchored = True
         self._seq = max(self._seq, last_seq)

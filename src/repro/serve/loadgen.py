@@ -173,7 +173,7 @@ def run_loadgen(
     """Drive *service* in-process with *profile* and reduce the run."""
     clock = clock if clock is not None else SystemClock()
     requests = generate_requests(profile, seed)
-    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0}
+    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0, "unavailable": 0}
     t0 = clock.now()
     for request in requests:
         outcome = service.submit(request)
@@ -239,7 +239,7 @@ def run_loadgen_http(
     clock = clock if clock is not None else SystemClock()
     base = base_url.rstrip("/")
     requests = generate_requests(profile, seed)
-    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0}
+    outcomes = {"queued": 0, "rejected": 0, "refused": 0, "shed": 0, "unavailable": 0}
     job_ids: list[str] = []
     t0 = clock.now()
     for request in requests:
@@ -261,6 +261,8 @@ def run_loadgen_http(
             outcomes["refused"] += 1
         elif status == 503 and payload.get("error") == "LoadShed":
             outcomes["shed"] += 1
+        elif status == 503 and payload.get("error") == "DiskPressure":
+            outcomes["unavailable"] += 1
         elif status == 503:
             outcomes["rejected"] += 1
         else:

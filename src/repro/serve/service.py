@@ -51,7 +51,7 @@ __all__ = ["DefenseSpec", "ReleaseService", "SubmitOutcome", "build_default_spec
 class SubmitOutcome:
     """What the admission path decided about one submit."""
 
-    status: str  # "queued" | "rejected" | "refused" | "shed"
+    status: str  # "queued" | "rejected" | "refused" | "shed" | "unavailable"
     job: "Job | None" = None
     retry_after_s: "float | None" = None
     payload: "dict[str, Any] | None" = None
@@ -115,8 +115,15 @@ class ReleaseService:
             raise ConfigError(
                 "the spec menu must include 'sanitize' (the ladder's degraded rung)"
             )
-        self.ledger = BudgetLedger(budget, directory=ledger_dir)
-        self.journal = ServeJournal(journal_path, self._clock)
+        self.ledger = BudgetLedger(
+            budget,
+            directory=ledger_dir,
+            compact_every=self.config.ledger_compact_every,
+            segment_max_bytes=self.config.wal_segment_max_bytes,
+        )
+        self.journal = ServeJournal(
+            journal_path, self._clock, max_bytes=self.config.journal_max_bytes
+        )
         self.store = JobStore(self._clock)
         self.shedder = LoadShedder(self.config, self._clock)
         self._queue: "queue_module.Queue[Job]" = queue_module.Queue(
@@ -197,6 +204,18 @@ class ReleaseService:
             )
         spec = self.specs[request.defense]
         if spec.charged:
+            # Disk pressure: the ledger's device refused a WAL append
+            # recently, so a charged release cannot be durably accounted.
+            # Refuse at admission (503 + Retry-After) instead of queueing
+            # work that would fail at the commit point; uncharged
+            # defenses keep flowing, and the horizon's expiry lets the
+            # next charged batch probe the disk again.
+            retry_after = self.dispatcher.disk_pressure_retry_after
+            if retry_after is not None:
+                self.journal.event(
+                    "unavailable", user_id=request.user_id, reason="disk pressure"
+                )
+                return SubmitOutcome(status="unavailable", retry_after_s=retry_after)
             refusal = self.ledger.would_refuse(
                 request.user_id, spec.epsilon, spec.delta
             )

@@ -1,0 +1,66 @@
+"""Checkpoint retention: keep-last-N pruning and its failure tolerance."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.retention import prune_keep_last
+from repro.core.vfs import DurableVFS, install_vfs
+
+
+class RefusingVFS(DurableVFS):
+    """Every unlink fails — a disk that will write but not delete."""
+
+    def unlink(self, path, *, missing_ok=False):
+        raise OSError(5, "injected unlink fault", str(path))
+
+
+def seed_checkpoints(directory, n):
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(n):
+        path = directory / f"round-{i:04d}.json"
+        path.write_text(f'{{"round": {i}}}')
+        paths.append(path)
+    return paths
+
+
+def test_prunes_all_but_the_newest_n(tmp_path):
+    paths = seed_checkpoints(tmp_path / "ck", 5)
+    pruned = prune_keep_last(tmp_path / "ck", "round-*.json", keep_last=2)
+    assert pruned == paths[:3]
+    assert sorted((tmp_path / "ck").glob("*.json")) == paths[3:]
+
+
+def test_keep_last_larger_than_history_is_a_noop(tmp_path):
+    paths = seed_checkpoints(tmp_path / "ck", 3)
+    assert prune_keep_last(tmp_path / "ck", "round-*.json", keep_last=10) == []
+    assert sorted((tmp_path / "ck").glob("*.json")) == paths
+
+
+def test_missing_directory_prunes_nothing(tmp_path):
+    assert prune_keep_last(tmp_path / "absent", "*.json", keep_last=1) == []
+
+
+def test_pattern_scopes_the_victims(tmp_path):
+    seed_checkpoints(tmp_path / "ck", 4)
+    bystander = tmp_path / "ck" / "experiment.json"
+    bystander.write_text("{}")
+    prune_keep_last(tmp_path / "ck", "round-*.json", keep_last=1)
+    assert bystander.exists()
+    assert (tmp_path / "ck" / "round-0003.json").exists()
+
+
+def test_keep_none_is_refused(tmp_path):
+    with pytest.raises(ConfigError):
+        prune_keep_last(tmp_path, "*.json", keep_last=0)
+
+
+def test_disk_trouble_leaves_victims_for_the_next_prune(tmp_path):
+    seed_checkpoints(tmp_path / "ck", 4)
+    # Every unlink fails: nothing pruned, nothing raised.
+    with install_vfs(RefusingVFS()):
+        assert prune_keep_last(tmp_path / "ck", "round-*.json", keep_last=1) == []
+    assert len(list((tmp_path / "ck").glob("round-*.json"))) == 4
+    # The disk recovered: the same prune finishes the job.
+    pruned = prune_keep_last(tmp_path / "ck", "round-*.json", keep_last=1)
+    assert len(pruned) == 3

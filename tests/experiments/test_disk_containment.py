@@ -1,0 +1,84 @@
+"""Disk-fault blast-radius containment: a refused checkpoint fails the
+shard or the experiment, never the run or the batch."""
+
+from repro.core.vfs import DiskFaultPlan, FaultyVFS, install_vfs
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_many
+from repro.experiments.scale import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="ci",
+    n_targets=12,
+    n_train=50,
+    n_validation=20,
+    n_area_samples=1_000,
+    n_taxis=10,
+    n_users=8,
+    seed=5,
+)
+
+
+def stub_run(experiment_id, scale):
+    return ExperimentResult(experiment_id=experiment_id, title="stub")
+
+
+def refusing_disk(tmp_path):
+    """Every durable open/write under *tmp_path* raises ENOSPC."""
+    return FaultyVFS(
+        DiskFaultPlan(enospc_rate=1.0, path_substring=str(tmp_path))
+    )
+
+
+class TestRunnerContainment:
+    def test_persist_refusal_fails_the_experiment_not_the_batch(self, tmp_path):
+        with install_vfs(refusing_disk(tmp_path)):
+            summary = run_many(
+                ["alpha", "beta"], MICRO, out=tmp_path,
+                keep_going=True, run_fn=stub_run,
+            )
+        assert [r.status for r in summary.runs] == ["failed", "failed"]
+        assert all("persist refused by disk" in r.error for r in summary.runs)
+        assert summary.exit_code == 1
+
+    def test_persist_refusal_stops_batch_without_keep_going(self, tmp_path):
+        with install_vfs(refusing_disk(tmp_path)):
+            summary = run_many(
+                ["alpha", "beta"], MICRO, out=tmp_path, run_fn=stub_run
+            )
+        # Fail-fast semantics match any other experiment failure: the
+        # refusal is recorded, the rest of the batch is not attempted.
+        assert [r.status for r in summary.runs] == ["failed"]
+
+    def test_unpersisted_experiment_reruns_on_resume(self, tmp_path):
+        with install_vfs(refusing_disk(tmp_path)):
+            run_many(["alpha"], MICRO, out=tmp_path, run_fn=stub_run)
+        # The disk recovered: resume finds no checkpoint (nothing was
+        # durably written) and re-runs the experiment to completion.
+        summary = run_many(
+            ["alpha"], MICRO, out=tmp_path, resume=True, run_fn=stub_run
+        )
+        assert [r.status for r in summary.runs] == ["ok"]
+        assert (tmp_path / ".checkpoints").is_dir()
+
+
+class TestSupervisorContainment:
+    def test_checkpoint_refusal_keeps_the_shard_result(self, tmp_path):
+        """The shard computed fine; only its resumability is lost."""
+        from repro.experiments.parallel import run_sharded
+        from repro.experiments.supervisor import ShardPolicy, shard_checkpoint_path
+
+        plan = DiskFaultPlan(enospc_rate=1.0, path_substring=".checkpoints")
+        with install_vfs(FaultyVFS(plan)):
+            result = run_sharded(
+                "fig4", MICRO, shards=("bj_random",), max_workers=1,
+                out=tmp_path,
+                policy=ShardPolicy(poll_interval_s=0.01, heartbeat_interval_s=0.05),
+                radii=(1_000.0,), epsilons=(0.1,),
+            )
+        assert result.rows  # the data made it back
+        (report,) = result.provenance["sharding"]["shards"]
+        assert report["status"] == "ok"
+        assert "checkpoint write refused" in (report["error"] or "")
+        assert not shard_checkpoint_path(
+            tmp_path, "fig4", MICRO, "bj_random"
+        ).exists()

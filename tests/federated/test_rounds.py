@@ -203,3 +203,39 @@ run_campaign(small_city(seed=7).database, config, {SEED}, out={str(out)!r})
             config.n_rounds * config.epsilon
         )
         assert resumed.accountant.n_invocations == config.n_rounds
+
+
+class TestCheckpointRetention:
+    RETAIN_CONFIG = FederatedConfig(
+        n_clients=100, n_rounds=4, chunk_clients=64,
+        memory_budget_mb=64.0, clip_bound=32.0,
+    )
+
+    def test_keep_last_bounds_the_checkpoint_history(self, db, tmp_path):
+        run_campaign(
+            db, self.RETAIN_CONFIG, SEED, out=tmp_path, checkpoint_keep_last=2
+        )
+        kept = sorted(round_checkpoint_path(tmp_path, 0).parent.glob("round-*.json"))
+        assert [p.name for p in kept] == ["round-0002.json", "round-0003.json"]
+
+    def test_resume_from_pruned_history_is_bit_identical(self, db, tmp_path):
+        """Pruning trades recompute for disk, never correctness: each
+        checkpoint carries cumulative accountant/grid state, so resume
+        restores the newest and re-runs only what was pruned."""
+        live = run_campaign(db, self.RETAIN_CONFIG, SEED)
+        run_campaign(
+            db, self.RETAIN_CONFIG, SEED, out=tmp_path, checkpoint_keep_last=1
+        )
+        resumed = run_campaign(
+            db, self.RETAIN_CONFIG, SEED, out=tmp_path, resume=True
+        )
+        assert resumed.resumed_rounds >= 1
+        assert np.array_equal(resumed.released, live.released)
+        assert resumed.accountant.to_state() == live.accountant.to_state()
+        assert resumed.grid.to_state() == live.grid.to_state()
+
+    def test_keep_none_is_refused(self, db, tmp_path):
+        with pytest.raises(ConfigError):
+            run_campaign(
+                db, self.RETAIN_CONFIG, SEED, out=tmp_path, checkpoint_keep_last=0
+            )

@@ -1,0 +1,32 @@
+"""Planted PL015: durable-I/O primitives called directly instead of
+through repro.core.vfs, under every import spelling the resolver
+canonicalises.
+
+Lints as repro.ingest.fixture.
+"""
+
+import json
+import os
+import os as _os
+from os import replace as rename_over
+
+
+def open_for_append(path):
+    return os.open(path, os.O_WRONLY | os.O_APPEND)  # PL015
+
+
+def append_record(fd, record):
+    os.write(fd, (json.dumps(record) + "\n").encode())  # PL015
+    os.fsync(fd)  # PL015
+
+
+def publish(tmp, path):
+    os.replace(tmp, path)  # PL015
+
+
+def publish_aliased_module(tmp, path):
+    _os.replace(tmp, path)  # PL015
+
+
+def publish_from_import(tmp, path):
+    rename_over(tmp, path)  # PL015

@@ -41,6 +41,8 @@ CASES = [
     ("pl009_clean.py", "src/repro/experiments/fixture.py", "PL009", 0),
     ("pl010_violations.py", "src/repro/federated/fixture.py", "PL010", 5),
     ("pl010_clean.py", "src/repro/federated/fixture.py", "PL010", 0),
+    ("pl015_violations.py", "src/repro/ingest/fixture.py", "PL015", 6),
+    ("pl015_clean.py", "src/repro/ingest/fixture.py", "PL015", 0),
 ]
 
 

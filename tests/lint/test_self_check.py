@@ -151,6 +151,13 @@ REGRESSIONS = [
         ("locks",),
     ),
     (
+        "PL015",
+        "import os\n\n"
+        "def publish(tmp, path):\n"
+        "    os.replace(tmp, path)\n",
+        "src/repro/serve/planted.py",
+    ),
+    (
         "PL014",
         "import json\n"
         "import os\n\n"

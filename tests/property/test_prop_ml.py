@@ -1,7 +1,7 @@
 """Property-based tests for the ML substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -42,6 +42,14 @@ class TestScalerProperties:
     @given(matrices, st.floats(-50, 50, allow_nan=False))
     @settings(max_examples=60, deadline=None)
     def test_shift_invariance(self, X, shift):
+        # Standardisation is shift-invariant only up to cancellation:
+        # std(X + shift) loses ~eps * |shift| / std(X) relative precision,
+        # so columns whose spread is dwarfed by the shift are excluded
+        # rather than asserted with a vacuously loose tolerance.  Exactly
+        # constant columns stay: both fits center them identically.
+        spread = X.std(axis=0)
+        well_conditioned = (spread == 0.0) | (spread > 1e-6 * (1.0 + abs(shift)))
+        assume(bool(np.all(well_conditioned)))
         a = StandardScaler().fit_transform(X)
         b = StandardScaler().fit_transform(X + shift)
         np.testing.assert_allclose(a, b, atol=1e-6)

@@ -263,3 +263,38 @@ class TestServeAndLoadgenCommands:
                 servers[0].shutdown()
         thread.join(timeout=30)
         assert rc == [0]  # the serve command shut down cleanly
+
+
+class TestCrashsweepCommand:
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["crashsweep"])
+        assert args.seed == 0
+        assert args.scenario is None
+        assert args.json is None
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["crashsweep", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_single_scenario_sweep_with_report(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "crashsweep", "--scenario", "checkpoint-overwrite",
+            "--json", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "PASS" in printed and "checkpoint-overwrite" in printed
+        report = json.loads(out.read_text())
+        assert report["passed"] is True
+        assert report["sweeps"][0]["scenario"] == "checkpoint-overwrite"
+
+
+class TestFederateRetentionFlags:
+    def test_parse_default_keeps_everything(self):
+        args = build_parser().parse_args(["federate"])
+        assert args.keep_checkpoints is None
+
+    def test_nonpositive_keep_checkpoints_exits_2(self, capsys):
+        assert main(["federate", "--keep-checkpoints", "0"]) == 2
+        assert "keep-checkpoints" in capsys.readouterr().err
