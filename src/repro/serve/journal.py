@@ -81,7 +81,10 @@ class ServeJournal:
                 # journal rather than poison the request path.
                 self._disable_locked(f"journal write refused: {exc}")
                 return
-            self._offset += len(line) + 1
+            # Count on-disk bytes, not characters: non-ASCII fields
+            # would otherwise make rotation trigger later than
+            # ``max_bytes`` promises.
+            self._offset += len((line + "\n").encode("utf-8"))
             self._maybe_rotate_locked()
 
     def _maybe_rotate_locked(self) -> None:

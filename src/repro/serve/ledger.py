@@ -24,9 +24,12 @@ Crash analysis, in all directions:
   privacy is not: over-counting is the safe direction, and the ledger
   never refunds (a refund could double-spend if the release had in fact
   escaped the process).
-* killed mid-append — the torn trailing WAL line is dropped on replay.
-  Safe, because the corresponding release was only ever served *after*
-  a complete, fsynced append.
+* killed mid-append — the torn trailing WAL line is dropped on replay
+  and truncated away before the reborn ledger accepts appends, so a new
+  record can never concatenate onto the partial line and turn
+  end-of-file damage into mid-file corruption.  Safe, because the
+  corresponding release was only ever served *after* a complete,
+  fsynced append.
 * killed between segment seal and reopening the active segment — the
   restart sees the sealed segments and no active file, and simply opens
   a fresh one.
@@ -376,35 +379,59 @@ class BudgetLedger:
     # ------------------------------------------------------------------
 
     def _open_active_segment(self) -> None:
+        """(Re)open the active segment, repairing any torn tail first.
+
+        ``self._wal_offset`` is authoritative — it marks the end of the
+        last durably-complete record (set by replay during restore,
+        advanced by successful appends, reset below after rotation and
+        compaction).  A longer file carries a torn trailing record from
+        a crash mid-append: truncate it away *before* accepting appends,
+        because a new record concatenated onto a partial line would turn
+        recoverable end-of-file damage into mid-file corruption.  A
+        shorter file legitimately shrank (compaction's truncate-by-
+        rewrite landed but its reopen failed): resynchronize the offset
+        to the file rather than padding the file out with NUL bytes.
+
+        On failure the WAL is left parked (``self._wal is None``) with
+        ``_wal_offset`` still marking the durable prefix, and the error
+        propagates; the parked-WAL path in ``_append_wal`` retries.
+        """
         assert self._dir is not None
         wal_path = self._dir / WAL_NAME
-        self._wal = get_vfs().open(wal_path, "a")
+        self._wal = None
         try:
-            self._wal_offset = wal_path.stat().st_size
+            try:
+                size = wal_path.stat().st_size
+            except FileNotFoundError:
+                size = 0
+                self._wal_offset = 0
+            if size > self._wal_offset:
+                get_vfs().truncate(wal_path, self._wal_offset)
+            elif size < self._wal_offset:
+                self._wal_offset = size
+            self._wal = get_vfs().open(wal_path, "a")
         except OSError:
-            self._wal_offset = 0
+            self._wal = None
+            raise
 
     def _append_wal(self, granted: Sequence[tuple[str, float, float]]) -> None:
         if self._dir is None:
             return
         if self._wal is None:
-            # A failed torn-tail repair parked the WAL (``_wal_offset``
-            # still marks the last durably-complete record).  Retry the
-            # truncate before accepting appends — blessing the torn tail
-            # would turn end-of-file damage into mid-file corruption —
-            # and refuse the batch if the disk still will not cooperate.
-            wal_path = self._dir / WAL_NAME
+            # A failed repair or reopen parked the WAL (``_wal_offset``
+            # still marks the last durably-complete record).  Retry via
+            # ``_open_active_segment`` — it truncates a torn tail before
+            # accepting appends (blessing it would turn end-of-file
+            # damage into mid-file corruption) and resynchronizes to a
+            # legitimately shorter file — and refuse the batch if the
+            # disk still will not cooperate.
             try:
-                if not wal_path.exists():
-                    self._wal_offset = 0
-                elif wal_path.stat().st_size != self._wal_offset:
-                    get_vfs().truncate(wal_path, self._wal_offset)
-                self._wal = get_vfs().open(wal_path, "a")
+                self._open_active_segment()
             except OSError as exc:
                 raise DiskPressureError(
                     f"WAL unavailable after failed tail repair: {exc}",
                     op="open",
-                    path=wal_path,
+                    path=self._dir / WAL_NAME,
                     errno=exc.errno,
                 ) from exc
         lines = []
@@ -449,8 +476,14 @@ class BudgetLedger:
             return
         wal_path = self._dir / WAL_NAME
         try:
-            if wal_path.stat().st_size != self._wal_offset:
+            size = wal_path.stat().st_size
+            if size > self._wal_offset:
                 get_vfs().truncate(wal_path, self._wal_offset)
+            elif size < self._wal_offset:
+                # The file is shorter than the durable prefix we
+                # remember — never "repair" that by extending it with
+                # NUL padding; trust the disk and resynchronize.
+                self._wal_offset = size
         except OSError:
             # Reopen-before-append will retry the repair.
             self._wal.close()
@@ -576,10 +609,21 @@ class BudgetLedger:
             self._next_segment = int(self._sealed[-1].suffix[1:]) + 1
         chain = list(self._sealed)
         active = self._dir / WAL_NAME
-        if active.exists():
+        active_in_chain = active.exists()
+        if active_in_chain:
             chain.append(active)
+        self._wal_offset = 0
         for index, path in enumerate(chain):
-            self._replay_wal(path, allow_torn_tail=index == len(chain) - 1)
+            valid_prefix = self._replay_wal(
+                path, allow_torn_tail=index == len(chain) - 1
+            )
+            if active_in_chain and index == len(chain) - 1:
+                # Remember where the active segment's durable records
+                # end; _open_active_segment truncates any torn tail
+                # beyond it before the first append, so a partial line
+                # left by a crash mid-append can never be extended into
+                # mid-file corruption by the next record.
+                self._wal_offset = valid_prefix
 
     def _restore_snapshot(self, path: Path) -> None:
         try:
@@ -612,46 +656,77 @@ class BudgetLedger:
             raise LedgerIntegrityError(f"malformed ledger snapshot {path}: {exc}") from exc
         self._snapshot_seq = self._seq
 
-    def _replay_wal(self, path: Path, *, allow_torn_tail: bool) -> None:
-        lines = path.read_text(encoding="utf-8").splitlines()
-        # Trailing blank lines are artifacts of the final append.
-        while lines and not lines[-1].strip():
-            lines.pop()
+    def _replay_wal(self, path: Path, *, allow_torn_tail: bool) -> int:
+        """Replay one WAL file; returns the byte length of its durable prefix.
+
+        A record is durable only when its full line *including the
+        trailing newline* reached the disk — the append fsyncs the
+        newline-terminated payload before the spend is committed, so a
+        line missing its newline, failing UTF-8 decode, or failing to
+        parse is a torn trailing write that was never acknowledged.
+        With ``allow_torn_tail`` (the final file of the replay chain)
+        such a tail is dropped; anywhere else it is corruption.  The
+        returned offset excludes the torn tail, so the caller can
+        truncate the active segment back to it before appending.
+        """
+        data = path.read_bytes()
+        valid_prefix = 0
         last_seq = self._seq
         anchored = False  # has this replay chain advanced past the snapshot?
-        for index, line in enumerate(lines):
-            if not line.strip():
+        offset = 0
+        line_no = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            complete = newline != -1
+            end = newline + 1 if complete else len(data)
+            raw = data[offset : newline if complete else len(data)]
+            offset = end
+            line_no += 1
+            is_tail = end >= len(data)
+            if not raw.strip():
+                if not data[offset:].strip():
+                    break  # trailing blank lines: artifacts of the final append
                 raise LedgerIntegrityError(
-                    f"ledger WAL {path} has a blank record at line {index + 1}"
+                    f"ledger WAL {path} has a blank record at line {line_no}"
                 )
             try:
-                record = json.loads(line)
+                if not complete:
+                    raise ValueError("record is missing its trailing newline")
+                record = json.loads(raw.decode("utf-8"))
                 seq = int(record["seq"])
                 user_id = str(record["user"])
                 epsilon = float(record["eps"])
                 delta = float(record["delta"])
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                if allow_torn_tail and index == len(lines) - 1:
+            except (
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+            ) as exc:
+                if allow_torn_tail and is_tail:
                     # Torn trailing append: the process died mid-write, so
                     # the corresponding release was never served.  Drop it.
                     break
                 raise LedgerIntegrityError(
-                    f"ledger WAL {path} is corrupt at line {index + 1}: {exc}"
+                    f"ledger WAL {path} is corrupt at line {line_no}: {exc}"
                 ) from exc
+            valid_prefix = end
             if seq <= self._snapshot_seq or seq <= last_seq:
                 continue  # already absorbed by the snapshot (or a prior segment)
             if anchored and seq != last_seq + 1:
                 raise LedgerIntegrityError(
                     f"ledger WAL {path} sequence jumps from {last_seq} to {seq} "
-                    f"at line {index + 1}"
+                    f"at line {line_no}"
                 )
             try:
                 self._account(user_id).spend(epsilon, delta, label="wal-replay")
             except Exception as exc:  # budget overflow on replay = corrupt log
                 raise LedgerIntegrityError(
                     f"ledger WAL {path} replays past the budget at line "
-                    f"{index + 1}: {exc}"
+                    f"{line_no}: {exc}"
                 ) from exc
             last_seq = seq
             anchored = True
         self._seq = max(self._seq, last_seq)
+        return valid_prefix

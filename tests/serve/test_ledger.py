@@ -112,6 +112,61 @@ def test_torn_trailing_wal_line_is_dropped(tmp_path):
     assert reborn.remaining("alice")[0] == pytest.approx(2.0)
 
 
+def test_torn_tail_is_truncated_before_new_appends(tmp_path):
+    """Regression: a torn tail survived restore and the next append
+    concatenated onto it, so a *later* restart saw a merged mid-file
+    record — either an integrity error or a silently dropped spend."""
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    wal = tmp_path / WAL_NAME
+    with open(wal, "a", encoding="utf-8") as fh:
+        fh.write('{"seq":2,"user":"al')  # crash mid-append: no newline
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    assert reborn.remaining("alice")[0] == pytest.approx(2.0)
+    reborn.spend("bob", 1.0)
+    # Every line in the repaired WAL must be a complete record.
+    for line in wal.read_text(encoding="utf-8").splitlines():
+        json.loads(line)
+    third = BudgetLedger(BUDGET, directory=tmp_path)
+    assert third.remaining("alice")[0] == pytest.approx(2.0)
+    assert third.remaining("bob")[0] == pytest.approx(2.0)
+
+
+def test_complete_record_missing_newline_is_a_torn_tail(tmp_path):
+    """The fsynced payload always ends in a newline, so a final line
+    without one was never acknowledged and must not be replayed (or
+    appended onto)."""
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    wal = tmp_path / WAL_NAME
+    with open(wal, "a", encoding="utf-8") as fh:
+        fh.write('{"seq":2,"user":"alice","eps":1.0,"delta":0.0}')
+    reborn = BudgetLedger(BUDGET, directory=tmp_path)
+    assert reborn.remaining("alice")[0] == pytest.approx(2.0)
+    reborn.spend("alice", 1.0)
+    third = BudgetLedger(BUDGET, directory=tmp_path)
+    assert third.remaining("alice")[0] == pytest.approx(1.0)
+
+
+def test_parked_wal_never_nul_pads_a_shrunken_file(tmp_path):
+    """Regression: if the active file is *shorter* than the remembered
+    offset (compaction's truncate-by-rewrite landed but its reopen
+    failed), recovery must resynchronize, not extend the file with NUL
+    bytes."""
+    ledger = BudgetLedger(BUDGET, directory=tmp_path)
+    ledger.spend("alice", 1.0)
+    # Park the handle with a stale offset over an emptied file, exactly
+    # the state a failed post-compaction reopen leaves behind.
+    ledger._wal.close()
+    ledger._wal = None
+    (tmp_path / WAL_NAME).write_text("", encoding="utf-8")
+    ledger.spend("alice", 1.0)
+    data = (tmp_path / WAL_NAME).read_bytes()
+    assert b"\x00" not in data
+    for line in data.decode("utf-8").splitlines():
+        json.loads(line)
+
+
 def test_mid_file_wal_corruption_is_an_integrity_error(tmp_path):
     ledger = BudgetLedger(BUDGET, directory=tmp_path)
     ledger.spend("alice", 1.0)
